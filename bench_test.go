@@ -1,0 +1,525 @@
+// Benchmarks regenerating every table and figure of the paper's §5
+// evaluation, plus ablations of the design decisions listed in DESIGN.md.
+//
+// One benchmark (or benchmark group) exists per table/figure; the gtbench
+// command produces the full per-x-axis series behind each figure, while
+// these testing.B benchmarks measure the figure's characteristic workload
+// so regressions are caught by `go test -bench=.`.
+//
+// Dataset scale: benchmarks run on scaled-down datasets (DBLP ×0.25,
+// MovieLens ×0.05) so the full suite completes in minutes. Set
+// GT_BENCH_SCALE=<v> to run BOTH datasets at scale v instead —
+// GT_BENCH_SCALE=1 benchmarks at the paper's Table 3/4 sizes.
+package graphtempo_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	graphtempo "repro"
+	"repro/internal/agg"
+	"repro/internal/explore"
+	"repro/internal/larray"
+)
+
+var (
+	benchOnce sync.Once
+	benchDBLP *graphtempo.Graph
+	benchML   *graphtempo.Graph
+)
+
+func benchGraphs(b *testing.B) (*graphtempo.Graph, *graphtempo.Graph) {
+	b.Helper()
+	benchOnce.Do(func() {
+		dblpScale, mlScale := 0.25, 0.05
+		if s := os.Getenv("GT_BENCH_SCALE"); s != "" {
+			if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+				dblpScale, mlScale = v, v
+			}
+		}
+		benchDBLP = graphtempo.DBLPScaled(1, dblpScale)
+		benchML = graphtempo.MovieLensScaled(1, mlScale)
+	})
+	return benchDBLP, benchML
+}
+
+func mustSchema(b *testing.B, g *graphtempo.Graph, names ...string) *graphtempo.AggSchema {
+	b.Helper()
+	s, err := graphtempo.SchemaByName(g, names...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkTable3DBLPStats regenerates Table 3 (per-year node/edge counts).
+func BenchmarkTable3DBLPStats(b *testing.B) {
+	g, _ := benchGraphs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graphtempo.ComputeStats(g)
+	}
+}
+
+// BenchmarkTable4MovieLensStats regenerates Table 4.
+func BenchmarkTable4MovieLensStats(b *testing.B) {
+	_, m := benchGraphs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graphtempo.ComputeStats(m)
+	}
+}
+
+// BenchmarkFig5aTimePointAggDBLP measures DIST aggregation of the busiest
+// DBLP year per attribute combination (Fig. 5a).
+func BenchmarkFig5aTimePointAggDBLP(b *testing.B) {
+	g, _ := benchGraphs(b)
+	last := graphtempo.Time(g.Timeline().Len() - 1)
+	v := graphtempo.At(g, last)
+	for _, names := range [][]string{{"gender"}, {"publications"}, {"gender", "publications"}} {
+		s := mustSchema(b, g, names...)
+		name := ""
+		for i, n := range names {
+			if i > 0 {
+				name += "+"
+			}
+			name += n[:1]
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				graphtempo.Aggregate(v, s, graphtempo.Distinct)
+			}
+		})
+	}
+}
+
+// BenchmarkFig5bTimePointAggMovieLens measures DIST aggregation of the
+// August co-rating graph per attribute combination (Fig. 5b).
+func BenchmarkFig5bTimePointAggMovieLens(b *testing.B) {
+	_, m := benchGraphs(b)
+	aug, _ := m.Timeline().TimeOf("Aug")
+	v := graphtempo.At(m, aug)
+	combos := [][]string{
+		{"gender"}, {"age"}, {"occupation"}, {"rating"},
+		{"gender", "age"}, {"gender", "age", "rating"},
+		{"gender", "age", "occupation", "rating"},
+	}
+	for _, names := range combos {
+		s := mustSchema(b, m, names...)
+		name := ""
+		for i, n := range names {
+			if i > 0 {
+				name += "+"
+			}
+			name += n[:1]
+		}
+		_ = s
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				graphtempo.Aggregate(v, s, graphtempo.Distinct)
+			}
+		})
+	}
+}
+
+// BenchmarkFig6UnionAgg measures union over the whole DBLP timeline plus
+// DIST/ALL aggregation on the static and the time-varying attribute
+// (Fig. 6).
+func BenchmarkFig6UnionAgg(b *testing.B) {
+	g, _ := benchGraphs(b)
+	tl := g.Timeline()
+	whole := tl.All()
+	cases := []struct {
+		name string
+		attr string
+		kind graphtempo.AggKind
+	}{
+		{"static-DIST", "gender", graphtempo.Distinct},
+		{"static-ALL", "gender", graphtempo.All},
+		{"varying-DIST", "publications", graphtempo.Distinct},
+		{"varying-ALL", "publications", graphtempo.All},
+	}
+	for _, c := range cases {
+		s := mustSchema(b, g, c.attr)
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := graphtempo.Union(g, whole, whole)
+				graphtempo.Aggregate(v, s, c.kind)
+			}
+		})
+	}
+}
+
+// BenchmarkFig7IntersectionAgg measures the iterated intersection over
+// [2000,2017] (the longest non-empty one) plus DIST aggregation (Fig. 7).
+func BenchmarkFig7IntersectionAgg(b *testing.B) {
+	g, _ := benchGraphs(b)
+	tl := g.Timeline()
+	iv := tl.Range(0, 17)
+	for _, attr := range []string{"gender", "publications"} {
+		s := mustSchema(b, g, attr)
+		b.Run(attr, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := graphtempo.StabilityView(g, graphtempo.ForAllOf(iv), graphtempo.ForAllOf(iv))
+				graphtempo.Aggregate(v, s, graphtempo.Distinct)
+			}
+		})
+	}
+}
+
+// BenchmarkFig8DifferenceOldNew measures Told(∪) − Tnew over the widest
+// Told plus aggregation (Fig. 8).
+func BenchmarkFig8DifferenceOldNew(b *testing.B) {
+	g, _ := benchGraphs(b)
+	tl := g.Timeline()
+	last := graphtempo.Time(tl.Len() - 1)
+	told := graphtempo.Exists(tl.Range(0, last-1))
+	tnew := graphtempo.Exists(tl.Point(last))
+	for _, attr := range []string{"gender", "publications"} {
+		s := mustSchema(b, g, attr)
+		b.Run(attr, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := graphtempo.DifferenceView(g, told, tnew)
+				graphtempo.Aggregate(v, s, graphtempo.Distinct)
+			}
+		})
+	}
+}
+
+// BenchmarkFig9DifferenceNewOld measures the cheaper opposite difference
+// Tnew − Told(∪) (Fig. 9).
+func BenchmarkFig9DifferenceNewOld(b *testing.B) {
+	g, _ := benchGraphs(b)
+	tl := g.Timeline()
+	last := graphtempo.Time(tl.Len() - 1)
+	told := graphtempo.Exists(tl.Range(0, last-1))
+	tnew := graphtempo.Exists(tl.Point(last))
+	for _, attr := range []string{"gender", "publications"} {
+		s := mustSchema(b, g, attr)
+		b.Run(attr, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := graphtempo.DifferenceView(g, tnew, told)
+				graphtempo.Aggregate(v, s, graphtempo.Distinct)
+			}
+		})
+	}
+}
+
+// BenchmarkFig10MaterializedUnion compares union-ALL aggregation from
+// scratch against T-distributive composition from the per-year store
+// (Fig. 10).
+func BenchmarkFig10MaterializedUnion(b *testing.B) {
+	g, _ := benchGraphs(b)
+	tl := g.Timeline()
+	whole := tl.All()
+	for _, attr := range []string{"gender", "publications"} {
+		s := mustSchema(b, g, attr)
+		store := graphtempo.NewMatStore(g, s)
+		b.Run(attr+"-scratch", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				graphtempo.Aggregate(graphtempo.Union(g, whole, whole), s, graphtempo.All)
+			}
+		})
+		b.Run(attr+"-materialized", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				store.UnionAll(whole)
+			}
+		})
+	}
+}
+
+// BenchmarkFig11AttributeRollup compares computing the gender aggregate of
+// one year from scratch against rolling it up from the materialized
+// (gender, publications) aggregate (Fig. 11).
+func BenchmarkFig11AttributeRollup(b *testing.B) {
+	g, _ := benchGraphs(b)
+	last := graphtempo.Time(g.Timeline().Len() - 1)
+	v := graphtempo.At(g, last)
+	fine := graphtempo.Aggregate(v, mustSchema(b, g, "gender", "publications"), graphtempo.Distinct)
+	gender := g.MustAttr("gender")
+	gOnly := mustSchema(b, g, "gender")
+	b.Run("scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			graphtempo.Aggregate(v, gOnly, graphtempo.Distinct)
+		}
+	})
+	b.Run("rollup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := graphtempo.Rollup(fine, gender); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig12EvolutionGender measures the aggregated evolution graph of
+// 2010 vs the 2000s for high-activity authors (Fig. 12).
+func BenchmarkFig12EvolutionGender(b *testing.B) {
+	g, _ := benchGraphs(b)
+	tl := g.Timeline()
+	s := mustSchema(b, g, "gender")
+	pubs := g.MustAttr("publications")
+	high := func(n graphtempo.NodeID, t graphtempo.Time) bool {
+		v := g.ValueString(pubs, n, t)
+		return len(v) > 1 || (len(v) == 1 && v[0] > '4') // >4, domain 1..18
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graphtempo.AggregateEvolution(g, tl.Range(0, 9), tl.Point(10), s, graphtempo.Distinct, high)
+	}
+}
+
+// benchExplore runs the three §5.2 exploration cases for an f-f edge
+// result on the given graph.
+func benchExplore(b *testing.B, g *graphtempo.Graph, female string) {
+	s := mustSchema(b, g, "gender")
+	ff, err := graphtempo.EdgeTupleResult(s, []string{female}, []string{female})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := &graphtempo.Explorer{Graph: g, Schema: s, Kind: graphtempo.Distinct, Result: ff}
+	cases := []struct {
+		name  string
+		event graphtempo.EvolutionClass
+		sem   graphtempo.Semantics
+		ext   graphtempo.Extend
+	}{
+		{"stability-max", graphtempo.Stability, graphtempo.IntersectionSemantics, graphtempo.ExtendNew},
+		{"growth-min", graphtempo.Growth, graphtempo.UnionSemantics, graphtempo.ExtendNew},
+		{"shrinkage-min", graphtempo.Shrinkage, graphtempo.UnionSemantics, graphtempo.ExtendOld},
+	}
+	for _, c := range cases {
+		var k int64
+		if c.sem == graphtempo.UnionSemantics {
+			_, k = ex.InitK(c.event)
+		} else {
+			k, _ = ex.InitK(c.event)
+		}
+		if k < 1 {
+			k = 1
+		}
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ex.Explore(c.event, c.sem, c.ext, k)
+			}
+		})
+	}
+}
+
+// BenchmarkFig13ExploreMovieLens measures the Fig. 13 exploration cases.
+func BenchmarkFig13ExploreMovieLens(b *testing.B) {
+	_, m := benchGraphs(b)
+	benchExplore(b, m, "F")
+}
+
+// BenchmarkFig14ExploreDBLP measures the Fig. 14 exploration cases.
+func BenchmarkFig14ExploreDBLP(b *testing.B) {
+	g, _ := benchGraphs(b)
+	benchExplore(b, g, "f")
+}
+
+// --- Ablations (DESIGN.md §2) ---
+
+// BenchmarkAblationTupleKeys compares the dictionary-encoded mixed-radix
+// group keys of the optimized engine against string-concatenation keys.
+func BenchmarkAblationTupleKeys(b *testing.B) {
+	g, _ := benchGraphs(b)
+	last := graphtempo.Time(g.Timeline().Len() - 1)
+	v := graphtempo.At(g, last)
+	s := mustSchema(b, g, "gender", "publications")
+	b.Run("mixed-radix", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			graphtempo.Aggregate(v, s, graphtempo.Distinct)
+		}
+	})
+	b.Run("string-keys", func(b *testing.B) {
+		gender := g.MustAttr("gender")
+		pubs := g.MustAttr("publications")
+		tupleAt := func(n graphtempo.NodeID, t graphtempo.Time) string {
+			return g.ValueString(gender, n, t) + "," + g.ValueString(pubs, n, t)
+		}
+		for i := 0; i < b.N; i++ {
+			nodes := make(map[string]int64)
+			v.ForEachNode(func(n graphtempo.NodeID) {
+				seen := make(map[string]bool, 2)
+				v.NodeTimes(n).ForEach(func(t int) {
+					key := tupleAt(n, graphtempo.Time(t))
+					if !seen[key] {
+						seen[key] = true
+						nodes[key]++
+					}
+				})
+			})
+			edges := make(map[string]int64)
+			v.ForEachEdge(func(e graphtempo.EdgeID) {
+				ep := g.Edge(e)
+				seen := make(map[string]bool, 2)
+				v.EdgeTimes(e).ForEach(func(t int) {
+					key := tupleAt(ep.U, graphtempo.Time(t)) + "→" + tupleAt(ep.V, graphtempo.Time(t))
+					if !seen[key] {
+						seen[key] = true
+						edges[key]++
+					}
+				})
+			})
+		}
+	})
+}
+
+// BenchmarkAblationCopyVsView compares the view-based optimized engine
+// against the paper-literal copy-out labeled-array engine on the same
+// union + DIST aggregation workload.
+func BenchmarkAblationCopyVsView(b *testing.B) {
+	g, _ := benchGraphs(b)
+	tl := g.Timeline()
+	iv := tl.Range(0, 4)
+	s := mustSchema(b, g, "gender", "publications")
+	b.Run("view-engine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v := graphtempo.Union(g, iv, iv)
+			graphtempo.Aggregate(v, s, graphtempo.Distinct)
+		}
+	})
+	ga := larray.FromGraph(g)
+	b.Run("copy-engine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			u := ga.Union(iv, iv)
+			u.Aggregate([]string{"gender", "publications"}, true)
+		}
+	})
+}
+
+// BenchmarkAblationStaticFastPath measures what the §4.2 static-only fast
+// path buys over the general per-time-point path.
+func BenchmarkAblationStaticFastPath(b *testing.B) {
+	g, _ := benchGraphs(b)
+	tl := g.Timeline()
+	whole := tl.All()
+	s := mustSchema(b, g, "gender")
+	v := graphtempo.Union(g, whole, whole)
+	b.Run("fast-path", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			graphtempo.Aggregate(v, s, graphtempo.All)
+		}
+	})
+	b.Run("general-path", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			agg.AggregateGeneral(v, s, agg.All)
+		}
+	})
+}
+
+// BenchmarkAblationEdgeIndex compares the general exploration evaluator
+// (view construction + aggregation per candidate pair) against the
+// per-time-point edge bitmask index on the Fig. 14 stability workload.
+func BenchmarkAblationEdgeIndex(b *testing.B) {
+	g, _ := benchGraphs(b)
+	s := mustSchema(b, g, "gender")
+	ff, err := graphtempo.EdgeTupleResult(s, []string{"f"}, []string{"f"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	general := &graphtempo.Explorer{Graph: g, Schema: s, Kind: graphtempo.Distinct, Result: ff}
+	indexed, err := graphtempo.NewIndexedExplorer(s, []string{"f"}, []string{"f"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, _ := general.InitK(graphtempo.Stability)
+	if k < 1 {
+		k = 1
+	}
+	b.Run("general", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			general.Explore(graphtempo.Stability, graphtempo.IntersectionSemantics, graphtempo.ExtendNew, k)
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			indexed.Explore(graphtempo.Stability, graphtempo.IntersectionSemantics, graphtempo.ExtendNew, k)
+		}
+	})
+}
+
+// BenchmarkAblationCubeQuery compares answering a per-time-point aggregate
+// query from scratch against a greedily materialized cube.
+func BenchmarkAblationCubeQuery(b *testing.B) {
+	_, m := benchGraphs(b)
+	aug, _ := m.Timeline().TimeOf("Aug")
+	gender := m.MustAttr("gender")
+	rating := m.MustAttr("rating")
+	empty, err := graphtempo.NewCube(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm, err := graphtempo.NewCube(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := warm.MaterializeGreedy(3); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := empty.Query(aug, gender, rating); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("materialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := warm.Query(aug, gender, rating); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationParallelAggregation measures sharded multi-goroutine
+// aggregation against the serial engine on the densest workload (ALL on
+// the time-varying attribute over the whole MovieLens timeline).
+func BenchmarkAblationParallelAggregation(b *testing.B) {
+	_, m := benchGraphs(b)
+	tl := m.Timeline()
+	v := graphtempo.Union(m, tl.All(), tl.All())
+	s, err := agg.ByName(m, "gender", "rating")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			agg.Aggregate(v, s, agg.All)
+		}
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				agg.AggregateParallel(v, s, agg.All, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationExplorePruning compares the monotonicity-pruned
+// exploration against the exhaustive baseline.
+func BenchmarkAblationExplorePruning(b *testing.B) {
+	g, _ := benchGraphs(b)
+	s := mustSchema(b, g, "gender")
+	ex := &explore.Explorer{Graph: g, Schema: s, Kind: agg.Distinct, Result: explore.TotalEdges}
+	_, k := ex.InitK(graphtempo.Stability)
+	if k < 1 {
+		k = 1
+	}
+	b.Run("pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ex.Explore(graphtempo.Stability, graphtempo.UnionSemantics, graphtempo.ExtendNew, k)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ex.Naive(graphtempo.Stability, graphtempo.UnionSemantics, graphtempo.ExtendNew, k)
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+)
+
+func TestParseInterval(t *testing.T) {
+	g := core.PaperExample()
+	cases := []struct {
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{"t0", "t0", false},
+		{"t0..t2", "[t0,t2]", false},
+		{"t1..t1", "t1", false},
+		{"", "", true},
+		{"nope", "", true},
+		{"t0..nope", "", true},
+		{"t2..t0", "", true},
+	}
+	for _, c := range cases {
+		iv, err := parseInterval(g, c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseInterval(%q) should fail", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseInterval(%q): %v", c.in, err)
+			continue
+		}
+		if got := iv.String(); got != c.want {
+			t.Errorf("parseInterval(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	if k, err := parseKind("dist"); err != nil || k != agg.Distinct {
+		t.Errorf("parseKind(dist) = %v, %v", k, err)
+	}
+	if k, err := parseKind("ALL"); err != nil || k != agg.All {
+		t.Errorf("parseKind(ALL) = %v, %v", k, err)
+	}
+	if _, err := parseKind("bogus"); err == nil {
+		t.Error("parseKind(bogus) should fail")
+	}
+}
+
+func TestParseSchema(t *testing.T) {
+	g := core.PaperExample()
+	if _, err := parseSchema(g, ""); err == nil {
+		t.Error("empty attrs should fail")
+	}
+	s, err := parseSchema(g, "gender,publications")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Attrs()) != 2 {
+		t.Errorf("schema attrs = %d, want 2", len(s.Attrs()))
+	}
+	if _, err := parseSchema(g, "gender,nope"); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+}
+
+func TestApplyOp(t *testing.T) {
+	g := core.PaperExample()
+	iv0, _ := parseInterval(g, "t0")
+
+	v, err := applyOp(g, "project", iv0, "")
+	if err != nil || v.NumNodes() != 4 {
+		t.Errorf("project: %d nodes, err %v", v.NumNodes(), err)
+	}
+	v, err = applyOp(g, "union", iv0, "t1")
+	if err != nil || v.NumEdges() != 4 {
+		t.Errorf("union: %d edges, err %v", v.NumEdges(), err)
+	}
+	v, err = applyOp(g, "intersection", iv0, "t1")
+	if err != nil || v.NumEdges() != 2 {
+		t.Errorf("intersection: %d edges, err %v", v.NumEdges(), err)
+	}
+	v, err = applyOp(g, "difference", iv0, "t1")
+	if err != nil || v.NumEdges() != 1 {
+		t.Errorf("difference: %d edges, err %v", v.NumEdges(), err)
+	}
+	if _, err := applyOp(g, "union", iv0, ""); err == nil {
+		t.Error("binary op without -t2 should fail")
+	}
+	if _, err := applyOp(g, "union", iv0, "nope"); err == nil {
+		t.Error("bad -t2 should fail")
+	}
+	if _, err := applyOp(g, "bogus", iv0, ""); err == nil {
+		t.Error("unknown op should fail")
+	}
+}
+
+func TestGraphFlagsLoad(t *testing.T) {
+	ex := "example"
+	empty := ""
+	scale := 0.01
+	seed := int64(1)
+	gf := graphFlags{data: &empty, dataset: &ex, scale: &scale, seed: &seed}
+	g, err := gf.load()
+	if err != nil || g.NumNodes() != 5 {
+		t.Errorf("load example: %v, %v", g, err)
+	}
+	bogus := "bogus"
+	gf.dataset = &bogus
+	if _, err := gf.load(); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	gf.dataset = &empty
+	if _, err := gf.load(); err == nil {
+		t.Error("no source should fail")
+	}
+}

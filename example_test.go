@@ -1,0 +1,82 @@
+package graphtempo_test
+
+import (
+	"fmt"
+
+	graphtempo "repro"
+)
+
+// ExampleAggregate reproduces Fig. 3d of the paper: distinct aggregation
+// of the union graph of (t0, t1) on (gender, publications).
+func ExampleAggregate() {
+	g := graphtempo.PaperExample()
+	tl := g.Timeline()
+	union := graphtempo.Union(g, tl.Point(0), tl.Point(1))
+	schema, _ := graphtempo.SchemaByName(g, "gender", "publications")
+	ag := graphtempo.Aggregate(union, schema, graphtempo.Distinct)
+	f1, _ := schema.Encode("f", "1")
+	fmt.Printf("DIST weight of (f,1): %d\n", ag.NodeWeight(f1))
+	// Output:
+	// DIST weight of (f,1): 3
+}
+
+// ExampleAggregateEvolution reproduces Fig. 4b: the (f,1) authors show
+// one stable, one new and one vanished appearance between t0 and t1.
+func ExampleAggregateEvolution() {
+	g := graphtempo.PaperExample()
+	tl := g.Timeline()
+	schema, _ := graphtempo.SchemaByName(g, "gender", "publications")
+	ev := graphtempo.AggregateEvolution(g, tl.Point(0), tl.Point(1),
+		schema, graphtempo.Distinct, nil)
+	f1, _ := schema.Encode("f", "1")
+	w := ev.NodeWeights(f1)
+	fmt.Printf("(f,1): St=%d Gr=%d Shr=%d\n", w.St, w.Gr, w.Shr)
+	// Output:
+	// (f,1): St=1 Gr=1 Shr=1
+}
+
+// ExampleExplorer_Explore finds the minimal interval pairs with at least
+// two stable edges in the running example.
+func ExampleExplorer_Explore() {
+	g := graphtempo.PaperExample()
+	schema, _ := graphtempo.SchemaByName(g, "gender")
+	ex := &graphtempo.Explorer{
+		Graph:  g,
+		Schema: schema,
+		Kind:   graphtempo.Distinct,
+		Result: graphtempo.TotalEdges,
+	}
+	for _, p := range ex.Explore(graphtempo.Stability,
+		graphtempo.UnionSemantics, graphtempo.ExtendNew, 2) {
+		fmt.Println(p)
+	}
+	// Output:
+	// t0 → t1 (2 events)
+}
+
+// ExampleDifference shows the asymmetry of the difference operator:
+// t0 − t1 captures deletions, t1 − t0 captures additions.
+func ExampleDifference() {
+	g := graphtempo.PaperExample()
+	tl := g.Timeline()
+	gone := graphtempo.Difference(g, tl.Point(0), tl.Point(1))
+	new := graphtempo.Difference(g, tl.Point(1), tl.Point(0))
+	fmt.Printf("deleted edges: %d, new edges: %d\n", gone.NumEdges(), new.NumEdges())
+	// Output:
+	// deleted edges: 1, new edges: 1
+}
+
+// ExampleCoarsen zooms the three-point running example out to two coarse
+// periods.
+func ExampleCoarsen() {
+	g := graphtempo.PaperExample()
+	spec, _ := graphtempo.UniformGroups(g.Timeline(), 2)
+	coarse, _ := graphtempo.Coarsen(g, spec)
+	stats := graphtempo.ComputeStats(coarse)
+	for i, label := range stats.Labels {
+		fmt.Printf("%s: %d nodes, %d edges\n", label, stats.Nodes[i], stats.Edges[i])
+	}
+	// Output:
+	// t0..t1: 4 nodes, 4 edges
+	// t2: 3 nodes, 3 edges
+}

@@ -1,0 +1,109 @@
+// Streaming: ingest an evolving graph one time point at a time and keep
+// aggregates fresh incrementally — the interactive setting the paper's
+// conclusion envisions.
+//
+// A small "deployments" network arrives month by month: services (nodes,
+// with a static team and a time-varying load bucket) and call edges. The
+// program registers aggregations up front, appends snapshots, answers
+// window queries from the incrementally maintained per-month aggregates
+// (T-distributive reuse, §4.3), and finally materializes the full
+// temporal graph to run an evolution analysis and emit a DOT drawing.
+//
+// Run with: go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"os"
+
+	graphtempo "repro"
+)
+
+func main() {
+	series := graphtempo.NewStreamSeries(
+		graphtempo.AttrSpec{Name: "team", Kind: graphtempo.Static},
+		graphtempo.AttrSpec{Name: "load", Kind: graphtempo.TimeVarying},
+	)
+	if err := series.RegisterAggregation("by-team", "team"); err != nil {
+		panic(err)
+	}
+
+	node := func(name, team, load string) graphtempo.StreamNode {
+		return graphtempo.StreamNode{
+			Label:   name,
+			Static:  map[string]string{"team": team},
+			Varying: map[string]string{"load": load},
+		}
+	}
+	months := []struct {
+		label string
+		snap  graphtempo.StreamSnapshot
+	}{
+		{"jan", graphtempo.StreamSnapshot{
+			Nodes: []graphtempo.StreamNode{
+				node("api", "core", "high"), node("auth", "core", "mid"),
+				node("billing", "payments", "low"),
+			},
+			Edges: []graphtempo.StreamEdge{{U: "api", V: "auth"}, {U: "api", V: "billing"}},
+		}},
+		{"feb", graphtempo.StreamSnapshot{
+			Nodes: []graphtempo.StreamNode{
+				node("api", "core", "high"), node("auth", "core", "high"),
+				node("billing", "payments", "mid"), node("ledger", "payments", "low"),
+			},
+			Edges: []graphtempo.StreamEdge{
+				{U: "api", V: "auth"}, {U: "api", V: "billing"}, {U: "billing", V: "ledger"},
+			},
+		}},
+		{"mar", graphtempo.StreamSnapshot{
+			Nodes: []graphtempo.StreamNode{
+				node("api", "core", "high"), node("auth", "core", "mid"),
+				node("ledger", "payments", "mid"), node("report", "data", "low"),
+			},
+			Edges: []graphtempo.StreamEdge{
+				{U: "api", V: "auth"}, {U: "api", V: "ledger"}, {U: "ledger", V: "report"},
+			},
+		}},
+	}
+	for _, m := range months {
+		if err := series.Append(m.label, m.snap); err != nil {
+			panic(err)
+		}
+		fmt.Printf("ingested %s (%d services, %d calls)\n",
+			m.label, len(m.snap.Nodes), len(m.snap.Edges))
+	}
+
+	// Window queries answered from the per-month aggregates alone.
+	nodes, edges, err := series.WindowUnionAll("by-team", 0, series.Len()-1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\n— Service-month appearances per team, whole window —")
+	for team, w := range nodes {
+		fmt.Printf("  %s: %d\n", team, w)
+	}
+	fmt.Println("— Call-month appearances per team pair —")
+	for pair, w := range edges {
+		fmt.Printf("  %s: %d\n", pair, w)
+	}
+
+	// Materialize the full graph for richer analysis.
+	g, err := series.Graph()
+	if err != nil {
+		panic(err)
+	}
+	tl := g.Timeline()
+	team, err := graphtempo.SchemaByName(g, "team")
+	if err != nil {
+		panic(err)
+	}
+	ev := graphtempo.AggregateEvolution(g, tl.Range(0, 1), tl.Point(2),
+		team, graphtempo.Distinct, nil)
+	fmt.Println("\n— Evolution jan..feb → mar, aggregated by team —")
+	fmt.Print(ev)
+
+	fmt.Println("\n— Same, as Graphviz DOT —")
+	if err := graphtempo.WriteEvolutionDOT(os.Stdout, ev); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,136 @@
+package graphtempo_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	graphtempo "repro"
+)
+
+// TestFacadeQueryLanguage drives TGQL through the facade.
+func TestFacadeQueryLanguage(t *testing.T) {
+	g := graphtempo.PaperExample()
+	r, err := graphtempo.Query(g, "AGG DIST gender, publications ON UNION(t0, t1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := r.Agg.Schema.Encode("f", "1")
+	if r.Agg.NodeWeight(f1) != 3 {
+		t.Fatalf("query w(f,1) = %d, want 3", r.Agg.NodeWeight(f1))
+	}
+	if _, err := graphtempo.Query(g, "NOT A QUERY"); err == nil {
+		t.Error("invalid query should fail")
+	}
+	rt, err := graphtempo.Query(g, "TOP 1 GROWTH BY gender")
+	if err != nil || len(rt.Top) != 1 {
+		t.Fatalf("TOP result = %+v, err %v", rt, err)
+	}
+}
+
+func TestFacadeMeasureAndFiltered(t *testing.T) {
+	g := graphtempo.PaperExample()
+	s := mustByName(t, g, "gender")
+	v := graphtempo.At(g, 0)
+
+	mg, err := graphtempo.AggregateMeasure(v, s, g.MustAttr("publications"), graphtempo.MeasureMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := s.Encode("m")
+	if got, ok := mg.Value(m); !ok || got != 3 {
+		t.Errorf("MAX(m) = %v, want 3", got)
+	}
+
+	pubs := g.MustAttr("publications")
+	filtered := graphtempo.AggregateFiltered(v, s, graphtempo.Distinct,
+		func(n graphtempo.NodeID, tp graphtempo.Time) bool {
+			return g.ValueString(pubs, n, tp) == "1"
+		})
+	f, _ := s.Encode("f")
+	if filtered.NodeWeight(f) != 2 {
+		t.Errorf("filtered w(f) = %d, want 2 (u2, u3)", filtered.NodeWeight(f))
+	}
+	// Nil filter falls back to plain aggregation.
+	if !graphtempo.AggregateFiltered(v, s, graphtempo.Distinct, nil).
+		Equal(graphtempo.Aggregate(v, s, graphtempo.Distinct)) {
+		t.Error("nil filter should equal Aggregate")
+	}
+}
+
+func TestFacadeParallelAggregation(t *testing.T) {
+	g := graphtempo.DBLPScaled(1, 0.02)
+	tl := g.Timeline()
+	v := graphtempo.Union(g, tl.All(), tl.All())
+	s := mustByName(t, g, "gender", "publications")
+	got := graphtempo.AggregateParallel(v, s, graphtempo.All, 4)
+	want := graphtempo.Aggregate(v, s, graphtempo.All)
+	if !got.Equal(want) {
+		t.Fatal("facade parallel aggregation differs")
+	}
+}
+
+func TestFacadeDOTOutput(t *testing.T) {
+	g := graphtempo.PaperExample()
+	tl := g.Timeline()
+	s := mustByName(t, g, "gender")
+	ag := graphtempo.Aggregate(graphtempo.At(g, 0), s, graphtempo.Distinct)
+	var buf bytes.Buffer
+	if err := graphtempo.WriteAggregateDOT(&buf, ag); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "digraph aggregate") {
+		t.Error("aggregate DOT malformed")
+	}
+	ev := graphtempo.AggregateEvolution(g, tl.Point(0), tl.Point(1), s, graphtempo.Distinct, nil)
+	buf.Reset()
+	if err := graphtempo.WriteEvolutionDOT(&buf, ev); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "digraph evolution") {
+		t.Error("evolution DOT malformed")
+	}
+}
+
+func TestFacadeEvolutionTimelineAndTopTuples(t *testing.T) {
+	g := graphtempo.PaperExample()
+	s := mustByName(t, g, "gender")
+	steps := graphtempo.EvolutionTimeline(g, s, graphtempo.Distinct, nil)
+	if len(steps) != 2 || steps[0].NodeSt != 3 {
+		t.Fatalf("timeline = %+v", steps)
+	}
+	ex := &graphtempo.Explorer{Graph: g, Schema: s, Kind: graphtempo.Distinct, Result: graphtempo.TotalEdges}
+	top := graphtempo.TopEdgeTuples(ex, graphtempo.Growth, 1)
+	if len(top) != 1 || top[0].Peak != 2 {
+		t.Fatalf("top = %+v", top)
+	}
+}
+
+func TestFacadeStreaming(t *testing.T) {
+	series := graphtempo.NewStreamSeries(
+		graphtempo.AttrSpec{Name: "kind", Kind: graphtempo.Static})
+	if err := series.RegisterAggregation("k", "kind"); err != nil {
+		t.Fatal(err)
+	}
+	snap := graphtempo.StreamSnapshot{
+		Nodes: []graphtempo.StreamNode{
+			{Label: "a", Static: map[string]string{"kind": "x"}},
+			{Label: "b", Static: map[string]string{"kind": "y"}},
+		},
+		Edges: []graphtempo.StreamEdge{{U: "a", V: "b"}},
+	}
+	if err := series.Append("t0", snap); err != nil {
+		t.Fatal(err)
+	}
+	nodes, edges, err := series.WindowUnionAll("k", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes["x"] != 1 || edges["(x)→(y)"] != 1 {
+		t.Errorf("window = %v / %v", nodes, edges)
+	}
+	g, err := series.Graph()
+	if err != nil || g.NumNodes() != 2 {
+		t.Fatalf("graph: %v, %v", g, err)
+	}
+}

@@ -1,0 +1,604 @@
+// Package agg implements GraphTempo graph aggregation (Definition 2.6 and
+// §4.2 of the paper).
+//
+// Aggregation groups the nodes of a temporal graph (or of a View produced
+// by a temporal operator) by a tuple of attribute values and builds a
+// weighted aggregate graph whose nodes are the distinct tuples and whose
+// edges connect tuples with at least one underlying interaction. The
+// aggregate function is COUNT, in two flavours (§2.2):
+//
+//   - Distinct (DIST): every (entity, tuple) combination counts once, no
+//     matter how many time points it appears at.
+//   - All (ALL): every appearance at every time point counts.
+//
+// Attribute tuples are encoded as mixed-radix integers over the attribute
+// dictionaries (one multiplication per attribute instead of string
+// concatenation), and aggregation over static-only attribute sets takes a
+// fast path that skips the per-time-point loop — the optimization §4.2
+// describes for static attributes.
+package agg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dict"
+	"repro/internal/ops"
+	"repro/internal/timeline"
+)
+
+// Kind selects distinct (DIST) or non-distinct (ALL) counting.
+type Kind int
+
+const (
+	// Distinct counts each entity once per tuple it exhibits.
+	Distinct Kind = iota
+	// All counts each per-time-point appearance.
+	All
+)
+
+// String returns "DIST" or "ALL", the paper's notation.
+func (k Kind) String() string {
+	if k == Distinct {
+		return "DIST"
+	}
+	return "ALL"
+}
+
+// Tuple is a mixed-radix encoding of one attribute-value combination under
+// a Schema.
+type Tuple int64
+
+// EdgeKey identifies an aggregate edge by its endpoint tuples.
+type EdgeKey struct {
+	From, To Tuple
+}
+
+// Schema fixes the attribute set of an aggregation over one base graph and
+// provides tuple encoding/decoding. Create one with NewSchema; a Schema
+// may be reused across many Aggregate calls on views of the same graph.
+type Schema struct {
+	g         *core.Graph
+	attrs     []core.AttrID
+	strides   []int64
+	radices   []int64
+	allStatic bool
+}
+
+// NewSchema returns a schema aggregating g's nodes on the given attributes,
+// in order. At least one attribute is required (Definition 2.6: 1 ≤ n ≤ k).
+func NewSchema(g *core.Graph, attrs ...core.AttrID) (*Schema, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("agg: at least one aggregation attribute is required")
+	}
+	seen := make(map[core.AttrID]bool, len(attrs))
+	s := &Schema{
+		g:         g,
+		attrs:     append([]core.AttrID(nil), attrs...),
+		strides:   make([]int64, len(attrs)),
+		radices:   make([]int64, len(attrs)),
+		allStatic: true,
+	}
+	stride := int64(1)
+	for i, a := range attrs {
+		if int(a) < 0 || int(a) >= g.NumAttrs() {
+			return nil, fmt.Errorf("agg: attribute id %d out of range", a)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("agg: duplicate aggregation attribute %q", g.Attr(a).Name)
+		}
+		seen[a] = true
+		radix := int64(g.Dict(a).Len())
+		if radix == 0 {
+			radix = 1 // empty domain: every tuple is missing anyway
+		}
+		s.strides[i] = stride
+		s.radices[i] = radix
+		if stride > (1<<62)/radix {
+			return nil, fmt.Errorf("agg: combined attribute domain too large")
+		}
+		stride *= radix
+		if g.Attr(a).Kind == core.TimeVarying {
+			s.allStatic = false
+		}
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema but panics on error.
+func MustSchema(g *core.Graph, attrs ...core.AttrID) *Schema {
+	s, err := NewSchema(g, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ByName builds a schema from attribute names.
+func ByName(g *core.Graph, names ...string) (*Schema, error) {
+	attrs := make([]core.AttrID, len(names))
+	for i, name := range names {
+		a, ok := g.AttrByName(name)
+		if !ok {
+			return nil, fmt.Errorf("agg: no attribute named %q", name)
+		}
+		attrs[i] = a
+	}
+	return NewSchema(g, attrs...)
+}
+
+// Graph returns the base graph the schema aggregates.
+func (s *Schema) Graph() *core.Graph { return s.g }
+
+// Attrs returns the aggregation attribute ids, in schema order.
+func (s *Schema) Attrs() []core.AttrID { return append([]core.AttrID(nil), s.attrs...) }
+
+// AllStatic reports whether every aggregation attribute is static, enabling
+// the §4.2 fast path.
+func (s *Schema) AllStatic() bool { return s.allStatic }
+
+// TupleAt encodes the attribute tuple of node n at time t. The second
+// result is false when any aggregation attribute has no value there (the
+// node does not exist at t, or the value is missing); such contributions
+// are excluded from aggregation.
+func (s *Schema) TupleAt(n core.NodeID, t timeline.Time) (Tuple, bool) {
+	var code int64
+	for i, a := range s.attrs {
+		c := s.g.Value(a, n, t)
+		if c == dict.None {
+			return -1, false
+		}
+		code += int64(c) * s.strides[i]
+	}
+	return Tuple(code), true
+}
+
+// StaticTuple encodes the tuple of node n for an all-static schema.
+// It panics if the schema has a time-varying attribute.
+func (s *Schema) StaticTuple(n core.NodeID) (Tuple, bool) {
+	if !s.allStatic {
+		panic("agg: StaticTuple on schema with time-varying attributes")
+	}
+	var code int64
+	for i, a := range s.attrs {
+		c := s.g.StaticValue(a, n)
+		if c == dict.None {
+			return -1, false
+		}
+		code += int64(c) * s.strides[i]
+	}
+	return Tuple(code), true
+}
+
+// Decode returns the attribute values of a tuple, in schema order.
+func (s *Schema) Decode(tu Tuple) []string {
+	out := make([]string, len(s.attrs))
+	rem := int64(tu)
+	for i, a := range s.attrs {
+		out[i] = s.g.Dict(a).Value(dict.Code(rem % s.radices[i]))
+		rem /= s.radices[i]
+	}
+	return out
+}
+
+// Label renders a tuple like the paper's figures, e.g. "f,1".
+func (s *Schema) Label(tu Tuple) string {
+	return strings.Join(s.Decode(tu), ",")
+}
+
+// Encode is the inverse of Decode: it returns the tuple for the given
+// values (in schema order), or false when a value is not in an attribute's
+// domain.
+func (s *Schema) Encode(values ...string) (Tuple, bool) {
+	if len(values) != len(s.attrs) {
+		return -1, false
+	}
+	var code int64
+	for i, a := range s.attrs {
+		c := s.g.Dict(a).Code(values[i])
+		if c == dict.None {
+			return -1, false
+		}
+		code += int64(c) * s.strides[i]
+	}
+	return Tuple(code), true
+}
+
+// Graph is a weighted aggregate graph G'(V', E', W_V', W_E', A').
+type Graph struct {
+	Schema *Schema
+	Kind   Kind
+	Nodes  map[Tuple]int64
+	Edges  map[EdgeKey]int64
+}
+
+// NodeWeight returns the weight of the aggregate node for tu (0 if absent).
+func (ag *Graph) NodeWeight(tu Tuple) int64 { return ag.Nodes[tu] }
+
+// EdgeWeight returns the weight of the aggregate edge (from, to).
+func (ag *Graph) EdgeWeight(from, to Tuple) int64 { return ag.Edges[EdgeKey{from, to}] }
+
+// TotalNodeWeight returns the sum of all aggregate node weights.
+func (ag *Graph) TotalNodeWeight() int64 {
+	var sum int64
+	for _, w := range ag.Nodes {
+		sum += w
+	}
+	return sum
+}
+
+// TotalEdgeWeight returns the sum of all aggregate edge weights.
+func (ag *Graph) TotalEdgeWeight() int64 {
+	var sum int64
+	for _, w := range ag.Edges {
+		sum += w
+	}
+	return sum
+}
+
+// SortedNodes returns the aggregate node tuples ordered by decoded label,
+// for deterministic presentation.
+func (ag *Graph) SortedNodes() []Tuple {
+	out := make([]Tuple, 0, len(ag.Nodes))
+	for tu := range ag.Nodes {
+		out = append(out, tu)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return ag.Schema.Label(out[i]) < ag.Schema.Label(out[j])
+	})
+	return out
+}
+
+// SortedEdges returns the aggregate edge keys ordered by decoded labels.
+func (ag *Graph) SortedEdges() []EdgeKey {
+	out := make([]EdgeKey, 0, len(ag.Edges))
+	for k := range ag.Edges {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		li := ag.Schema.Label(out[i].From) + "→" + ag.Schema.Label(out[i].To)
+		lj := ag.Schema.Label(out[j].From) + "→" + ag.Schema.Label(out[j].To)
+		return li < lj
+	})
+	return out
+}
+
+// String renders the aggregate graph for debugging and examples.
+func (ag *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "aggregate graph (%s) on %d tuples\n", ag.Kind, len(ag.Nodes))
+	for _, tu := range ag.SortedNodes() {
+		fmt.Fprintf(&b, "  node (%s) w=%d\n", ag.Schema.Label(tu), ag.Nodes[tu])
+	}
+	for _, k := range ag.SortedEdges() {
+		fmt.Fprintf(&b, "  edge (%s)→(%s) w=%d\n", ag.Schema.Label(k.From), ag.Schema.Label(k.To), ag.Edges[k])
+	}
+	return b.String()
+}
+
+// Aggregate computes the aggregate graph of a view under the schema
+// (Algorithm 2 and its ALL/static variants). The view must be over the
+// same base graph as the schema.
+func Aggregate(v *ops.View, s *Schema, kind Kind) *Graph {
+	if v.Graph() != s.g {
+		panic("agg: view and schema built on different graphs")
+	}
+	ag := &Graph{
+		Schema: s,
+		Kind:   kind,
+		Nodes:  make(map[Tuple]int64),
+		Edges:  make(map[EdgeKey]int64),
+	}
+	if s.allStatic {
+		aggregateStatic(v, s, kind, ag)
+	} else {
+		aggregateVarying(v, s, kind, ag)
+	}
+	return ag
+}
+
+// AggregateGeneral computes the same result as Aggregate but always takes
+// the general per-time-point path, even for all-static schemas. It exists
+// to measure what the §4.2 static fast path buys (the static-fast-path
+// ablation benchmark); library code should call Aggregate.
+func AggregateGeneral(v *ops.View, s *Schema, kind Kind) *Graph {
+	if v.Graph() != s.g {
+		panic("agg: view and schema built on different graphs")
+	}
+	ag := &Graph{
+		Schema: s,
+		Kind:   kind,
+		Nodes:  make(map[Tuple]int64),
+		Edges:  make(map[EdgeKey]int64),
+	}
+	aggregateVarying(v, s, kind, ag)
+	return ag
+}
+
+// Filter restricts which (node, time) appearances participate in a
+// filtered aggregation; an edge appearance requires both endpoints to
+// pass. It mirrors the evolution package's filter (the paper's Fig. 12
+// high-activity restriction) for plain aggregation.
+type Filter func(n core.NodeID, t timeline.Time) bool
+
+// AggregateFiltered is Aggregate with a per-appearance filter. A nil
+// filter is equivalent to Aggregate. Filtering forces the general
+// per-time-point path even for all-static schemas, since the predicate
+// may depend on time-varying attributes.
+func AggregateFiltered(v *ops.View, s *Schema, kind Kind, filter Filter) *Graph {
+	if filter == nil {
+		return Aggregate(v, s, kind)
+	}
+	if v.Graph() != s.g {
+		panic("agg: view and schema built on different graphs")
+	}
+	ag := &Graph{
+		Schema: s,
+		Kind:   kind,
+		Nodes:  make(map[Tuple]int64),
+		Edges:  make(map[EdgeKey]int64),
+	}
+	g := s.g
+	var seen map[Tuple]bool
+	if kind == Distinct {
+		seen = make(map[Tuple]bool)
+	}
+	v.ForEachNode(func(n core.NodeID) {
+		if kind == Distinct {
+			clear(seen)
+		}
+		v.NodeTimes(n).ForEach(func(t int) {
+			if !filter(n, timeline.Time(t)) {
+				return
+			}
+			tu, ok := s.TupleAt(n, timeline.Time(t))
+			if !ok {
+				return
+			}
+			if kind == Distinct {
+				if seen[tu] {
+					return
+				}
+				seen[tu] = true
+			}
+			ag.Nodes[tu]++
+		})
+	})
+	var seenEdges map[EdgeKey]bool
+	if kind == Distinct {
+		seenEdges = make(map[EdgeKey]bool)
+	}
+	v.ForEachEdge(func(e core.EdgeID) {
+		if kind == Distinct {
+			clear(seenEdges)
+		}
+		ep := g.Edge(e)
+		v.EdgeTimes(e).ForEach(func(t int) {
+			if !filter(ep.U, timeline.Time(t)) || !filter(ep.V, timeline.Time(t)) {
+				return
+			}
+			fu, ok1 := s.TupleAt(ep.U, timeline.Time(t))
+			tu, ok2 := s.TupleAt(ep.V, timeline.Time(t))
+			if !ok1 || !ok2 {
+				return
+			}
+			key := EdgeKey{fu, tu}
+			if kind == Distinct {
+				if seenEdges[key] {
+					return
+				}
+				seenEdges[key] = true
+			}
+			ag.Edges[key]++
+		})
+	})
+	return ag
+}
+
+// aggregateStatic is the §4.2 fast path: each node has exactly one tuple,
+// so no unpivoting or per-tuple deduplication is needed. For ALL, the
+// appearance count of an entity is the popcount of its restricted
+// timestamp.
+func aggregateStatic(v *ops.View, s *Schema, kind Kind, ag *Graph) {
+	v.ForEachNode(func(n core.NodeID) {
+		tu, ok := s.StaticTuple(n)
+		if !ok {
+			return
+		}
+		if kind == Distinct {
+			ag.Nodes[tu]++
+		} else {
+			ag.Nodes[tu] += int64(v.NodeTimesCount(n))
+		}
+	})
+	g := s.g
+	v.ForEachEdge(func(e core.EdgeID) {
+		ep := g.Edge(e)
+		fu, ok1 := s.StaticTuple(ep.U)
+		tu, ok2 := s.StaticTuple(ep.V)
+		if !ok1 || !ok2 {
+			return
+		}
+		key := EdgeKey{fu, tu}
+		if kind == Distinct {
+			ag.Edges[key]++
+		} else {
+			ag.Edges[key] += int64(v.EdgeTimesCount(e))
+		}
+	})
+}
+
+// aggregateVarying handles schemas with at least one time-varying
+// attribute: tuples are collected per time point of each entity's
+// restricted timestamp; DIST deduplicates per (entity, tuple).
+func aggregateVarying(v *ops.View, s *Schema, kind Kind, ag *Graph) {
+	g := s.g
+	var seen map[Tuple]bool
+	if kind == Distinct {
+		seen = make(map[Tuple]bool)
+	}
+	v.ForEachNode(func(n core.NodeID) {
+		if kind == Distinct {
+			clear(seen)
+		}
+		v.NodeTimes(n).ForEach(func(t int) {
+			tu, ok := s.TupleAt(n, timeline.Time(t))
+			if !ok {
+				return
+			}
+			if kind == Distinct {
+				if seen[tu] {
+					return
+				}
+				seen[tu] = true
+			}
+			ag.Nodes[tu]++
+		})
+	})
+	var seenEdges map[EdgeKey]bool
+	if kind == Distinct {
+		seenEdges = make(map[EdgeKey]bool)
+	}
+	v.ForEachEdge(func(e core.EdgeID) {
+		if kind == Distinct {
+			clear(seenEdges)
+		}
+		ep := g.Edge(e)
+		v.EdgeTimes(e).ForEach(func(t int) {
+			fu, ok1 := s.TupleAt(ep.U, timeline.Time(t))
+			tu, ok2 := s.TupleAt(ep.V, timeline.Time(t))
+			if !ok1 || !ok2 {
+				return
+			}
+			key := EdgeKey{fu, tu}
+			if kind == Distinct {
+				if seenEdges[key] {
+					return
+				}
+				seenEdges[key] = true
+			}
+			ag.Edges[key]++
+		})
+	})
+}
+
+// Rollup derives the aggregate graph on a subset of the schema's
+// attributes directly from an already-computed aggregate graph, without
+// touching the base graph — COUNT is D-distributive w.r.t. top-down
+// aggregations (§4.3): tuples of the finer aggregation are regrouped on
+// the surviving attributes and their weights summed.
+//
+// The derivation is exact for ALL aggregates and for DIST aggregates in
+// which each entity exhibits at most one tuple (a single-time-point view,
+// or an all-static schema); for other DIST aggregates the regrouped weight
+// over-counts entities that exhibit several fine tuples mapping to the
+// same coarse tuple, which is why the paper applies roll-up reuse per time
+// point (Fig. 11).
+func Rollup(ag *Graph, attrs ...core.AttrID) (*Graph, error) {
+	sub, err := NewSchema(ag.Schema.g, attrs...)
+	if err != nil {
+		return nil, err
+	}
+	// Positions of the subset attributes within the source schema.
+	pos := make([]int, len(attrs))
+	for i, a := range attrs {
+		found := -1
+		for j, b := range ag.Schema.attrs {
+			if a == b {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("agg: attribute %q is not part of the source aggregation",
+				ag.Schema.g.Attr(a).Name)
+		}
+		pos[i] = found
+	}
+	// Distinct fine tuples repeat heavily across entries (every edge key
+	// carries two), so memoize the projection.
+	cache := make(map[Tuple]Tuple, len(ag.Nodes))
+	codes := make([]int64, len(ag.Schema.attrs))
+	project := func(tu Tuple) Tuple {
+		if out, ok := cache[tu]; ok {
+			return out
+		}
+		rem := int64(tu)
+		for j := range ag.Schema.attrs {
+			codes[j] = rem % ag.Schema.radices[j]
+			rem /= ag.Schema.radices[j]
+		}
+		var out int64
+		for i := range pos {
+			out += codes[pos[i]] * sub.strides[i]
+		}
+		cache[tu] = Tuple(out)
+		return Tuple(out)
+	}
+	out := &Graph{
+		Schema: sub,
+		Kind:   ag.Kind,
+		Nodes:  make(map[Tuple]int64, len(ag.Nodes)),
+		Edges:  make(map[EdgeKey]int64, len(ag.Edges)),
+	}
+	for tu, w := range ag.Nodes {
+		out.Nodes[project(tu)] += w
+	}
+	for k, w := range ag.Edges {
+		out.Edges[EdgeKey{project(k.From), project(k.To)}] += w
+	}
+	return out, nil
+}
+
+// Merge adds every weight of other into ag. Both must share the same
+// schema and kind. It is the building block of the T-distributive
+// composition of §4.3 (union ALL aggregates of an interval are the sums of
+// the per-time-point ALL aggregates).
+func (ag *Graph) Merge(other *Graph) {
+	if ag.Schema != other.Schema || ag.Kind != other.Kind {
+		panic("agg: Merge of incompatible aggregate graphs")
+	}
+	for tu, w := range other.Nodes {
+		ag.Nodes[tu] += w
+	}
+	for k, w := range other.Edges {
+		ag.Edges[k] += w
+	}
+}
+
+// Clone returns a deep copy of ag.
+func (ag *Graph) Clone() *Graph {
+	out := &Graph{
+		Schema: ag.Schema,
+		Kind:   ag.Kind,
+		Nodes:  make(map[Tuple]int64, len(ag.Nodes)),
+		Edges:  make(map[EdgeKey]int64, len(ag.Edges)),
+	}
+	for tu, w := range ag.Nodes {
+		out.Nodes[tu] = w
+	}
+	for k, w := range ag.Edges {
+		out.Edges[k] = w
+	}
+	return out
+}
+
+// Equal reports whether two aggregate graphs have identical weights.
+func (ag *Graph) Equal(other *Graph) bool {
+	if len(ag.Nodes) != len(other.Nodes) || len(ag.Edges) != len(other.Edges) {
+		return false
+	}
+	for tu, w := range ag.Nodes {
+		if other.Nodes[tu] != w {
+			return false
+		}
+	}
+	for k, w := range ag.Edges {
+		if other.Edges[k] != w {
+			return false
+		}
+	}
+	return true
+}

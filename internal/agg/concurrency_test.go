@@ -1,0 +1,64 @@
+package agg
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/ops"
+	"repro/internal/timeline"
+)
+
+// TestConcurrentAggregation verifies the documented contract that a built
+// Graph (and a Schema over it) may be read by many goroutines without
+// synchronization: run aggregations of every kind over many views in
+// parallel and check each against a serially computed expectation.
+// Meaningful under -race.
+func TestConcurrentAggregation(t *testing.T) {
+	g := dataset.DBLPScaled(1, 0.02)
+	schemas := []*Schema{
+		MustSchema(g, g.MustAttr("gender")),
+		MustSchema(g, g.MustAttr("publications")),
+		MustSchema(g, g.MustAttr("gender"), g.MustAttr("publications")),
+	}
+	tl := g.Timeline()
+
+	type job struct {
+		view *ops.View
+		s    *Schema
+		kind Kind
+		want *Graph
+	}
+	var jobs []job
+	for i := 0; i < tl.Len()-1; i++ {
+		views := []*ops.View{
+			ops.At(g, timeline.Time(i)),
+			ops.Union(g, tl.Point(timeline.Time(i)), tl.Point(timeline.Time(i+1))),
+			ops.Difference(g, tl.Point(timeline.Time(i)), tl.Point(timeline.Time(i+1))),
+		}
+		for _, v := range views {
+			for _, s := range schemas {
+				for _, kind := range []Kind{Distinct, All} {
+					jobs = append(jobs, job{v, s, kind, Aggregate(v, s, kind)})
+				}
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, len(jobs))
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			if got := Aggregate(j.view, j.s, j.kind); !got.Equal(j.want) {
+				errs <- "concurrent aggregation diverged from serial result"
+			}
+		}(j)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

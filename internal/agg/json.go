@@ -1,0 +1,44 @@
+package agg
+
+import "encoding/json"
+
+// jsonNode and jsonEdge are the wire form of an aggregate graph: decoded
+// attribute values with weights, so downstream tools need no knowledge of
+// tuple encoding.
+type jsonNode struct {
+	Values []string `json:"values"`
+	Weight int64    `json:"weight"`
+}
+
+type jsonEdge struct {
+	From   []string `json:"from"`
+	To     []string `json:"to"`
+	Weight int64    `json:"weight"`
+}
+
+type jsonGraph struct {
+	Attributes []string   `json:"attributes"`
+	Kind       string     `json:"kind"`
+	Nodes      []jsonNode `json:"nodes"`
+	Edges      []jsonEdge `json:"edges"`
+}
+
+// MarshalJSON renders the aggregate graph with decoded attribute values,
+// nodes and edges sorted by label for deterministic output.
+func (ag *Graph) MarshalJSON() ([]byte, error) {
+	out := jsonGraph{Kind: ag.Kind.String()}
+	for _, a := range ag.Schema.attrs {
+		out.Attributes = append(out.Attributes, ag.Schema.g.Attr(a).Name)
+	}
+	for _, tu := range ag.SortedNodes() {
+		out.Nodes = append(out.Nodes, jsonNode{Values: ag.Schema.Decode(tu), Weight: ag.Nodes[tu]})
+	}
+	for _, k := range ag.SortedEdges() {
+		out.Edges = append(out.Edges, jsonEdge{
+			From:   ag.Schema.Decode(k.From),
+			To:     ag.Schema.Decode(k.To),
+			Weight: ag.Edges[k],
+		})
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,58 @@
+package agg
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ops"
+)
+
+func TestMarshalJSON(t *testing.T) {
+	g := core.PaperExample()
+	s := MustSchema(g, g.MustAttr("gender"), g.MustAttr("publications"))
+	tl := g.Timeline()
+	ag := Aggregate(ops.Union(g, tl.Point(0), tl.Point(1)), s, Distinct)
+
+	data, err := json.Marshal(ag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Attributes []string `json:"attributes"`
+		Kind       string   `json:"kind"`
+		Nodes      []struct {
+			Values []string `json:"values"`
+			Weight int64    `json:"weight"`
+		} `json:"nodes"`
+		Edges []struct {
+			From   []string `json:"from"`
+			To     []string `json:"to"`
+			Weight int64    `json:"weight"`
+		} `json:"edges"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Kind != "DIST" {
+		t.Errorf("kind = %q", decoded.Kind)
+	}
+	if len(decoded.Attributes) != 2 || decoded.Attributes[0] != "gender" {
+		t.Errorf("attributes = %v", decoded.Attributes)
+	}
+	found := false
+	for _, n := range decoded.Nodes {
+		if n.Values[0] == "f" && n.Values[1] == "1" {
+			found = true
+			if n.Weight != 3 {
+				t.Errorf("JSON w(f,1) = %d, want 3", n.Weight)
+			}
+		}
+	}
+	if !found {
+		t.Error("node (f,1) missing from JSON")
+	}
+	if len(decoded.Edges) != 4 {
+		t.Errorf("edges = %d, want 4", len(decoded.Edges))
+	}
+}

@@ -1,0 +1,88 @@
+package agg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gtest"
+	"repro/internal/ops"
+)
+
+func TestAggregateParallelMatchesSerialOnFixture(t *testing.T) {
+	g := core.PaperExample()
+	tl := g.Timeline()
+	v := ops.Union(g, tl.Point(0), tl.Point(1))
+	for _, s := range []*Schema{
+		MustSchema(g, g.MustAttr("gender")),
+		MustSchema(g, g.MustAttr("gender"), g.MustAttr("publications")),
+	} {
+		for _, kind := range []Kind{Distinct, All} {
+			for _, workers := range []int{0, 1, 2, 3, 8} {
+				got := AggregateParallel(v, s, kind, workers)
+				want := Aggregate(v, s, kind)
+				if !got.Equal(want) {
+					t.Errorf("workers=%d kind=%v: parallel result differs", workers, kind)
+				}
+			}
+		}
+	}
+}
+
+func TestAggregateParallelOnDataset(t *testing.T) {
+	g := dataset.MovieLensScaled(1, 0.02)
+	tl := g.Timeline()
+	v := ops.Union(g, tl.All(), tl.All())
+	s := MustSchema(g, g.MustAttr("gender"), g.MustAttr("rating"))
+	got := AggregateParallel(v, s, All, 4)
+	want := Aggregate(v, s, All)
+	if !got.Equal(want) {
+		t.Fatal("parallel ALL aggregation differs on MovieLens slice")
+	}
+	gotD := AggregateParallel(v, s, Distinct, 4)
+	wantD := Aggregate(v, s, Distinct)
+	if !gotD.Equal(wantD) {
+		t.Fatal("parallel DIST aggregation differs on MovieLens slice")
+	}
+}
+
+func TestAggregateParallelPanicsOnForeignView(t *testing.T) {
+	g1 := core.PaperExample()
+	g2 := core.PaperExample()
+	s := MustSchema(g1, g1.MustAttr("gender"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AggregateParallel(ops.At(g2, 0), s, Distinct, 2)
+}
+
+func TestQuickParallelEqualsSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := gtest.RandomGraph(r, gtest.DefaultParams())
+		if g.NumAttrs() == 0 {
+			return true
+		}
+		attrs := make([]core.AttrID, g.NumAttrs())
+		for i := range attrs {
+			attrs[i] = core.AttrID(i)
+		}
+		s := MustSchema(g, attrs...)
+		tl := g.Timeline()
+		v := ops.Union(g, gtest.RandomInterval(r, tl), gtest.RandomInterval(r, tl))
+		workers := 2 + r.Intn(6)
+		for _, kind := range []Kind{Distinct, All} {
+			if !AggregateParallel(v, s, kind, workers).Equal(Aggregate(v, s, kind)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

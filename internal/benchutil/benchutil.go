@@ -1,0 +1,216 @@
+// Package benchutil implements the experiment harness behind every table
+// and figure of the paper's §5 evaluation. Each experiment function
+// produces a printable result (a numeric Series table for the performance
+// figures, a string Table for the dataset statistics and qualitative
+// figures), and is shared by the gtbench command and the root-level
+// testing.B benchmarks.
+package benchutil
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Printable is implemented by Experiment and Table: render as an aligned
+// text block or as CSV.
+type Printable interface {
+	Print(w io.Writer)
+	WriteCSV(w io.Writer) error
+	Name() string
+}
+
+// Experiment is a numeric result: one row per x-axis point, one column per
+// series (typically seconds or speedup factors).
+type Experiment struct {
+	ID     string
+	Title  string
+	XLabel string
+	Series []string
+	Rows   []ExpRow
+}
+
+// ExpRow is one x-axis point of an Experiment.
+type ExpRow struct {
+	X      string
+	Values []float64
+}
+
+// Name returns the experiment id.
+func (e *Experiment) Name() string { return e.ID }
+
+// Add appends a row.
+func (e *Experiment) Add(x string, values ...float64) {
+	if len(values) != len(e.Series) {
+		panic(fmt.Sprintf("benchutil: row %q has %d values, want %d", x, len(values), len(e.Series)))
+	}
+	e.Rows = append(e.Rows, ExpRow{X: x, Values: values})
+}
+
+// Print renders the experiment as an aligned text table.
+func (e *Experiment) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title)
+	widths := make([]int, len(e.Series)+1)
+	widths[0] = len(e.XLabel)
+	for _, r := range e.Rows {
+		if len(r.X) > widths[0] {
+			widths[0] = len(r.X)
+		}
+	}
+	cells := make([][]string, len(e.Rows))
+	for i, r := range e.Rows {
+		cells[i] = make([]string, len(r.Values))
+		for j, v := range r.Values {
+			cells[i][j] = formatValue(v)
+		}
+	}
+	for j, s := range e.Series {
+		widths[j+1] = len(s)
+		for i := range cells {
+			if len(cells[i][j]) > widths[j+1] {
+				widths[j+1] = len(cells[i][j])
+			}
+		}
+	}
+	fmt.Fprintf(w, "%-*s", widths[0], e.XLabel)
+	for j, s := range e.Series {
+		fmt.Fprintf(w, "  %*s", widths[j+1], s)
+	}
+	fmt.Fprintln(w)
+	for i, r := range e.Rows {
+		fmt.Fprintf(w, "%-*s", widths[0], r.X)
+		for j := range r.Values {
+			fmt.Fprintf(w, "  %*s", widths[j+1], cells[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// formatValue renders values compactly. The unit (seconds or ×) is implied
+// by the series name.
+func formatValue(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v < 0.0001:
+		return fmt.Sprintf("%.2g", v)
+	case v < 1:
+		return fmt.Sprintf("%.4f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Table is a string-valued result (dataset statistics, qualitative
+// figures, exploration outputs).
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Name returns the table id.
+func (t *Table) Name() string { return t.ID }
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) {
+	if len(cells) != len(t.Header) {
+		panic(fmt.Sprintf("benchutil: row has %d cells, want %d", len(cells), len(t.Header)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Print renders the table aligned.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for j, h := range t.Header {
+		widths[j] = len(h)
+	}
+	for _, r := range t.Rows {
+		for j, c := range r {
+			if len(c) > widths[j] {
+				widths[j] = len(c)
+			}
+		}
+	}
+	var line []string
+	for j, h := range t.Header {
+		line = append(line, fmt.Sprintf("%-*s", widths[j], h))
+	}
+	fmt.Fprintln(w, strings.Join(line, "  "))
+	for _, r := range t.Rows {
+		line = line[:0]
+		for j, c := range r {
+			line = append(line, fmt.Sprintf("%-*s", widths[j], c))
+		}
+		fmt.Fprintln(w, strings.Join(line, "  "))
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV renders the experiment as CSV (x label first, then one column
+// per series) for external plotting.
+func (e *Experiment) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{e.XLabel}, e.Series...)); err != nil {
+		return err
+	}
+	for _, r := range e.Rows {
+		rec := make([]string, 1+len(r.Values))
+		rec[0] = r.X
+		for j, v := range r.Values {
+			rec[1+j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV renders the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// timed measures fn in seconds: the minimum over a few runs, repeating
+// while the total stays under a small budget so very short operations get
+// a stable reading without inflating the harness runtime.
+func timed(fn func()) float64 {
+	const (
+		maxRuns   = 5
+		budgetSec = 0.25
+	)
+	best := -1.0
+	total := 0.0
+	for run := 0; run < maxRuns; run++ {
+		start := time.Now()
+		fn()
+		d := time.Since(start).Seconds()
+		total += d
+		if best < 0 || d < best {
+			best = d
+		}
+		if total >= budgetSec {
+			break
+		}
+	}
+	return best
+}

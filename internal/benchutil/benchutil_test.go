@@ -1,0 +1,181 @@
+package benchutil
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestExperimentPrint(t *testing.T) {
+	e := &Experiment{ID: "x", Title: "demo", XLabel: "t", Series: []string{"a", "b"}}
+	e.Add("t0", 0.5, 2)
+	e.Add("t1", 0, 0.00005)
+	var buf bytes.Buffer
+	e.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: demo ==", "t0", "0.5000", "2.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExperimentAddPanicsOnArity(t *testing.T) {
+	e := &Experiment{Series: []string{"a"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Add("x", 1, 2)
+}
+
+func TestTablePrint(t *testing.T) {
+	tb := &Table{ID: "t3", Title: "stats", Header: []string{"tp", "n"}}
+	tb.Add("2000", "17")
+	var buf bytes.Buffer
+	tb.Print(&buf)
+	if !strings.Contains(buf.String(), "2000  17") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	e := &Experiment{ID: "x", Title: "demo", XLabel: "t", Series: []string{"a", "b"}}
+	e.Add("t0", 0.5, 2)
+	var buf bytes.Buffer
+	if err := e.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "t,a,b\nt0,0.5,2\n" {
+		t.Errorf("CSV = %q", got)
+	}
+	tb := &Table{Header: []string{"x", "y"}}
+	tb.Add("1", "2")
+	buf.Reset()
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "x,y\n1,2\n" {
+		t.Errorf("table CSV = %q", got)
+	}
+}
+
+func TestStatsTableMatchesGraph(t *testing.T) {
+	g := dataset.PaperExample()
+	tb := StatsTable("t", "paper example", g)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tb.Rows))
+	}
+	if tb.Rows[0][1] != "4" || tb.Rows[0][2] != "3" {
+		t.Errorf("t0 row = %v, want 4 nodes / 3 edges", tb.Rows[0])
+	}
+}
+
+func TestFigures5Through11OnScaledDBLP(t *testing.T) {
+	g := dataset.DBLPScaled(1, 0.01)
+	n := g.Timeline().Len()
+
+	f5 := Fig5("5a", "dblp", g, Fig5DBLPCombos)
+	if len(f5.Rows) != n || len(f5.Series) != 3 {
+		t.Errorf("Fig5 shape: %d rows × %d series", len(f5.Rows), len(f5.Series))
+	}
+	if f5.Series[2] != "g+p" {
+		t.Errorf("combo label = %q", f5.Series[2])
+	}
+
+	f6 := Fig6("6", "dblp", g, "gender", "publications")
+	if len(f6.Rows) != n-1 {
+		t.Errorf("Fig6 rows = %d, want %d", len(f6.Rows), n-1)
+	}
+
+	f7 := Fig7("7", "dblp", g, "gender", "publications")
+	// The core edges span [2000,2017]: 17 non-empty extensions.
+	if len(f7.Rows) != 17 {
+		t.Errorf("Fig7 rows = %d, want 17 (intersection non-empty up to [2000,2017])", len(f7.Rows))
+	}
+
+	f8 := Fig8("8", "dblp", g, "gender", "publications")
+	f9 := Fig9("9", "dblp", g, "gender", "publications")
+	if len(f8.Rows) != n-1 || len(f9.Rows) != n-1 {
+		t.Errorf("Fig8/9 rows = %d/%d, want %d", len(f8.Rows), len(f9.Rows), n-1)
+	}
+
+	f10 := Fig10("10", "dblp", g, "gender", "publications")
+	if len(f10.Rows) != n-1 || len(f10.Series) != 6 {
+		t.Errorf("Fig10 shape: %d rows × %d series", len(f10.Rows), len(f10.Series))
+	}
+	for _, r := range f10.Rows {
+		if r.Values[2] <= 0 || r.Values[5] <= 0 {
+			t.Errorf("Fig10 speedup not positive: %v", r)
+		}
+	}
+
+	f11 := Fig11("11a", "dblp", g, []string{"gender", "publications"},
+		[][]string{{"gender"}, {"publications"}})
+	if len(f11.Rows) != n || len(f11.Series) != 2 {
+		t.Errorf("Fig11 shape: %d rows × %d series", len(f11.Rows), len(f11.Series))
+	}
+}
+
+func TestFig11MovieLensVariants(t *testing.T) {
+	g := dataset.MovieLensScaled(1, 0.01)
+	singles := Fig11MovieLensSingle(g)
+	if len(singles) != 6 {
+		t.Fatalf("Fig11b experiments = %d, want 6", len(singles))
+	}
+	pairs := Fig11MovieLensPairs(g)
+	if len(pairs.Series) != 6 {
+		t.Errorf("Fig11c series = %d, want 6 pairs", len(pairs.Series))
+	}
+	triples := Fig11MovieLensTriples(g)
+	if len(triples.Series) != 4 {
+		t.Errorf("Fig11d series = %d, want 4 triples", len(triples.Series))
+	}
+}
+
+func TestFig12OnPaperExample(t *testing.T) {
+	g := dataset.PaperExample()
+	tl := g.Timeline()
+	tb := Fig12("12", "paper", g, tl.Point(0), tl.Point(1), 0)
+	if len(tb.Rows) == 0 {
+		t.Fatal("Fig12 produced no rows")
+	}
+	// With minPubs=0 every appearance participates: the m node row shows
+	// the stable u1 (St=1).
+	foundM := false
+	for _, r := range tb.Rows {
+		if r[0] == "nodes m" {
+			foundM = true
+			if r[1] != "1" {
+				t.Errorf("nodes m St = %s, want 1", r[1])
+			}
+		}
+	}
+	if !foundM {
+		t.Error("no 'nodes m' row")
+	}
+}
+
+func TestFigExplorationOnDBLP(t *testing.T) {
+	g := dataset.DBLPScaled(1, 0.01)
+	specs := PaperExplorations()
+	if len(specs) != 3 {
+		t.Fatal("want 3 exploration specs")
+	}
+	for i, spec := range specs {
+		tb := FigExploration("14", "dblp f-f", g, "gender",
+			[]string{"f"}, []string{"f"}, spec)
+		if len(tb.Rows) != 3 {
+			t.Errorf("spec %d: rows = %d, want 3 thresholds", i, len(tb.Rows))
+		}
+		// Pruned evaluations never exceed naive.
+		for _, r := range tb.Rows {
+			if r[2] > r[3] && len(r[2]) >= len(r[3]) {
+				t.Errorf("spec %d: pruned evals %s > naive %s", i, r[2], r[3])
+			}
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package bitset provides dense, fixed-capacity bitsets.
+//
+// GraphTempo represents the timestamp functions τu and τe of a temporal
+// attributed graph as binary vectors over the time domain (one bit per time
+// point), and represents node/edge selections produced by the temporal
+// operators as binary vectors over the node/edge id space. Both uses share
+// this implementation.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bitset with a fixed logical length. The zero value is an
+// empty set of length 0; use New to create a set with capacity for n bits.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a set able to hold n bits, all initially zero.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative length")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromIndices returns a set of length n with the given bits set.
+// It panics if any index is out of range.
+func FromIndices(n int, indices ...int) *Set {
+	s := New(n)
+	for _, i := range indices {
+		s.Add(i)
+	}
+	return s
+}
+
+// Len reports the logical length (capacity in bits) of the set.
+func (s *Set) Len() int { return s.n }
+
+// Add sets bit i. It panics if i is out of range.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove clears bit i. It panics if i is out of range.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Contains reports whether bit i is set. It panics if i is out of range.
+func (s *Set) Contains(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IsEmpty reports whether no bit is set.
+func (s *Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of s.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w, n: s.n}
+}
+
+// Equal reports whether s and t have the same length and the same bits set.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Set) sameLen(t *Set, op string) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: %s of sets with different lengths %d and %d", op, s.n, t.n))
+	}
+}
+
+// Intersects reports whether s and t share at least one set bit.
+// It panics if the sets have different lengths.
+func (s *Set) Intersects(t *Set) bool {
+	s.sameLen(t, "Intersects")
+	for i, w := range s.words {
+		if w&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsAll reports whether every bit set in t is also set in s.
+// It panics if the sets have different lengths.
+func (s *Set) ContainsAll(t *Set) bool {
+	s.sameLen(t, "ContainsAll")
+	for i, w := range t.words {
+		if w&^s.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CountAnd returns the number of bits set in both s and t without
+// materializing the intersection. It panics on length mismatch.
+func (s *Set) CountAnd(t *Set) int {
+	s.sameLen(t, "CountAnd")
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & t.words[i])
+	}
+	return c
+}
+
+// And returns a new set with the bits set in both s and t.
+// It panics if the sets have different lengths.
+func (s *Set) And(t *Set) *Set {
+	s.sameLen(t, "And")
+	r := New(s.n)
+	for i, w := range s.words {
+		r.words[i] = w & t.words[i]
+	}
+	return r
+}
+
+// Or returns a new set with the bits set in either s or t.
+// It panics if the sets have different lengths.
+func (s *Set) Or(t *Set) *Set {
+	s.sameLen(t, "Or")
+	r := New(s.n)
+	for i, w := range s.words {
+		r.words[i] = w | t.words[i]
+	}
+	return r
+}
+
+// AndNot returns a new set with the bits set in s but not in t.
+// It panics if the sets have different lengths.
+func (s *Set) AndNot(t *Set) *Set {
+	s.sameLen(t, "AndNot")
+	r := New(s.n)
+	for i, w := range s.words {
+		r.words[i] = w &^ t.words[i]
+	}
+	return r
+}
+
+// AndWith sets s to the intersection of s and t, in place.
+// It panics if the sets have different lengths.
+func (s *Set) AndWith(t *Set) {
+	s.sameLen(t, "AndWith")
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+}
+
+// OrWith sets s to the union of s and t, in place.
+// It panics if the sets have different lengths.
+func (s *Set) OrWith(t *Set) {
+	s.sameLen(t, "OrWith")
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// Clear resets all bits to zero.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// SetAll sets every bit in [0, Len).
+func (s *Set) SetAll() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// trim clears any bits above the logical length.
+func (s *Set) trim() {
+	if s.n%wordBits != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(s.n%wordBits)) - 1
+	}
+}
+
+// Next returns the index of the first set bit at or after i, or -1 if none.
+func (s *Set) Next(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> uint(i%wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// Indices returns the indices of all set bits, in increasing order.
+func (s *Set) Indices() []int {
+	r := make([]int, 0, s.Count())
+	for i := s.Next(0); i >= 0; i = s.Next(i + 1) {
+		r = append(r, i)
+	}
+	return r
+}
+
+// ForEach calls fn for every set bit in increasing index order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// String renders the set as a binary vector, least index first, matching the
+// labeled-array representation of the paper (e.g. "1101").
+func (s *Set) String() string {
+	var b strings.Builder
+	b.Grow(s.n)
+	for i := 0; i < s.n; i++ {
+		if s.Contains(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,236 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+	if !s.IsEmpty() {
+		t.Fatal("new set should be empty")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", s.Count())
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(i) {
+			t.Fatalf("bit %d set before Add", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("bit %d not set after Add", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count())
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("bit 64 still set after Remove")
+	}
+	if s.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", s.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	New(10).Add(10)
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched lengths")
+		}
+	}()
+	New(10).And(New(11))
+}
+
+func TestFromIndices(t *testing.T) {
+	s := FromIndices(10, 1, 3, 7)
+	want := []int{1, 3, 7}
+	got := s.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := FromIndices(8, 0, 1, 2, 5)
+	b := FromIndices(8, 1, 2, 3, 6)
+
+	if got := a.And(b).Indices(); !equalInts(got, []int{1, 2}) {
+		t.Errorf("And = %v, want [1 2]", got)
+	}
+	if got := a.Or(b).Indices(); !equalInts(got, []int{0, 1, 2, 3, 5, 6}) {
+		t.Errorf("Or = %v, want [0 1 2 3 5 6]", got)
+	}
+	if got := a.AndNot(b).Indices(); !equalInts(got, []int{0, 5}) {
+		t.Errorf("AndNot = %v, want [0 5]", got)
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects = false, want true")
+	}
+	if a.ContainsAll(b) {
+		t.Error("ContainsAll = true, want false")
+	}
+	if !a.Or(b).ContainsAll(a) {
+		t.Error("union should contain a")
+	}
+	if got := a.CountAnd(b); got != 2 {
+		t.Errorf("CountAnd = %d, want 2", got)
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := FromIndices(8, 0, 1, 5)
+	b := FromIndices(8, 1, 5, 7)
+	c := a.Clone()
+	c.AndWith(b)
+	if !c.Equal(a.And(b)) {
+		t.Error("AndWith disagrees with And")
+	}
+	d := a.Clone()
+	d.OrWith(b)
+	if !d.Equal(a.Or(b)) {
+		t.Error("OrWith disagrees with Or")
+	}
+}
+
+func TestSetAllClear(t *testing.T) {
+	s := New(70)
+	s.SetAll()
+	if s.Count() != 70 {
+		t.Fatalf("Count after SetAll = %d, want 70", s.Count())
+	}
+	s.Clear()
+	if !s.IsEmpty() {
+		t.Fatal("set not empty after Clear")
+	}
+}
+
+func TestNext(t *testing.T) {
+	s := FromIndices(200, 3, 64, 199)
+	cases := []struct{ from, want int }{
+		{0, 3}, {3, 3}, {4, 64}, {64, 64}, {65, 199}, {199, 199}, {-5, 3},
+	}
+	for _, c := range cases {
+		if got := s.Next(c.from); got != c.want {
+			t.Errorf("Next(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := s.Next(200); got != -1 {
+		t.Errorf("Next past end = %d, want -1", got)
+	}
+	if got := New(10).Next(0); got != -1 {
+		t.Errorf("Next on empty = %d, want -1", got)
+	}
+}
+
+func TestForEachMatchesIndices(t *testing.T) {
+	s := FromIndices(150, 0, 9, 63, 64, 100, 149)
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if !equalInts(got, s.Indices()) {
+		t.Fatalf("ForEach = %v, Indices = %v", got, s.Indices())
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FromIndices(4, 0, 2)
+	if s.String() != "1010" {
+		t.Fatalf("String = %q, want 1010", s.String())
+	}
+}
+
+// randomSet builds a reproducible random set for property tests.
+func randomSet(r *rand.Rand, n int) *Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// |A ∪ B| = |A| + |B| - |A ∩ B|, and AndNot(A,B) = A ∩ complement(B).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		a, b := randomSet(r, n), randomSet(r, n)
+		if a.Or(b).Count() != a.Count()+b.Count()-a.And(b).Count() {
+			return false
+		}
+		if a.AndNot(b).Count() != a.Count()-a.And(b).Count() {
+			return false
+		}
+		return a.CountAnd(b) == a.And(b).Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAlgebra(t *testing.T) {
+	// Commutativity, associativity, idempotence of And/Or.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		a, b, c := randomSet(r, n), randomSet(r, n), randomSet(r, n)
+		return a.And(b).Equal(b.And(a)) &&
+			a.Or(b).Equal(b.Or(a)) &&
+			a.And(b).And(c).Equal(a.And(b.And(c))) &&
+			a.Or(b).Or(c).Equal(a.Or(b.Or(c))) &&
+			a.And(a).Equal(a) && a.Or(a).Equal(a) &&
+			a.And(a.Or(b)).Equal(a) && a.Or(a.And(b)).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	// FromIndices(Indices(s)) == s.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		s := randomSet(r, n)
+		return FromIndices(n, s.Indices()...).Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

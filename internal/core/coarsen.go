@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/timeline"
+)
+
+// CoarsenSpec describes a zoom-out of the time axis: an ordered partition
+// of the base time points into groups, each becoming one time point of the
+// coarser graph (months → quarters, years → decades, …).
+type CoarsenSpec struct {
+	// Labels names the coarse time points, in order.
+	Labels []string
+	// Groups holds, per coarse point, the base time points it covers.
+	// Groups must be non-empty, disjoint and in increasing order.
+	Groups [][]timeline.Time
+}
+
+// UniformGroups builds a CoarsenSpec that merges every `width` consecutive
+// base points of tl into one coarse point labeled "first..last" (or just
+// the single label when a group has one point, as the final group may).
+func UniformGroups(tl *timeline.Timeline, width int) (CoarsenSpec, error) {
+	if width < 1 {
+		return CoarsenSpec{}, fmt.Errorf("core: group width %d < 1", width)
+	}
+	var spec CoarsenSpec
+	for start := 0; start < tl.Len(); start += width {
+		end := start + width
+		if end > tl.Len() {
+			end = tl.Len()
+		}
+		var group []timeline.Time
+		for t := start; t < end; t++ {
+			group = append(group, timeline.Time(t))
+		}
+		label := tl.Label(timeline.Time(start))
+		if end-start > 1 {
+			label += ".." + tl.Label(timeline.Time(end-1))
+		}
+		spec.Labels = append(spec.Labels, label)
+		spec.Groups = append(spec.Groups, group)
+	}
+	return spec, nil
+}
+
+// Coarsen zooms out on the time axis: it returns a new graph over the
+// coarse timeline of spec in which an entity exists at a coarse point iff
+// it exists at any covered base point (union semantics — the natural
+// "zoom out" of §2.1's union operator, and the resolution-changing
+// operation of the temporal-aggregation line of work the paper builds on).
+//
+// Static attributes are copied. A time-varying attribute's value at a
+// coarse point is the node's most recent value within the covered base
+// points — the latest state of the entity in that period.
+func Coarsen(g *Graph, spec CoarsenSpec) (*Graph, error) {
+	if len(spec.Labels) == 0 || len(spec.Labels) != len(spec.Groups) {
+		return nil, fmt.Errorf("core: coarsen spec has %d labels and %d groups",
+			len(spec.Labels), len(spec.Groups))
+	}
+	covered := make([]bool, g.tl.Len())
+	last := timeline.Time(-1)
+	for gi, group := range spec.Groups {
+		if len(group) == 0 {
+			return nil, fmt.Errorf("core: empty group %d", gi)
+		}
+		for _, t := range group {
+			if int(t) < 0 || int(t) >= g.tl.Len() {
+				return nil, fmt.Errorf("core: group %d references time %d out of range", gi, t)
+			}
+			if covered[t] {
+				return nil, fmt.Errorf("core: time point %s covered twice", g.tl.Label(t))
+			}
+			if t <= last {
+				return nil, fmt.Errorf("core: groups not in increasing order at %s", g.tl.Label(t))
+			}
+			covered[t] = true
+			last = t
+		}
+	}
+
+	ctl, err := timeline.New(spec.Labels...)
+	if err != nil {
+		return nil, err
+	}
+	b := NewBuilder(ctl, g.attrs...)
+
+	// A spec need not cover every base point (combining projection with
+	// zoom-out); entities existing only at uncovered points are dropped.
+	coarseTau := func(tau interface{ Contains(int) bool }) []timeline.Time {
+		var out []timeline.Time
+		for gi, group := range spec.Groups {
+			for _, t := range group {
+				if tau.Contains(int(t)) {
+					out = append(out, timeline.Time(gi))
+					break
+				}
+			}
+		}
+		return out
+	}
+
+	for n := 0; n < g.NumNodes(); n++ {
+		id := NodeID(n)
+		coarse := coarseTau(g.nodeTau[id])
+		if len(coarse) == 0 {
+			continue
+		}
+		nn := b.AddNode(g.NodeLabel(id))
+		for a := range g.attrs {
+			if g.attrs[a].Kind == Static {
+				if v := g.dicts[a].Value(g.static[a][id]); v != "" {
+					b.SetStatic(AttrID(a), nn, v)
+				}
+			}
+		}
+		for _, ct := range coarse {
+			b.SetNodeTime(nn, ct)
+			group := spec.Groups[ct]
+			for a := range g.attrs {
+				if g.attrs[a].Kind != TimeVarying {
+					continue
+				}
+				// Most recent value within the group.
+				for i := len(group) - 1; i >= 0; i-- {
+					v := g.ValueString(AttrID(a), id, group[i])
+					if v != "" {
+						b.SetVarying(AttrID(a), nn, ct, v)
+						break
+					}
+				}
+			}
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		id := EdgeID(e)
+		coarse := coarseTau(g.edgeTau[id])
+		if len(coarse) == 0 {
+			continue
+		}
+		ep := g.Edge(id)
+		u, okU := b.NodeID(g.NodeLabel(ep.U))
+		v, okV := b.NodeID(g.NodeLabel(ep.V))
+		if !okU || !okV {
+			// Cannot happen: an edge existing at a covered point implies
+			// both endpoints exist there too.
+			return nil, fmt.Errorf("core: coarsen dropped an endpoint of a kept edge")
+		}
+		ne := b.AddEdge(u, v)
+		for _, ct := range coarse {
+			b.SetEdgeTime(ne, ct)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/timeline"
+)
+
+func TestUniformGroups(t *testing.T) {
+	tl := timeline.MustNew("2000", "2001", "2002", "2003", "2004")
+	spec, err := UniformGroups(tl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Labels) != 3 {
+		t.Fatalf("groups = %d, want 3", len(spec.Labels))
+	}
+	if spec.Labels[0] != "2000..2001" || spec.Labels[2] != "2004" {
+		t.Errorf("labels = %v", spec.Labels)
+	}
+	if _, err := UniformGroups(tl, 0); err == nil {
+		t.Error("width 0 should fail")
+	}
+}
+
+func TestCoarsenPaperExample(t *testing.T) {
+	g := PaperExample()
+	spec, err := UniformGroups(g.Timeline(), 2) // {t0,t1}, {t2}
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Coarsen(g, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Timeline().Len() != 2 {
+		t.Fatalf("coarse timeline = %d points", c.Timeline().Len())
+	}
+	// Existence is the union over the group: u1 (t0,t1) exists only at
+	// the first coarse point; u5 (t2) only at the second; u2 at both.
+	wantTau := map[string]string{"u1": "10", "u2": "11", "u3": "10", "u4": "11", "u5": "01"}
+	for label, want := range wantTau {
+		n, ok := c.NodeByLabel(label)
+		if !ok {
+			t.Fatalf("node %s missing", label)
+		}
+		if got := c.NodeTau(n).String(); got != want {
+			t.Errorf("coarse τu(%s) = %s, want %s", label, got, want)
+		}
+	}
+	// Static attributes copied.
+	u3, _ := c.NodeByLabel("u3")
+	if got := c.ValueString(c.MustAttr("gender"), u3, 0); got != "f" {
+		t.Errorf("gender(u3) = %q", got)
+	}
+	// Time-varying value is the most recent in the group: u1 published 3
+	// at t0 and 1 at t1 → coarse value 1.
+	u1, _ := c.NodeByLabel("u1")
+	if got := c.ValueString(c.MustAttr("publications"), u1, 0); got != "1" {
+		t.Errorf("coarse publications(u1) = %q, want 1 (latest in group)", got)
+	}
+	// Edge (u1,u3) exists only at t0 → only at coarse point 0.
+	nu1, _ := c.NodeByLabel("u1")
+	nu3, _ := c.NodeByLabel("u3")
+	e, ok := c.EdgeByEndpoints(nu1, nu3)
+	if !ok {
+		t.Fatal("edge (u1,u3) missing")
+	}
+	if got := c.EdgeTau(e).String(); got != "10" {
+		t.Errorf("coarse τe(u1,u3) = %s", got)
+	}
+}
+
+func TestCoarsenCountsMatchUnion(t *testing.T) {
+	g := PaperExample()
+	spec, _ := UniformGroups(g.Timeline(), 2)
+	c, err := Coarsen(g, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes at each coarse point = nodes existing at any covered base
+	// point: {t0,t1} → u1..u4 (4), {t2} → u2,u4,u5 (3).
+	if got := c.NodesAt(0); got != 4 {
+		t.Errorf("coarse nodes at 0 = %d, want 4", got)
+	}
+	if got := c.NodesAt(1); got != 3 {
+		t.Errorf("coarse nodes at 1 = %d, want 3", got)
+	}
+	if got := c.EdgesAt(0); got != 4 {
+		t.Errorf("coarse edges at 0 = %d, want 4 (union of t0,t1)", got)
+	}
+}
+
+func TestCoarsenPartialCoverageDropsEntities(t *testing.T) {
+	g := PaperExample()
+	// Only t2 is covered: u1 and u3 vanish entirely.
+	spec := CoarsenSpec{Labels: []string{"late"}, Groups: [][]timeline.Time{{2}}}
+	c, err := Coarsen(g, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3 (u2, u4, u5)", c.NumNodes())
+	}
+	if _, ok := c.NodeByLabel("u1"); ok {
+		t.Error("u1 should be dropped")
+	}
+	if c.NumEdges() != 3 {
+		t.Errorf("edges = %d, want 3", c.NumEdges())
+	}
+}
+
+func TestCoarsenSpecValidation(t *testing.T) {
+	g := PaperExample()
+	bad := []CoarsenSpec{
+		{},
+		{Labels: []string{"a"}, Groups: nil},
+		{Labels: []string{"a"}, Groups: [][]timeline.Time{{}}},
+		{Labels: []string{"a"}, Groups: [][]timeline.Time{{7}}},
+		{Labels: []string{"a", "b"}, Groups: [][]timeline.Time{{0, 1}, {1}}}, // overlap
+		{Labels: []string{"a", "b"}, Groups: [][]timeline.Time{{1}, {0}}},    // order
+		{Labels: []string{"a", "a"}, Groups: [][]timeline.Time{{0}, {1}}},    // dup label
+	}
+	for i, spec := range bad {
+		if _, err := Coarsen(g, spec); err == nil {
+			t.Errorf("spec %d should fail", i)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import "repro/internal/timeline"
+
+// PaperExample returns the running example of the paper (Fig. 1, Table 2):
+// a collaboration graph over T = {t0, t1, t2} with five authors, a static
+// "gender" attribute and a time-varying "publications" attribute.
+//
+// Node existence and attribute values follow Table 2 exactly:
+//
+//	id  t0 t1 t2   gender   publications(t0,t1,t2)
+//	u1  1  1  0    m        3, 1, -
+//	u2  1  1  1    f        1, 1, 1
+//	u3  1  0  0    f        1, -, -
+//	u4  1  1  1    f        2, 1, 1
+//	u5  0  0  1    m        -, -, 3
+//
+// The paper's figure images are not machine-readable, so the edge set is
+// reconstructed to be consistent with every number stated in the text
+// (Fig. 3d: DIST weight of (f,1) on the union of [t0,t1] is 3; Fig. 3e:
+// ALL weight is 4; Fig. 4b: node (f,1) has stability 1, growth 1,
+// shrinkage 1) and to exhibit stable, grown and shrunk edges between t0
+// and t1:
+//
+//	t0: (u1,u2), (u1,u3), (u2,u4)
+//	t1: (u1,u2), (u2,u4), (u1,u4)
+//	t2: (u2,u4), (u4,u5), (u2,u5)
+func PaperExample() *Graph {
+	tl := timeline.MustNew("t0", "t1", "t2")
+	b := NewBuilder(tl,
+		AttrSpec{Name: "gender", Kind: Static},
+		AttrSpec{Name: "publications", Kind: TimeVarying},
+	)
+	const (
+		gender       = AttrID(0)
+		publications = AttrID(1)
+	)
+	type nodeSpec struct {
+		label  string
+		gender string
+		// pubs[t] is the publications value at time t ("" = not present;
+		// node existence follows from non-empty values). Kept as a slice
+		// so dictionary codes are assigned deterministically.
+		pubs [3]string
+	}
+	nodes := []nodeSpec{
+		{"u1", "m", [3]string{"3", "1", ""}},
+		{"u2", "f", [3]string{"1", "1", "1"}},
+		{"u3", "f", [3]string{"1", "", ""}},
+		{"u4", "f", [3]string{"2", "1", "1"}},
+		{"u5", "m", [3]string{"", "", "3"}},
+	}
+	ids := make(map[string]NodeID, len(nodes))
+	for _, ns := range nodes {
+		n := b.AddNode(ns.label)
+		ids[ns.label] = n
+		b.SetStatic(gender, n, ns.gender)
+		for t, v := range ns.pubs {
+			if v == "" {
+				continue
+			}
+			b.SetNodeTime(n, timeline.Time(t))
+			b.SetVarying(publications, n, timeline.Time(t), v)
+		}
+	}
+	type edgeSpec struct {
+		u, v  string
+		times []timeline.Time
+	}
+	edges := []edgeSpec{
+		{"u1", "u2", []timeline.Time{0, 1}},
+		{"u1", "u3", []timeline.Time{0}},
+		{"u2", "u4", []timeline.Time{0, 1, 2}},
+		{"u1", "u4", []timeline.Time{1}},
+		{"u4", "u5", []timeline.Time{2}},
+		{"u2", "u5", []timeline.Time{2}},
+	}
+	for _, es := range edges {
+		e := b.AddEdge(ids[es.u], ids[es.v])
+		for _, t := range es.times {
+			b.SetEdgeTime(e, t)
+		}
+	}
+	return b.MustBuild()
+}

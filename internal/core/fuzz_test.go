@@ -1,0 +1,53 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzReadDir throws corrupted CSV content at the loader: whatever the
+// bytes, ReadDir must return an error or a valid graph — never panic.
+func FuzzReadDir(f *testing.F) {
+	f.Add("name,kind\ngender,static\n", "id,t0,t1\nu1,1,0\n", "u,v,t0,t1\n", "id,gender\nu1,m\n")
+	f.Add("name,kind\n", "id,t0\nu1,1\nu2,1\n", "u,v,t0\nu1,u2,1\n", "")
+	f.Add("name,kind\np,time-varying\n", "id,t0\nu1,1\n", "u,v,t0\n", "")
+	f.Add("bogus", "id\n", "u,v\n", "id\n")
+	f.Add("name,kind\nx,static\nx,static\n", "id,t0\na,2\n", "u,v,t0\na,ghost,1\n", "id,x\nghost,1\n")
+
+	f.Fuzz(func(t *testing.T, schema, nodes, edges, static string) {
+		dir := t.TempDir()
+		write := func(name, content string) {
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		write("schema.csv", schema)
+		write("nodes.csv", nodes)
+		write("edges.csv", edges)
+		if static != "" {
+			write("static.csv", static)
+		}
+		// varying_*.csv files are derived from the schema, so fuzz them
+		// with the nodes content — shape mismatches must also be handled.
+		write("varying_p.csv", nodes)
+
+		g, err := ReadDir(dir)
+		if err != nil {
+			return // rejected input is fine
+		}
+		// Accepted input must be a coherent graph.
+		if g.NumNodes() < 0 || g.NumEdges() < 0 {
+			t.Fatal("negative sizes")
+		}
+		for n := 0; n < g.NumNodes(); n++ {
+			if g.NodeTau(NodeID(n)).IsEmpty() {
+				t.Fatal("accepted node with empty timestamp")
+			}
+		}
+		stats := ComputeStats(g)
+		if len(stats.Nodes) != g.Timeline().Len() {
+			t.Fatal("stats shape mismatch")
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/timeline"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := PaperExample()
+	if err := WriteDir(g, dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, got)
+}
+
+func TestRoundTripNoStaticAttrs(t *testing.T) {
+	tl := timeline.MustNew("a", "b")
+	b := NewBuilder(tl, AttrSpec{Name: "v", Kind: TimeVarying})
+	n := b.AddNode("n1")
+	b.SetNodeTime(n, 0)
+	b.SetVarying(0, n, 0, "x")
+	g := b.MustBuild()
+
+	dir := t.TempDir()
+	if err := WriteDir(g, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "static.csv")); !os.IsNotExist(err) {
+		t.Error("static.csv should not be written when there are no static attributes")
+	}
+	got, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, got)
+}
+
+func TestRoundTripNoAttrs(t *testing.T) {
+	tl := timeline.MustNew("a")
+	b := NewBuilder(tl)
+	n := b.AddNode("n1")
+	m := b.AddNode("n2")
+	b.SetNodeTime(n, 0)
+	b.SetNodeTime(m, 0)
+	e := b.AddEdge(n, m)
+	b.SetEdgeTime(e, 0)
+	g := b.MustBuild()
+
+	dir := t.TempDir()
+	if err := WriteDir(g, dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, got)
+}
+
+func TestReadDirErrors(t *testing.T) {
+	if _, err := ReadDir(t.TempDir()); err == nil {
+		t.Error("ReadDir of empty dir should fail")
+	}
+
+	dir := t.TempDir()
+	mustWriteFile(t, filepath.Join(dir, "schema.csv"), "name,kind\nx,bogus\n")
+	if _, err := ReadDir(dir); err == nil {
+		t.Error("unknown attribute kind should fail")
+	}
+
+	dir2 := t.TempDir()
+	mustWriteFile(t, filepath.Join(dir2, "schema.csv"), "name,kind\n")
+	mustWriteFile(t, filepath.Join(dir2, "nodes.csv"), "id,t0\nn1,2\n")
+	if _, err := ReadDir(dir2); err == nil {
+		t.Error("bad existence flag should fail")
+	}
+
+	dir3 := t.TempDir()
+	mustWriteFile(t, filepath.Join(dir3, "schema.csv"), "name,kind\n")
+	mustWriteFile(t, filepath.Join(dir3, "nodes.csv"), "id,t0\nn1,1\n")
+	mustWriteFile(t, filepath.Join(dir3, "edges.csv"), "u,v,t0\nn1,ghost,1\n")
+	if _, err := ReadDir(dir3); err == nil {
+		t.Error("edge referencing unknown node should fail")
+	}
+}
+
+func mustWriteFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertGraphsEqual(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("sizes: got %d nodes/%d edges, want %d/%d",
+			got.NumNodes(), got.NumEdges(), want.NumNodes(), want.NumEdges())
+	}
+	if got.Timeline().Len() != want.Timeline().Len() {
+		t.Fatalf("timeline lengths differ")
+	}
+	for i := 0; i < want.Timeline().Len(); i++ {
+		if got.Timeline().Label(timeline.Time(i)) != want.Timeline().Label(timeline.Time(i)) {
+			t.Fatalf("timeline labels differ at %d", i)
+		}
+	}
+	for n := 0; n < want.NumNodes(); n++ {
+		label := want.NodeLabel(NodeID(n))
+		gn, ok := got.NodeByLabel(label)
+		if !ok {
+			t.Fatalf("node %s missing after round trip", label)
+		}
+		if !got.NodeTau(gn).Equal(want.NodeTau(NodeID(n))) {
+			t.Errorf("τu(%s) differs", label)
+		}
+		for a := 0; a < want.NumAttrs(); a++ {
+			for tp := 0; tp < want.Timeline().Len(); tp++ {
+				w := want.ValueString(AttrID(a), NodeID(n), timeline.Time(tp))
+				g := got.ValueString(AttrID(a), gn, timeline.Time(tp))
+				if w != g {
+					t.Errorf("value of %s attr %d at t%d: got %q want %q", label, a, tp, g, w)
+				}
+			}
+		}
+	}
+	for e := 0; e < want.NumEdges(); e++ {
+		ep := want.Edge(EdgeID(e))
+		u, _ := got.NodeByLabel(want.NodeLabel(ep.U))
+		v, _ := got.NodeByLabel(want.NodeLabel(ep.V))
+		ge, ok := got.EdgeByEndpoints(u, v)
+		if !ok {
+			t.Fatalf("edge (%s,%s) missing", want.NodeLabel(ep.U), want.NodeLabel(ep.V))
+		}
+		if !got.EdgeTau(ge).Equal(want.EdgeTau(EdgeID(e))) {
+			t.Errorf("τe(%s,%s) differs", want.NodeLabel(ep.U), want.NodeLabel(ep.V))
+		}
+	}
+}

@@ -1,0 +1,421 @@
+// Package cube implements OLAP-style partial materialization over the
+// attribute lattice of a temporal attributed graph.
+//
+// §4.3 of the paper observes that materializing every aggregate of every
+// attribute combination is unrealistic, and that COUNT aggregation is
+// D-distributive: the aggregate on A” ⊆ A' derives from the aggregate on
+// A' by regrouping and summing. This package turns that observation into a
+// working cube: the 2^n − 1 attribute combinations form a lattice; a
+// subset of cuboids is materialized (explicitly, or greedily under a
+// budget using the classic benefit heuristic of Harinarayan et al. adapted
+// to aggregate-graph sizes); per-time-point queries are answered from the
+// smallest materialized ancestor by roll-up, or from the base graph when
+// no ancestor exists.
+//
+// Per-time-point DIST aggregates are stored because at a single time point
+// roll-up is exact for DIST (each node exhibits exactly one tuple), which
+// is also how the paper applies roll-up reuse in Fig. 11.
+package cube
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/ops"
+	"repro/internal/timeline"
+)
+
+// Source reports how a query was answered.
+type Source int
+
+const (
+	// Hit: the exact cuboid is materialized.
+	Hit Source = iota
+	// Rollup: derived from a materialized ancestor cuboid.
+	Rollup
+	// Scratch: computed from the base graph.
+	Scratch
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case Hit:
+		return "hit"
+	case Rollup:
+		return "rollup"
+	default:
+		return "scratch"
+	}
+}
+
+// cuboid is one materialized attribute combination.
+type cuboid struct {
+	attrs    []core.AttrID
+	schema   *agg.Schema
+	perPoint []*agg.Graph
+	size     int64 // total aggregate nodes + edges across time points
+}
+
+// Cube manages partial materialization over one graph's attribute lattice.
+type Cube struct {
+	g         *core.Graph
+	dims      []core.AttrID // the cube's dimensions, in declaration order
+	cuboids   map[string]*cuboid
+	hits      map[Source]int
+	scratchSz int64 // cost stand-in for answering from the base graph
+}
+
+// New returns a cube over the given dimensions (all attributes of g when
+// none are given).
+func New(g *core.Graph, dims ...core.AttrID) (*Cube, error) {
+	if len(dims) == 0 {
+		for a := 0; a < g.NumAttrs(); a++ {
+			dims = append(dims, core.AttrID(a))
+		}
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("cube: graph has no attributes")
+	}
+	if len(dims) > 16 {
+		return nil, fmt.Errorf("cube: %d dimensions exceed the supported 16", len(dims))
+	}
+	seen := map[core.AttrID]bool{}
+	for _, d := range dims {
+		if int(d) < 0 || int(d) >= g.NumAttrs() {
+			return nil, fmt.Errorf("cube: attribute id %d out of range", d)
+		}
+		if seen[d] {
+			return nil, fmt.Errorf("cube: duplicate dimension %q", g.Attr(d).Name)
+		}
+		seen[d] = true
+	}
+	// Cost stand-in for a scratch computation: all node appearances plus
+	// edge appearances, the data volume Algorithm 2 scans.
+	var sz int64
+	for n := 0; n < g.NumNodes(); n++ {
+		sz += int64(g.NodeTau(core.NodeID(n)).Count())
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		sz += int64(g.EdgeTau(core.EdgeID(e)).Count())
+	}
+	return &Cube{
+		g:         g,
+		dims:      append([]core.AttrID(nil), dims...),
+		cuboids:   make(map[string]*cuboid),
+		hits:      map[Source]int{},
+		scratchSz: sz,
+	}, nil
+}
+
+// key canonicalizes an attribute set.
+func key(attrs []core.AttrID) string {
+	s := append([]core.AttrID(nil), attrs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var b strings.Builder
+	for _, a := range s {
+		fmt.Fprintf(&b, "%d,", a)
+	}
+	return b.String()
+}
+
+// Materialize computes and stores the cuboid for the given attribute set.
+func (c *Cube) Materialize(attrs ...core.AttrID) error {
+	if err := c.checkDims(attrs); err != nil {
+		return err
+	}
+	k := key(attrs)
+	if _, ok := c.cuboids[k]; ok {
+		return nil
+	}
+	s, err := agg.NewSchema(c.g, attrs...)
+	if err != nil {
+		return err
+	}
+	cb := &cuboid{attrs: append([]core.AttrID(nil), attrs...), schema: s}
+	n := c.g.Timeline().Len()
+	cb.perPoint = make([]*agg.Graph, n)
+	for t := 0; t < n; t++ {
+		ag := agg.Aggregate(ops.At(c.g, timeline.Time(t)), s, agg.Distinct)
+		cb.perPoint[t] = ag
+		cb.size += int64(len(ag.Nodes) + len(ag.Edges))
+	}
+	c.cuboids[k] = cb
+	return nil
+}
+
+func (c *Cube) checkDims(attrs []core.AttrID) error {
+	if len(attrs) == 0 {
+		return fmt.Errorf("cube: empty attribute set")
+	}
+	for _, a := range attrs {
+		found := false
+		for _, d := range c.dims {
+			if a == d {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("cube: attribute %q is not a cube dimension", c.g.Attr(a).Name)
+		}
+	}
+	return nil
+}
+
+// Materialized returns the attribute sets currently materialized, apex
+// first, each in canonical (sorted) order.
+func (c *Cube) Materialized() [][]core.AttrID {
+	var out [][]core.AttrID
+	for _, cb := range c.cuboids {
+		s := append([]core.AttrID(nil), cb.attrs...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return key(out[i]) < key(out[j])
+	})
+	return out
+}
+
+// lattice enumerates every non-empty subset of the cube's dimensions.
+func (c *Cube) lattice() [][]core.AttrID {
+	n := len(c.dims)
+	var out [][]core.AttrID
+	for mask := 1; mask < 1<<n; mask++ {
+		var attrs []core.AttrID
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				attrs = append(attrs, c.dims[i])
+			}
+		}
+		out = append(out, attrs)
+	}
+	return out
+}
+
+// MaterializeAll materializes every cuboid of the lattice.
+func (c *Cube) MaterializeAll() error {
+	for _, attrs := range c.lattice() {
+		if err := c.Materialize(attrs...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaterializeGreedy materializes up to budget cuboids chosen by the greedy
+// benefit heuristic: at each step pick the cuboid whose materialization
+// most reduces the total answering cost of the whole lattice, where the
+// cost of answering a cuboid is the size of the smallest materialized
+// ancestor (or the base-graph scan cost if none). The apex cuboid (all
+// dimensions) is always chosen first — without it most of the lattice can
+// only be answered from scratch.
+func (c *Cube) MaterializeGreedy(budget int) error {
+	if budget <= 0 {
+		return fmt.Errorf("cube: budget must be positive")
+	}
+	all := c.lattice()
+
+	// Estimate cuboid sizes cheaply by materializing lazily: the greedy
+	// heuristic needs |cuboid| for candidates, which we obtain by actual
+	// materialization into a staging map, keeping only the chosen ones.
+	// With ≤ 16 dimensions the lattice is small relative to the data.
+	staged := map[string]*cuboid{}
+	sizeOf := func(attrs []core.AttrID) (int64, error) {
+		k := key(attrs)
+		if cb, ok := c.cuboids[k]; ok {
+			return cb.size, nil
+		}
+		if cb, ok := staged[k]; ok {
+			return cb.size, nil
+		}
+		s, err := agg.NewSchema(c.g, attrs...)
+		if err != nil {
+			return 0, err
+		}
+		cb := &cuboid{attrs: append([]core.AttrID(nil), attrs...), schema: s}
+		n := c.g.Timeline().Len()
+		cb.perPoint = make([]*agg.Graph, n)
+		for t := 0; t < n; t++ {
+			ag := agg.Aggregate(ops.At(c.g, timeline.Time(t)), s, agg.Distinct)
+			cb.perPoint[t] = ag
+			cb.size += int64(len(ag.Nodes) + len(ag.Edges))
+		}
+		staged[k] = cb
+		return cb.size, nil
+	}
+
+	// Current answering cost of each lattice member.
+	costs := make(map[string]int64, len(all))
+	for _, attrs := range all {
+		costs[key(attrs)] = c.answerCost(attrs)
+	}
+
+	for picked := 0; picked < budget && picked < len(all); picked++ {
+		var bestAttrs []core.AttrID
+		var bestBenefit int64 = -1
+		for _, cand := range all {
+			ck := key(cand)
+			if _, ok := c.cuboids[ck]; ok {
+				continue
+			}
+			candSize, err := sizeOf(cand)
+			if err != nil {
+				return err
+			}
+			var benefit int64
+			for _, member := range all {
+				if !subset(member, cand) {
+					continue
+				}
+				if cur := costs[key(member)]; cur > candSize {
+					benefit += cur - candSize
+				}
+			}
+			if benefit > bestBenefit {
+				bestBenefit = benefit
+				bestAttrs = cand
+			}
+		}
+		if bestAttrs == nil || bestBenefit <= 0 {
+			break
+		}
+		bk := key(bestAttrs)
+		c.cuboids[bk] = staged[bk]
+		delete(staged, bk)
+		for _, member := range all {
+			mk := key(member)
+			if subset(member, bestAttrs) && costs[mk] > c.cuboids[bk].size {
+				costs[mk] = c.cuboids[bk].size
+			}
+		}
+	}
+	return nil
+}
+
+// sameOrder reports whether two attribute lists are identical, in order.
+func sameOrder(a, b []core.AttrID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// subset reports whether every attribute of sub is in super.
+func subset(sub, super []core.AttrID) bool {
+	for _, a := range sub {
+		found := false
+		for _, b := range super {
+			if a == b {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// answerCost is the size of the cheapest materialized source for attrs.
+func (c *Cube) answerCost(attrs []core.AttrID) int64 {
+	if cb, ok := c.cuboids[key(attrs)]; ok {
+		return cb.size
+	}
+	best := c.scratchSz
+	for _, cb := range c.cuboids {
+		if subset(attrs, cb.attrs) && cb.size < best {
+			best = cb.size
+		}
+	}
+	return best
+}
+
+// Query returns the DIST aggregate of base time point t on the given
+// attribute set, answering from the exact cuboid, by roll-up from the
+// smallest materialized ancestor, or from the base graph.
+func (c *Cube) Query(t timeline.Time, attrs ...core.AttrID) (*agg.Graph, Source, error) {
+	if err := c.checkDims(attrs); err != nil {
+		return nil, Scratch, err
+	}
+	if cb, ok := c.cuboids[key(attrs)]; ok {
+		c.hits[Hit]++
+		if sameOrder(attrs, cb.attrs) {
+			return cb.perPoint[t], Hit, nil
+		}
+		// Same attribute set in a different order: re-project so tuples
+		// are encoded in the requested order (Rollup permutes for free).
+		ag, err := agg.Rollup(cb.perPoint[t], attrs...)
+		if err != nil {
+			return nil, Hit, err
+		}
+		return ag, Hit, nil
+	}
+	var best *cuboid
+	for _, cb := range c.cuboids {
+		if subset(attrs, cb.attrs) && (best == nil || cb.size < best.size) {
+			best = cb
+		}
+	}
+	if best != nil {
+		ag, err := agg.Rollup(best.perPoint[t], attrs...)
+		if err != nil {
+			return nil, Rollup, err
+		}
+		c.hits[Rollup]++
+		return ag, Rollup, nil
+	}
+	s, err := agg.NewSchema(c.g, attrs...)
+	if err != nil {
+		return nil, Scratch, err
+	}
+	c.hits[Scratch]++
+	return agg.Aggregate(ops.At(c.g, t), s, agg.Distinct), Scratch, nil
+}
+
+// Hits returns how many queries were answered per source.
+func (c *Cube) Hits() map[Source]int {
+	out := make(map[Source]int, len(c.hits))
+	for k, v := range c.hits {
+		out[k] = v
+	}
+	return out
+}
+
+// Size returns the total stored aggregate entries across materialized
+// cuboids.
+func (c *Cube) Size() int64 {
+	var sz int64
+	for _, cb := range c.cuboids {
+		sz += cb.size
+	}
+	return sz
+}
+
+// Describe renders the materialization state for logs and tools.
+func (c *Cube) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cube over %d dimensions, %d/%d cuboids materialized, size %d\n",
+		len(c.dims), len(c.cuboids), (1<<len(c.dims))-1, c.Size())
+	for _, attrs := range c.Materialized() {
+		names := make([]string, len(attrs))
+		for i, a := range attrs {
+			names[i] = c.g.Attr(a).Name
+		}
+		fmt.Fprintf(&b, "  (%s) size %d\n", strings.Join(names, ","), c.cuboids[key(attrs)].size)
+	}
+	return b.String()
+}

@@ -1,0 +1,231 @@
+package cube
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gtest"
+	"repro/internal/ops"
+	"repro/internal/timeline"
+)
+
+func TestNewValidation(t *testing.T) {
+	g := core.PaperExample()
+	if _, err := New(g, core.AttrID(99)); err == nil {
+		t.Error("out-of-range dimension should fail")
+	}
+	if _, err := New(g, 0, 0); err == nil {
+		t.Error("duplicate dimension should fail")
+	}
+	tl := timeline.MustNew("a")
+	b := core.NewBuilder(tl)
+	n := b.AddNode("x")
+	b.SetNodeTime(n, 0)
+	noAttrs := b.MustBuild()
+	if _, err := New(noAttrs); err == nil {
+		t.Error("graph without attributes should fail")
+	}
+}
+
+func TestLatticeEnumeration(t *testing.T) {
+	g := core.PaperExample() // 2 attributes → 3 cuboids
+	c, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.lattice()); got != 3 {
+		t.Fatalf("lattice size = %d, want 3", got)
+	}
+	if err := c.MaterializeAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Materialized()); got != 3 {
+		t.Fatalf("materialized = %d, want 3", got)
+	}
+}
+
+func TestQuerySources(t *testing.T) {
+	g := core.PaperExample()
+	gender := g.MustAttr("gender")
+	pubs := g.MustAttr("publications")
+	c, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing materialized: scratch.
+	ag, src, err := c.Query(0, gender)
+	if err != nil || src != Scratch {
+		t.Fatalf("source = %v, err %v, want scratch", src, err)
+	}
+	direct := agg.Aggregate(ops.At(g, 0), agg.MustSchema(g, gender), agg.Distinct)
+	if !ag.Equal(direct) {
+		t.Error("scratch answer wrong")
+	}
+
+	// Materialize apex: subsets answer by rollup.
+	if err := c.Materialize(gender, pubs); err != nil {
+		t.Fatal(err)
+	}
+	ag2, src, err := c.Query(0, gender)
+	if err != nil || src != Rollup {
+		t.Fatalf("source = %v, err %v, want rollup", src, err)
+	}
+	if !ag2.Equal(direct) {
+		t.Error("rollup answer differs from direct aggregation")
+	}
+
+	// Exact cuboid: hit.
+	if err := c.Materialize(gender); err != nil {
+		t.Fatal(err)
+	}
+	_, src, err = c.Query(0, gender)
+	if err != nil || src != Hit {
+		t.Fatalf("source = %v, err %v, want hit", src, err)
+	}
+
+	hits := c.Hits()
+	if hits[Scratch] != 1 || hits[Rollup] != 1 || hits[Hit] != 1 {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestQueryRejectsNonDimension(t *testing.T) {
+	g := core.PaperExample()
+	c, err := New(g, g.MustAttr("gender"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Query(0, g.MustAttr("publications")); err == nil {
+		t.Error("querying a non-dimension should fail")
+	}
+	if _, _, err := c.Query(0); err == nil {
+		t.Error("empty query should fail")
+	}
+}
+
+func TestMaterializeGreedyReducesAnsweringCost(t *testing.T) {
+	g := dataset.MovieLensScaled(1, 0.02)
+	c, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lattice := c.lattice()
+	costBefore := int64(0)
+	for _, attrs := range lattice {
+		costBefore += c.answerCost(attrs)
+	}
+	if err := c.MaterializeGreedy(2); err != nil {
+		t.Fatal(err)
+	}
+	mats := c.Materialized()
+	if len(mats) == 0 || len(mats) > 2 {
+		t.Fatalf("materialized = %d cuboids, want 1..2", len(mats))
+	}
+	costAfter := int64(0)
+	for _, attrs := range lattice {
+		costAfter += c.answerCost(attrs)
+	}
+	if costAfter >= costBefore {
+		t.Errorf("greedy did not reduce lattice answering cost: %d → %d", costBefore, costAfter)
+	}
+	// Every query the greedy choice covers must be answerable without
+	// scratch and still be correct.
+	covered := mats[0]
+	got, src, err := c.Query(0, covered[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src == Scratch {
+		t.Errorf("query on a covered attribute still answers from scratch")
+	}
+	want := agg.Aggregate(ops.At(g, 0), agg.MustSchema(g, covered[0]), agg.Distinct)
+	if !got.Equal(want) {
+		t.Error("greedy-materialized answer is wrong")
+	}
+}
+
+func TestMaterializeGreedyImprovesAnswering(t *testing.T) {
+	g := dataset.MovieLensScaled(1, 0.02)
+	c, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MaterializeGreedy(3); err != nil {
+		t.Fatal(err)
+	}
+	// After 3 cuboids, every single-attribute query must avoid scratch.
+	for a := 0; a < g.NumAttrs(); a++ {
+		_, src, err := c.Query(0, core.AttrID(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src == Scratch {
+			t.Errorf("query on %q still answers from scratch", g.Attr(core.AttrID(a)).Name)
+		}
+	}
+	if !strings.Contains(c.Describe(), "cuboids materialized") {
+		t.Error("Describe output malformed")
+	}
+}
+
+func TestGreedyBudgetValidation(t *testing.T) {
+	g := core.PaperExample()
+	c, _ := New(g)
+	if err := c.MaterializeGreedy(0); err == nil {
+		t.Error("non-positive budget should fail")
+	}
+}
+
+func TestQuickCubeAnswersMatchScratch(t *testing.T) {
+	// Whatever the materialization state, every query must equal the
+	// from-scratch aggregate.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := gtest.RandomGraph(r, gtest.DefaultParams())
+		if g.NumAttrs() == 0 {
+			return true
+		}
+		c, err := New(g)
+		if err != nil {
+			return false
+		}
+		switch r.Intn(3) {
+		case 0: // nothing
+		case 1:
+			if err := c.MaterializeGreedy(1 + r.Intn(3)); err != nil {
+				return false
+			}
+		default:
+			if err := c.MaterializeAll(); err != nil {
+				return false
+			}
+		}
+		for trial := 0; trial < 4; trial++ {
+			n := 1 + r.Intn(g.NumAttrs())
+			perm := r.Perm(g.NumAttrs())
+			attrs := make([]core.AttrID, n)
+			for i := 0; i < n; i++ {
+				attrs[i] = core.AttrID(perm[i])
+			}
+			tp := timeline.Time(r.Intn(g.Timeline().Len()))
+			got, _, err := c.Query(tp, attrs...)
+			if err != nil {
+				return false
+			}
+			want := agg.Aggregate(ops.At(g, tp), agg.MustSchema(g, attrs...), agg.Distinct)
+			if !got.Equal(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/gtest"
+	"repro/internal/ops"
+	"repro/internal/timeline"
+)
+
+func TestDebugSeed(t *testing.T) {
+	r := rand.New(rand.NewSource(-6938705204068704594))
+	for iter := 0; iter < 50; iter++ {
+		g := gtest.RandomGraph(r, gtest.DefaultParams())
+		if g.NumAttrs() == 0 {
+			continue
+		}
+		c, err := New(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch r.Intn(3) {
+		case 0:
+		case 1:
+			if err := c.MaterializeGreedy(1 + r.Intn(3)); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if err := c.MaterializeAll(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for trial := 0; trial < 4; trial++ {
+			n := 1 + r.Intn(g.NumAttrs())
+			perm := r.Perm(g.NumAttrs())
+			attrs := make([]core.AttrID, n)
+			for i := 0; i < n; i++ {
+				attrs[i] = core.AttrID(perm[i])
+			}
+			tp := timeline.Time(r.Intn(g.Timeline().Len()))
+			got, src, err := c.Query(tp, attrs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := agg.Aggregate(ops.At(g, tp), agg.MustSchema(g, attrs...), agg.Distinct)
+			if !got.Equal(want) {
+				t.Fatalf("iter %d trial %d: src=%v attrs=%v tp=%d\ngot:\n%s\nwant:\n%s\nmaterialized=%v",
+					iter, trial, src, attrs, tp, got, want, c.Materialized())
+			}
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/ops"
+	"repro/internal/timeline"
+)
+
+func TestDBLPScaledCounts(t *testing.T) {
+	const scale = 0.02
+	g := DBLPScaled(1, scale)
+	stats := core.ComputeStats(g)
+	wantNodes := scaleCounts(DBLPNodeCounts, scale, 8)
+	wantEdges := scaleCounts(DBLPEdgeCounts, scale, 8)
+	for i := range wantNodes {
+		if stats.Nodes[i] != wantNodes[i] {
+			t.Errorf("year %s: nodes = %d, want %d", DBLPYears[i], stats.Nodes[i], wantNodes[i])
+		}
+		maxPairs := wantNodes[i] * (wantNodes[i] - 1)
+		want := wantEdges[i]
+		if want > maxPairs {
+			want = maxPairs
+		}
+		if stats.Edges[i] != want {
+			t.Errorf("year %s: edges = %d, want %d", DBLPYears[i], stats.Edges[i], want)
+		}
+	}
+}
+
+func TestDBLPSchema(t *testing.T) {
+	g := DBLPScaled(1, 0.01)
+	gender := g.MustAttr("gender")
+	pubs := g.MustAttr("publications")
+	if g.Attr(gender).Kind != core.Static || g.Attr(pubs).Kind != core.TimeVarying {
+		t.Fatal("DBLP attribute kinds wrong")
+	}
+	if got := g.Dict(gender).Len(); got != 2 {
+		t.Errorf("gender domain = %d, want 2", got)
+	}
+	if got := g.Dict(pubs).Len(); got < 3 || got > 18 {
+		t.Errorf("publications domain = %d, want within 3..18", got)
+	}
+}
+
+func TestDBLPDeterministicInSeed(t *testing.T) {
+	a := DBLPScaled(7, 0.01)
+	b := DBLPScaled(7, 0.01)
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed gave different sizes")
+	}
+	// Edge sets must be identical, not just counts.
+	for e := 0; e < a.NumEdges(); e++ {
+		ea, eb := a.Edge(core.EdgeID(e)), b.Edge(core.EdgeID(e))
+		if a.NodeLabel(ea.U) != b.NodeLabel(eb.U) || a.NodeLabel(ea.V) != b.NodeLabel(eb.V) {
+			t.Fatal("same seed gave different edges")
+		}
+		if !a.EdgeTau(core.EdgeID(e)).Equal(b.EdgeTau(core.EdgeID(e))) {
+			t.Fatal("same seed gave different edge timestamps")
+		}
+	}
+	c := DBLPScaled(8, 0.01)
+	if c.NumEdges() == a.NumEdges() && c.NumNodes() == a.NumNodes() {
+		// Sizes can coincide; require some structural difference.
+		same := true
+		for e := 0; e < a.NumEdges() && same; e++ {
+			ea, ec := a.Edge(core.EdgeID(e)), c.Edge(core.EdgeID(e))
+			if a.NodeLabel(ea.U) != c.NodeLabel(ec.U) || a.NodeLabel(ea.V) != c.NodeLabel(ec.V) {
+				same = false
+			}
+		}
+		if same {
+			t.Fatal("different seeds gave identical graphs")
+		}
+	}
+}
+
+// TestDBLPIntersectionBackbone verifies the Fig. 7 structure: the longest
+// interval starting at 2000 with a non-empty iterated edge intersection is
+// [2000,2017].
+func TestDBLPIntersectionBackbone(t *testing.T) {
+	g := DBLPScaled(1, 0.02)
+	tl := g.Timeline()
+	upTo2017 := ops.StabilityView(g,
+		ops.ForAll(tl.Range(0, 17)), ops.ForAll(tl.Range(0, 17)))
+	if upTo2017.NumEdges() == 0 {
+		t.Error("intersection over [2000,2017] should keep the core edges")
+	}
+	upTo2018 := ops.StabilityView(g,
+		ops.ForAll(tl.Range(0, 18)), ops.ForAll(tl.Range(0, 18)))
+	if upTo2018.NumEdges() != 0 {
+		t.Errorf("intersection over [2000,2018] should be empty, has %d edges", upTo2018.NumEdges())
+	}
+}
+
+func TestMovieLensScaledCountsAndSchema(t *testing.T) {
+	const scale = 0.02
+	g := MovieLensScaled(1, scale)
+	stats := core.ComputeStats(g)
+	wantNodes := scaleCounts(MovieLensNodeCounts, scale, 8)
+	wantEdges := scaleCounts(MovieLensEdgeCounts, scale, 8)
+	for i := range wantNodes {
+		if stats.Nodes[i] != wantNodes[i] {
+			t.Errorf("%s: nodes = %d, want %d", MovieLensMonths[i], stats.Nodes[i], wantNodes[i])
+		}
+		maxPairs := wantNodes[i] * (wantNodes[i] - 1)
+		want := wantEdges[i]
+		if want > maxPairs {
+			want = maxPairs
+		}
+		if stats.Edges[i] != want {
+			t.Errorf("%s: edges = %d, want %d", MovieLensMonths[i], stats.Edges[i], want)
+		}
+	}
+	if got := g.Dict(g.MustAttr("age")).Len(); got > 6 {
+		t.Errorf("age domain = %d, want ≤ 6", got)
+	}
+	if got := g.Dict(g.MustAttr("occupation")).Len(); got > 21 {
+		t.Errorf("occupation domain = %d, want ≤ 21", got)
+	}
+	if got := g.Dict(g.MustAttr("rating")).Len(); got > 41 {
+		t.Errorf("rating domain = %d, want ≤ 41", got)
+	}
+}
+
+func TestFullScaleTables3And4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale dataset generation in -short mode")
+	}
+	g := DBLP(1)
+	stats := core.ComputeStats(g)
+	for i := range DBLPNodeCounts {
+		if stats.Nodes[i] != DBLPNodeCounts[i] || stats.Edges[i] != DBLPEdgeCounts[i] {
+			t.Errorf("DBLP %s: %d/%d, want %d/%d (Table 3)",
+				DBLPYears[i], stats.Nodes[i], stats.Edges[i], DBLPNodeCounts[i], DBLPEdgeCounts[i])
+		}
+	}
+	m := MovieLens(1)
+	mstats := core.ComputeStats(m)
+	for i := range MovieLensNodeCounts {
+		if mstats.Nodes[i] != MovieLensNodeCounts[i] || mstats.Edges[i] != MovieLensEdgeCounts[i] {
+			t.Errorf("MovieLens %s: %d/%d, want %d/%d (Table 4)",
+				MovieLensMonths[i], mstats.Nodes[i], mstats.Edges[i],
+				MovieLensNodeCounts[i], MovieLensEdgeCounts[i])
+		}
+	}
+}
+
+func TestSchoolContactsHomophilyAndMitigation(t *testing.T) {
+	p := DefaultContactsParams()
+	g := SchoolContacts(3, p)
+	class := g.MustAttr("class")
+	sameClass, total := 0, 0
+	for e := 0; e < g.NumEdges(); e++ {
+		ep := g.Edge(core.EdgeID(e))
+		n := g.EdgeTau(core.EdgeID(e)).Count()
+		total += n
+		if g.Dict(class).Value(g.StaticValue(class, ep.U)) ==
+			g.Dict(class).Value(g.StaticValue(class, ep.V)) {
+			sameClass += n
+		}
+	}
+	if frac := float64(sameClass) / float64(total); frac < 0.5 {
+		t.Errorf("same-class contact fraction = %.2f, want ≥ 0.5 (homophily)", frac)
+	}
+	before := g.EdgesAt(timeline.Time(p.MitigationDay - 1))
+	after := g.EdgesAt(timeline.Time(p.MitigationDay))
+	if after*3 > before*2 {
+		t.Errorf("mitigation should halve contacts: before=%d after=%d", before, after)
+	}
+	// Aggregation by grade works end to end.
+	s := agg.MustSchema(g, g.MustAttr("grade"))
+	ag := agg.Aggregate(ops.At(g, 0), s, agg.Distinct)
+	if got := ag.TotalNodeWeight(); got != int64(p.Grades*p.ClassesPerGrade*p.StudentsPerClass) {
+		t.Errorf("grade aggregation total = %d, want all students", got)
+	}
+}
+
+func TestPaperExamplePassThrough(t *testing.T) {
+	if PaperExample().NumNodes() != 5 {
+		t.Fatal("PaperExample should be the 5-node running example")
+	}
+}

@@ -1,0 +1,80 @@
+package dict
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutAssignsDenseCodes(t *testing.T) {
+	d := New()
+	if got := d.Put("m"); got != 0 {
+		t.Errorf("first Put = %d, want 0", got)
+	}
+	if got := d.Put("f"); got != 1 {
+		t.Errorf("second Put = %d, want 1", got)
+	}
+	if got := d.Put("m"); got != 0 {
+		t.Errorf("repeat Put = %d, want 0", got)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestCodeAndValue(t *testing.T) {
+	d := New()
+	d.Put("a")
+	d.Put("b")
+	if got := d.Code("b"); got != 1 {
+		t.Errorf("Code(b) = %d, want 1", got)
+	}
+	if got := d.Code("zzz"); got != None {
+		t.Errorf("Code(zzz) = %d, want None", got)
+	}
+	if got := d.Value(0); got != "a" {
+		t.Errorf("Value(0) = %q, want a", got)
+	}
+	if got := d.Value(None); got != "" {
+		t.Errorf("Value(None) = %q, want empty", got)
+	}
+}
+
+func TestValueOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Value(3)
+}
+
+func TestValuesOrder(t *testing.T) {
+	d := New()
+	for _, v := range []string{"x", "y", "z"} {
+		d.Put(v)
+	}
+	vs := d.Values()
+	for i, want := range []string{"x", "y", "z"} {
+		if vs[i] != want {
+			t.Errorf("Values[%d] = %q, want %q", i, vs[i], want)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(n uint8) bool {
+		d := New()
+		for i := 0; i < int(n); i++ {
+			v := fmt.Sprintf("v%d", i%17) // force duplicates
+			c := d.Put(v)
+			if d.Value(c) != v || d.Code(v) != c {
+				return false
+			}
+		}
+		return d.Len() <= 17
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

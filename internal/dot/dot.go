@@ -1,0 +1,114 @@
+// Package dot renders aggregate graphs and aggregated evolution graphs in
+// Graphviz DOT format, mirroring the paper's figures: aggregate nodes are
+// labeled with their attribute tuple and weight (Fig. 3), and evolution
+// graphs carry the St/Gr/Shr weight triples with one color per event type
+// (Fig. 4b: black = stability, green = growth, red = shrinkage).
+package dot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/agg"
+	"repro/internal/evolution"
+)
+
+// quote escapes a DOT identifier.
+func quote(s string) string {
+	return `"` + strings.NewReplacer(`\`, `\\`, `"`, `\"`).Replace(s) + `"`
+}
+
+// quoteLabel escapes each part and joins them with DOT line breaks.
+func quoteLabel(parts ...string) string {
+	esc := make([]string, len(parts))
+	for i, p := range parts {
+		esc[i] = strings.NewReplacer(`\`, `\\`, `"`, `\"`).Replace(p)
+	}
+	return `"` + strings.Join(esc, `\n`) + `"`
+}
+
+// WriteAggregate renders an aggregate graph (Fig. 3 style).
+func WriteAggregate(w io.Writer, ag *agg.Graph) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph aggregate {\n")
+	fmt.Fprintf(&b, "  graph [label=%s, rankdir=LR];\n", quote("aggregate ("+ag.Kind.String()+")"))
+	fmt.Fprintf(&b, "  node [shape=circle];\n")
+	for _, tu := range ag.SortedNodes() {
+		label := ag.Schema.Label(tu)
+		fmt.Fprintf(&b, "  %s [label=%s];\n",
+			quote(label), quoteLabel(label, fmt.Sprintf("%d", ag.Nodes[tu])))
+	}
+	for _, k := range ag.SortedEdges() {
+		fmt.Fprintf(&b, "  %s -> %s [label=%s];\n",
+			quote(ag.Schema.Label(k.From)), quote(ag.Schema.Label(k.To)),
+			quote(fmt.Sprintf("%d", ag.Edges[k])))
+	}
+	fmt.Fprintf(&b, "}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// evolution rendering colors, one per event type as in Fig. 4.
+const (
+	colorStability = "black"
+	colorGrowth    = "forestgreen"
+	colorShrinkage = "red3"
+)
+
+// weightLabel renders a weight triple like the paper's "St=1 Gr=1 Shr=1".
+func weightLabel(w evolution.Weights) string {
+	var parts []string
+	if w.St > 0 {
+		parts = append(parts, fmt.Sprintf("St=%d", w.St))
+	}
+	if w.Gr > 0 {
+		parts = append(parts, fmt.Sprintf("Gr=%d", w.Gr))
+	}
+	if w.Shr > 0 {
+		parts = append(parts, fmt.Sprintf("Shr=%d", w.Shr))
+	}
+	return strings.Join(parts, " ")
+}
+
+// dominantColor picks the color of an entity's strongest event type, with
+// stability winning ties (a stable entity that also grew is drawn stable,
+// as in Fig. 4a's labeling).
+func dominantColor(w evolution.Weights) string {
+	switch {
+	case w.St >= w.Gr && w.St >= w.Shr && w.St > 0:
+		return colorStability
+	case w.Gr >= w.Shr && w.Gr > 0:
+		return colorGrowth
+	default:
+		return colorShrinkage
+	}
+}
+
+// WriteEvolution renders an aggregated evolution graph (Fig. 4b style):
+// every aggregate node and edge carries its stability/growth/shrinkage
+// weights, colored by the dominant event type.
+func WriteEvolution(w io.Writer, ev *evolution.Agg) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph evolution {\n")
+	fmt.Fprintf(&b, "  graph [label=%s, rankdir=LR];\n",
+		quote(fmt.Sprintf("evolution %s → %s (%s)", ev.Old, ev.New, ev.Kind)))
+	fmt.Fprintf(&b, "  node [shape=circle];\n")
+	for _, tu := range ev.SortedNodes() {
+		label := ev.Schema.Label(tu)
+		weights := ev.Nodes[tu]
+		fmt.Fprintf(&b, "  %s [label=%s, color=%s];\n",
+			quote(label),
+			quoteLabel(label, weightLabel(weights)),
+			dominantColor(weights))
+	}
+	for _, k := range ev.SortedEdges() {
+		weights := ev.Edges[k]
+		fmt.Fprintf(&b, "  %s -> %s [label=%s, color=%s];\n",
+			quote(ev.Schema.Label(k.From)), quote(ev.Schema.Label(k.To)),
+			quote(weightLabel(weights)), dominantColor(weights))
+	}
+	fmt.Fprintf(&b, "}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

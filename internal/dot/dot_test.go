@@ -1,0 +1,84 @@
+package dot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/evolution"
+	"repro/internal/ops"
+)
+
+func TestWriteAggregate(t *testing.T) {
+	g := core.PaperExample()
+	tl := g.Timeline()
+	s := agg.MustSchema(g, g.MustAttr("gender"), g.MustAttr("publications"))
+	ag := agg.Aggregate(ops.Union(g, tl.Point(0), tl.Point(1)), s, agg.Distinct)
+
+	var buf bytes.Buffer
+	if err := WriteAggregate(&buf, ag); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph aggregate {",
+		`"f,1" [label="f,1\n3"]`,
+		`"m,3" -> "f,1" [label="2"]`,
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "}\n") {
+		t.Error("DOT output not terminated")
+	}
+}
+
+func TestWriteEvolution(t *testing.T) {
+	g := core.PaperExample()
+	tl := g.Timeline()
+	s := agg.MustSchema(g, g.MustAttr("gender"), g.MustAttr("publications"))
+	ev := evolution.Aggregate(g, tl.Point(0), tl.Point(1), s, agg.Distinct, nil)
+
+	var buf bytes.Buffer
+	if err := WriteEvolution(&buf, ev); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph evolution {",
+		`St=1 Gr=1 Shr=1`, // node (f,1), Fig. 4b
+		"color=forestgreen",
+		"color=red3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDominantColor(t *testing.T) {
+	cases := []struct {
+		w    evolution.Weights
+		want string
+	}{
+		{evolution.Weights{St: 2, Gr: 1, Shr: 1}, colorStability},
+		{evolution.Weights{St: 1, Gr: 1}, colorStability}, // stability wins ties
+		{evolution.Weights{Gr: 3, Shr: 1}, colorGrowth},
+		{evolution.Weights{Shr: 5}, colorShrinkage},
+	}
+	for _, c := range cases {
+		if got := dominantColor(c.w); got != c.want {
+			t.Errorf("dominantColor(%+v) = %s, want %s", c.w, got, c.want)
+		}
+	}
+}
+
+func TestQuoteEscapes(t *testing.T) {
+	if got := quote(`a"b\c`); got != `"a\"b\\c"` {
+		t.Errorf("quote = %s", got)
+	}
+}

@@ -1,0 +1,294 @@
+// Package evolution implements the GraphTempo evolution graph
+// (Definition 2.7) and its aggregation (§2.3, Fig. 4).
+//
+// The evolution graph between two intervals Told and Tnew overlays three
+// graphs: the intersection graph (stability), the difference Told − Tnew
+// (shrinkage: what disappeared) and the difference Tnew − Told (growth:
+// what is new). Aggregating it yields, for every attribute tuple, a triple
+// of weights discerning the three event types.
+//
+// As the paper's Fig. 4b example shows (node (f,1) with stability 1,
+// growth 1 and shrinkage 1), evolution aggregation classifies *attribute-
+// tuple appearances per entity*, not just entities: author u4 exists in
+// both t0 and t1, but its tuple (f,1) appears only at t1, so it counts as
+// growth for (f,1) (and its t0 tuple (f,2) counts as shrinkage). For
+// static attributes this reduces to classifying the entities themselves.
+package evolution
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/ops"
+	"repro/internal/timeline"
+)
+
+// Class labels an entity's evolution between Told and Tnew.
+type Class int
+
+const (
+	// Stability: the entity exists in both intervals.
+	Stability Class = iota
+	// Growth: the entity exists only in the new interval.
+	Growth
+	// Shrinkage: the entity exists only in the old interval.
+	Shrinkage
+)
+
+// String returns the paper's figure labels St, Gr, Shr.
+func (c Class) String() string {
+	switch c {
+	case Stability:
+		return "St"
+	case Growth:
+		return "Gr"
+	default:
+		return "Shr"
+	}
+}
+
+// View is the evolution graph G> between Told and Tnew: the overlay of the
+// stable, removed and added subgraphs (Definition 2.7).
+type View struct {
+	g        *core.Graph
+	Old, New timeline.Interval
+	// Stable is the intersection graph on (Told, Tnew).
+	Stable *ops.View
+	// Removed is the difference graph Told − Tnew.
+	Removed *ops.View
+	// Added is the difference graph Tnew − Told.
+	Added *ops.View
+}
+
+// NewView builds the evolution graph between told and tnew.
+func NewView(g *core.Graph, told, tnew timeline.Interval) *View {
+	return &View{
+		g:       g,
+		Old:     told,
+		New:     tnew,
+		Stable:  ops.Intersection(g, told, tnew),
+		Removed: ops.Difference(g, told, tnew),
+		Added:   ops.Difference(g, tnew, told),
+	}
+}
+
+// NodeClass classifies node n. The second result is false when the node is
+// not part of the evolution graph (exists in neither interval).
+func (ev *View) NodeClass(n core.NodeID) (Class, bool) {
+	return classify(ev.g.NodeTau(n).Intersects(ev.Old.Mask()),
+		ev.g.NodeTau(n).Intersects(ev.New.Mask()))
+}
+
+// EdgeClass classifies edge e. The second result is false when the edge is
+// not part of the evolution graph.
+func (ev *View) EdgeClass(e core.EdgeID) (Class, bool) {
+	return classify(ev.g.EdgeTau(e).Intersects(ev.Old.Mask()),
+		ev.g.EdgeTau(e).Intersects(ev.New.Mask()))
+}
+
+func classify(inOld, inNew bool) (Class, bool) {
+	switch {
+	case inOld && inNew:
+		return Stability, true
+	case inNew:
+		return Growth, true
+	case inOld:
+		return Shrinkage, true
+	default:
+		return 0, false
+	}
+}
+
+// Weights is the (stability, growth, shrinkage) weight triple of one
+// aggregate node or edge (Fig. 4b).
+type Weights struct {
+	St, Gr, Shr int64
+}
+
+// Total returns St + Gr + Shr.
+func (w Weights) Total() int64 { return w.St + w.Gr + w.Shr }
+
+// Filter restricts which (node, time) appearances participate in an
+// evolution aggregation; nil admits everything. The paper's Fig. 12 uses
+// it to keep only high-activity authors (#publications > 4 in the year).
+type Filter func(n core.NodeID, t timeline.Time) bool
+
+// Agg is an aggregated evolution graph: each tuple (and tuple pair) carries
+// the triple of stability/growth/shrinkage weights.
+type Agg struct {
+	Schema   *agg.Schema
+	Kind     agg.Kind
+	Old, New timeline.Interval
+	Nodes    map[agg.Tuple]Weights
+	Edges    map[agg.EdgeKey]Weights
+}
+
+// Aggregate computes the aggregated evolution graph between told and tnew
+// under schema s.
+//
+// For each entity, the set of tuples it exhibits during told and during
+// tnew is collected; a tuple present in both contributes to St, present
+// only in tnew to Gr, and present only in told to Shr. With kind Distinct
+// each (entity, tuple) contributes 1 (the paper's semantics, Fig. 4b);
+// with kind All it contributes its number of per-time-point appearances in
+// the interval(s) that define its class.
+func Aggregate(g *core.Graph, told, tnew timeline.Interval, s *agg.Schema, kind agg.Kind, filter Filter) *Agg {
+	if s.Graph() != g {
+		panic("evolution: schema built on a different graph")
+	}
+	out := &Agg{
+		Schema: s,
+		Kind:   kind,
+		Old:    told,
+		New:    tnew,
+		Nodes:  make(map[agg.Tuple]Weights),
+		Edges:  make(map[agg.EdgeKey]Weights),
+	}
+	oldMask, newMask := told.Mask(), tnew.Mask()
+
+	// counts[tuple] = appearances in (old, new).
+	nodeCounts := make(map[agg.Tuple][2]int64)
+	for n := 0; n < g.NumNodes(); n++ {
+		id := core.NodeID(n)
+		clear(nodeCounts)
+		g.NodeTau(id).ForEach(func(t int) {
+			inOld := oldMask.Contains(t)
+			inNew := newMask.Contains(t)
+			if !inOld && !inNew {
+				return
+			}
+			if filter != nil && !filter(id, timeline.Time(t)) {
+				return
+			}
+			tu, ok := s.TupleAt(id, timeline.Time(t))
+			if !ok {
+				return
+			}
+			c := nodeCounts[tu]
+			if inOld {
+				c[0]++
+			}
+			if inNew {
+				c[1]++
+			}
+			nodeCounts[tu] = c
+		})
+		for tu, c := range nodeCounts {
+			out.Nodes[tu] = addClass(out.Nodes[tu], c, kind)
+		}
+	}
+
+	edgeCounts := make(map[agg.EdgeKey][2]int64)
+	for e := 0; e < g.NumEdges(); e++ {
+		id := core.EdgeID(e)
+		ep := g.Edge(id)
+		clear(edgeCounts)
+		g.EdgeTau(id).ForEach(func(t int) {
+			inOld := oldMask.Contains(t)
+			inNew := newMask.Contains(t)
+			if !inOld && !inNew {
+				return
+			}
+			if filter != nil && (!filter(ep.U, timeline.Time(t)) || !filter(ep.V, timeline.Time(t))) {
+				return
+			}
+			fu, ok1 := s.TupleAt(ep.U, timeline.Time(t))
+			tu, ok2 := s.TupleAt(ep.V, timeline.Time(t))
+			if !ok1 || !ok2 {
+				return
+			}
+			key := agg.EdgeKey{From: fu, To: tu}
+			c := edgeCounts[key]
+			if inOld {
+				c[0]++
+			}
+			if inNew {
+				c[1]++
+			}
+			edgeCounts[key] = c
+		})
+		for key, c := range edgeCounts {
+			out.Edges[key] = addClass(out.Edges[key], c, kind)
+		}
+	}
+	return out
+}
+
+// addClass folds one entity's (old, new) appearance counts for a tuple into
+// the running weights.
+func addClass(w Weights, c [2]int64, kind agg.Kind) Weights {
+	switch {
+	case c[0] > 0 && c[1] > 0:
+		if kind == agg.Distinct {
+			w.St++
+		} else {
+			w.St += c[0] + c[1]
+		}
+	case c[1] > 0:
+		if kind == agg.Distinct {
+			w.Gr++
+		} else {
+			w.Gr += c[1]
+		}
+	case c[0] > 0:
+		if kind == agg.Distinct {
+			w.Shr++
+		} else {
+			w.Shr += c[0]
+		}
+	}
+	return w
+}
+
+// NodeWeights returns the weight triple of the aggregate node for tu.
+func (a *Agg) NodeWeights(tu agg.Tuple) Weights { return a.Nodes[tu] }
+
+// EdgeWeights returns the weight triple of the aggregate edge (from, to).
+func (a *Agg) EdgeWeights(from, to agg.Tuple) Weights {
+	return a.Edges[agg.EdgeKey{From: from, To: to}]
+}
+
+// SortedNodes returns tuple keys ordered by decoded label.
+func (a *Agg) SortedNodes() []agg.Tuple {
+	out := make([]agg.Tuple, 0, len(a.Nodes))
+	for tu := range a.Nodes {
+		out = append(out, tu)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return a.Schema.Label(out[i]) < a.Schema.Label(out[j])
+	})
+	return out
+}
+
+// SortedEdges returns edge keys ordered by decoded labels.
+func (a *Agg) SortedEdges() []agg.EdgeKey {
+	out := make([]agg.EdgeKey, 0, len(a.Edges))
+	for k := range a.Edges {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		li := a.Schema.Label(out[i].From) + "→" + a.Schema.Label(out[i].To)
+		lj := a.Schema.Label(out[j].From) + "→" + a.Schema.Label(out[j].To)
+		return li < lj
+	})
+	return out
+}
+
+// String renders the aggregated evolution graph like Fig. 4b.
+func (a *Agg) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "evolution aggregate %s → %s (%s)\n", a.Old, a.New, a.Kind)
+	for _, tu := range a.SortedNodes() {
+		w := a.Nodes[tu]
+		fmt.Fprintf(&b, "  node (%s) St=%d Gr=%d Shr=%d\n", a.Schema.Label(tu), w.St, w.Gr, w.Shr)
+	}
+	for _, k := range a.SortedEdges() {
+		w := a.Edges[k]
+		fmt.Fprintf(&b, "  edge (%s)→(%s) St=%d Gr=%d Shr=%d\n",
+			a.Schema.Label(k.From), a.Schema.Label(k.To), w.St, w.Gr, w.Shr)
+	}
+	return b.String()
+}

@@ -1,0 +1,51 @@
+package evolution
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+)
+
+func TestMarshalJSON(t *testing.T) {
+	g := core.PaperExample()
+	tl := g.Timeline()
+	s := agg.MustSchema(g, g.MustAttr("gender"), g.MustAttr("publications"))
+	a := Aggregate(g, tl.Point(0), tl.Point(1), s, agg.Distinct, nil)
+
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Old   string `json:"old"`
+		New   string `json:"new"`
+		Nodes []struct {
+			Values  []string `json:"values"`
+			Weights struct {
+				Stability int64 `json:"stability"`
+				Growth    int64 `json:"growth"`
+				Shrinkage int64 `json:"shrinkage"`
+			} `json:"weights"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Old != "t0" || decoded.New != "t1" {
+		t.Errorf("intervals = %q → %q", decoded.Old, decoded.New)
+	}
+	found := false
+	for _, n := range decoded.Nodes {
+		if n.Values[0] == "f" && n.Values[1] == "1" {
+			found = true
+			if n.Weights.Stability != 1 || n.Weights.Growth != 1 || n.Weights.Shrinkage != 1 {
+				t.Errorf("JSON weights(f,1) = %+v, want 1/1/1", n.Weights)
+			}
+		}
+	}
+	if !found {
+		t.Error("node (f,1) missing from JSON")
+	}
+}

@@ -1,0 +1,50 @@
+package evolution
+
+import (
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/timeline"
+)
+
+// TimelineStep summarizes the evolution between one consecutive pair of
+// base time points: total node and edge weights per event class.
+type TimelineStep struct {
+	Old, New  timeline.Time
+	NodeSt    int64
+	NodeGr    int64
+	NodeShr   int64
+	EdgeSt    int64
+	EdgeGr    int64
+	EdgeShr   int64
+	NodeTotal int64
+	EdgeTotal int64
+}
+
+// Timeline computes the step-by-step evolution profile of the whole graph:
+// for every consecutive pair (t_i, t_{i+1}), the aggregated evolution
+// graph under s is reduced to class totals. It is the series behind
+// dataset-dynamics plots (e.g. how much of each month's co-rating graph
+// turns over) and the Fig. 12 analysis swept across the whole time axis.
+func Timeline(g *core.Graph, s *agg.Schema, kind agg.Kind, filter Filter) []TimelineStep {
+	n := g.Timeline().Len()
+	out := make([]TimelineStep, 0, n-1)
+	tl := g.Timeline()
+	for i := 0; i < n-1; i++ {
+		ev := Aggregate(g, tl.Point(timeline.Time(i)), tl.Point(timeline.Time(i+1)), s, kind, filter)
+		step := TimelineStep{Old: timeline.Time(i), New: timeline.Time(i + 1)}
+		for _, w := range ev.Nodes {
+			step.NodeSt += w.St
+			step.NodeGr += w.Gr
+			step.NodeShr += w.Shr
+		}
+		for _, w := range ev.Edges {
+			step.EdgeSt += w.St
+			step.EdgeGr += w.Gr
+			step.EdgeShr += w.Shr
+		}
+		step.NodeTotal = step.NodeSt + step.NodeGr + step.NodeShr
+		step.EdgeTotal = step.EdgeSt + step.EdgeGr + step.EdgeShr
+		out = append(out, step)
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package evolution
+
+import (
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func TestTimelineOnFixture(t *testing.T) {
+	g := core.PaperExample()
+	s := agg.MustSchema(g, g.MustAttr("gender"))
+	steps := Timeline(g, s, agg.Distinct, nil)
+	if len(steps) != 2 {
+		t.Fatalf("steps = %d, want 2", len(steps))
+	}
+	// t0→t1: nodes u1,u2,u4 stable, u3 gone; edges u1→u2 and u2→u4
+	// stable, u1→u4 new, u1→u3 gone.
+	s0 := steps[0]
+	if s0.NodeSt != 3 || s0.NodeGr != 0 || s0.NodeShr != 1 {
+		t.Errorf("step0 nodes = %d/%d/%d, want 3/0/1", s0.NodeSt, s0.NodeGr, s0.NodeShr)
+	}
+	if s0.EdgeSt != 2 || s0.EdgeGr != 1 || s0.EdgeShr != 1 {
+		t.Errorf("step0 edges = %d/%d/%d, want 2/1/1", s0.EdgeSt, s0.EdgeGr, s0.EdgeShr)
+	}
+	if s0.NodeTotal != 4 || s0.EdgeTotal != 4 {
+		t.Errorf("step0 totals = %d/%d, want 4/4", s0.NodeTotal, s0.EdgeTotal)
+	}
+	// t1→t2: u2,u4 stable, u1 gone, u5 new; edges: u2→u4 stable,
+	// u1→u2 and u1→u4 gone, u4→u5 and u2→u5 new.
+	s1 := steps[1]
+	if s1.NodeSt != 2 || s1.NodeGr != 1 || s1.NodeShr != 1 {
+		t.Errorf("step1 nodes = %d/%d/%d, want 2/1/1", s1.NodeSt, s1.NodeGr, s1.NodeShr)
+	}
+	if s1.EdgeSt != 1 || s1.EdgeGr != 2 || s1.EdgeShr != 2 {
+		t.Errorf("step1 edges = %d/%d/%d, want 1/2/2", s1.EdgeSt, s1.EdgeGr, s1.EdgeShr)
+	}
+}
+
+func TestTimelineHighChurnOnMovieLens(t *testing.T) {
+	g := dataset.MovieLensScaled(1, 0.02)
+	s := agg.MustSchema(g, g.MustAttr("gender"))
+	steps := Timeline(g, s, agg.Distinct, nil)
+	if len(steps) != 5 {
+		t.Fatalf("steps = %d, want 5", len(steps))
+	}
+	// The paper's Fig. 13c observation: co-rating edges churn almost
+	// completely month over month — stability is a small fraction of
+	// every step's edge total.
+	for _, st := range steps {
+		if st.EdgeTotal == 0 {
+			continue
+		}
+		if frac := float64(st.EdgeSt) / float64(st.EdgeTotal); frac > 0.3 {
+			t.Errorf("step %d→%d: edge stability fraction %.2f, want ≤ 0.3", st.Old, st.New, frac)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package explore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/evolution"
+	"repro/internal/gtest"
+	"repro/internal/ops"
+)
+
+func TestEdgeIndexRequiresStaticSchema(t *testing.T) {
+	g := core.PaperExample()
+	varying := agg.MustSchema(g, g.MustAttr("publications"))
+	if _, err := NewEdgeIndex(varying, []string{"1"}, []string{"1"}); err == nil {
+		t.Error("EdgeIndex on a time-varying schema should fail")
+	}
+	static := agg.MustSchema(g, g.MustAttr("gender"))
+	if _, err := NewEdgeIndex(static, []string{"zz"}, []string{"f"}); err == nil {
+		t.Error("EdgeIndex with out-of-domain tuple should fail")
+	}
+}
+
+func TestEdgeIndexEvalMatchesGeneralPath(t *testing.T) {
+	g := core.PaperExample()
+	tl := g.Timeline()
+	s := agg.MustSchema(g, g.MustAttr("gender"))
+	ix, err := NewEdgeIndex(s, []string{"m"}, []string{"f"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := EdgeTuple(s, []string{"m"}, []string{"f"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	general := &Explorer{Graph: g, Schema: s, Kind: agg.Distinct, Result: result}
+
+	events := []Event{evolution.Stability, evolution.Growth, evolution.Shrinkage}
+	sels := []ops.Sel{
+		ops.Exists(tl.Point(0)),
+		ops.Exists(tl.Range(0, 1)),
+		ops.ForAll(tl.Range(1, 2)),
+		ops.ForAll(tl.All()),
+	}
+	for _, ev := range events {
+		for _, old := range sels {
+			for _, new := range sels {
+				want := general.eval(ev, old, new)
+				got := ix.Eval(ev, old, new)
+				if got != want {
+					t.Errorf("%v old=%v new=%v: index %d, general %d",
+						ev, old.Interval, new.Interval, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexedExplorerMatchesGeneral(t *testing.T) {
+	g := core.PaperExample()
+	s := agg.MustSchema(g, g.MustAttr("gender"))
+	indexed, err := NewIndexedExplorer(s, []string{"m"}, []string{"f"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, _ := EdgeTuple(s, []string{"m"}, []string{"f"})
+	general := &Explorer{Graph: g, Schema: s, Kind: agg.Distinct, Result: result}
+
+	for _, ev := range []Event{evolution.Stability, evolution.Growth, evolution.Shrinkage} {
+		for _, sem := range []Semantics{UnionSemantics, IntersectionSemantics} {
+			for _, ext := range []Extend{ExtendOld, ExtendNew} {
+				for k := int64(1); k <= 3; k++ {
+					a := indexed.Explore(ev, sem, ext, k)
+					b := general.Explore(ev, sem, ext, k)
+					if !samePairs(a, b) {
+						t.Errorf("%v/%v/%v k=%d: indexed %v general %v",
+							ev, sem, ext, k, pairStrings(a), pairStrings(b))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestQuickEdgeIndexMatchesGeneral(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := gtest.RandomGraph(r, gtest.DefaultParams())
+		var static []core.AttrID
+		for a := 0; a < g.NumAttrs(); a++ {
+			if g.Attr(core.AttrID(a)).Kind == core.Static {
+				static = append(static, core.AttrID(a))
+			}
+		}
+		if len(static) == 0 || g.NumEdges() == 0 {
+			return true
+		}
+		s := agg.MustSchema(g, static...)
+		// Target the tuple pair of a random real edge so the match mask
+		// is non-trivial.
+		ep := g.Edge(core.EdgeID(r.Intn(g.NumEdges())))
+		fromTu, ok1 := s.StaticTuple(ep.U)
+		toTu, ok2 := s.StaticTuple(ep.V)
+		if !ok1 || !ok2 {
+			return true
+		}
+		from := s.Decode(fromTu)
+		to := s.Decode(toTu)
+
+		ix, err := NewEdgeIndex(s, from, to)
+		if err != nil {
+			return false
+		}
+		result, err := EdgeTuple(s, from, to)
+		if err != nil {
+			return false
+		}
+		general := &Explorer{Graph: g, Schema: s, Kind: agg.Distinct, Result: result}
+		tl := g.Timeline()
+		for trial := 0; trial < 5; trial++ {
+			old := ops.Sel{Interval: gtest.RandomInterval(r, tl), ForAll: r.Intn(2) == 0}
+			new := ops.Sel{Interval: gtest.RandomInterval(r, tl), ForAll: r.Intn(2) == 0}
+			for _, ev := range []Event{evolution.Stability, evolution.Growth, evolution.Shrinkage} {
+				if ix.Eval(ev, old, new) != general.eval(ev, old, new) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package explore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/evolution"
+	"repro/internal/gtest"
+	"repro/internal/ops"
+)
+
+func TestNodeIndexValidation(t *testing.T) {
+	g := core.PaperExample()
+	if _, err := NewNodeIndex(agg.MustSchema(g, g.MustAttr("publications")), "1"); err == nil {
+		t.Error("time-varying schema should fail")
+	}
+	if _, err := NewNodeIndex(agg.MustSchema(g, g.MustAttr("gender")), "zz"); err == nil {
+		t.Error("out-of-domain tuple should fail")
+	}
+}
+
+func TestNodeIndexEvalFixture(t *testing.T) {
+	g := core.PaperExample()
+	tl := g.Timeline()
+	s := agg.MustSchema(g, g.MustAttr("gender"))
+	ix, err := NewNodeIndex(s, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stable f nodes t0→t1: u2, u4.
+	if got := ix.Eval(evolution.Stability, ops.Exists(tl.Point(0)), ops.Exists(tl.Point(1))); got != 2 {
+		t.Errorf("stability = %d, want 2", got)
+	}
+	// Shrinkage t0→t1: u3 vanishes (f). u1 is an endpoint of the removed
+	// edge (u1,u3) but is male, so the f count stays 1.
+	if got := ix.Eval(evolution.Shrinkage, ops.Exists(tl.Point(0)), ops.Exists(tl.Point(1))); got != 1 {
+		t.Errorf("shrinkage(f) = %d, want 1", got)
+	}
+	// The endpoint rule shows up for m: u1 still exists at t1 yet counts
+	// in the difference because of the removed edge.
+	ixM, _ := NewNodeIndex(s, "m")
+	if got := ixM.Eval(evolution.Shrinkage, ops.Exists(tl.Point(0)), ops.Exists(tl.Point(1))); got != 1 {
+		t.Errorf("shrinkage(m) = %d, want 1 (endpoint rule)", got)
+	}
+	// Growth t1→t2: u5 (m) appears; u4 (f) is an endpoint of the new edge
+	// (u4,u5) and u2 of (u2,u5).
+	if got := ix.Eval(evolution.Growth, ops.Exists(tl.Point(1)), ops.Exists(tl.Point(2))); got != 2 {
+		t.Errorf("growth(f) = %d, want 2 (u2, u4 as endpoints)", got)
+	}
+	if got := ixM.Eval(evolution.Growth, ops.Exists(tl.Point(1)), ops.Exists(tl.Point(2))); got != 1 {
+		t.Errorf("growth(m) = %d, want 1 (u5)", got)
+	}
+}
+
+func TestQuickNodeIndexMatchesGeneral(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := gtest.RandomGraph(r, gtest.DefaultParams())
+		var static []core.AttrID
+		for a := 0; a < g.NumAttrs(); a++ {
+			if g.Attr(core.AttrID(a)).Kind == core.Static {
+				static = append(static, core.AttrID(a))
+			}
+		}
+		if len(static) == 0 {
+			return true
+		}
+		s := agg.MustSchema(g, static...)
+		// Target the tuple of a random node.
+		target := core.NodeID(r.Intn(g.NumNodes()))
+		tu, ok := s.StaticTuple(target)
+		if !ok {
+			return true
+		}
+		values := s.Decode(tu)
+		ix, err := NewNodeIndex(s, values...)
+		if err != nil {
+			return false
+		}
+		result, err := NodeTuple(s, values...)
+		if err != nil {
+			return false
+		}
+		general := &Explorer{Graph: g, Schema: s, Kind: agg.Distinct, Result: result}
+		tl := g.Timeline()
+		for trial := 0; trial < 6; trial++ {
+			old := ops.Sel{Interval: gtest.RandomInterval(r, tl), ForAll: r.Intn(2) == 0}
+			new := ops.Sel{Interval: gtest.RandomInterval(r, tl), ForAll: r.Intn(2) == 0}
+			for _, ev := range []Event{evolution.Stability, evolution.Growth, evolution.Shrinkage} {
+				if ix.Eval(ev, old, new) != general.eval(ev, old, new) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeIndexedExplorerMatchesGeneral(t *testing.T) {
+	g := core.PaperExample()
+	s := agg.MustSchema(g, g.MustAttr("gender"))
+	indexed, err := NewNodeIndexedExplorer(s, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, _ := NodeTuple(s, "f")
+	general := &Explorer{Graph: g, Schema: s, Kind: agg.Distinct, Result: result}
+	for _, ev := range []Event{evolution.Stability, evolution.Growth, evolution.Shrinkage} {
+		for _, sem := range []Semantics{UnionSemantics, IntersectionSemantics} {
+			for _, ext := range []Extend{ExtendOld, ExtendNew} {
+				a := indexed.Explore(ev, sem, ext, 2)
+				b := general.Explore(ev, sem, ext, 2)
+				if !samePairs(a, b) {
+					t.Errorf("%v/%v/%v: indexed %v general %v",
+						ev, sem, ext, pairStrings(a), pairStrings(b))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package explore
+
+import (
+	"sort"
+
+	"repro/internal/agg"
+	"repro/internal/evolution"
+	"repro/internal/ops"
+	"repro/internal/timeline"
+)
+
+// The paper's conclusion aims at detecting "intervals AND attribute groups
+// of interest". This file ranks the attribute groups: for an event type,
+// which aggregate edges (tuple pairs) show the strongest activity across
+// any consecutive interval pair?
+
+// TupleScore is the activity peak of one aggregate edge.
+type TupleScore struct {
+	From, To agg.Tuple
+	// Peak is the maximum event count over consecutive interval pairs;
+	// Old/New identify the pair where it occurs (earliest on ties).
+	Peak     int64
+	Old, New timeline.Interval
+}
+
+// Label renders the scored edge as "(f)→(f)".
+func (ts TupleScore) Label(s *agg.Schema) string {
+	return "(" + s.Label(ts.From) + ")→(" + s.Label(ts.To) + ")"
+}
+
+// TopEdgeTuples ranks aggregate edges by their peak event count over the
+// consecutive interval pairs (T_i, T_{i+1}), returning the top n (fewer if
+// the graph exhibits fewer tuple pairs). Ties break by label for
+// determinism. The ranked tuples identify which attribute groups deserve a
+// full exploration run.
+func TopEdgeTuples(ex *Explorer, event Event, n int) []TupleScore {
+	tl := ex.Graph.Timeline()
+	best := make(map[agg.EdgeKey]TupleScore)
+	for i := 0; i < tl.Len()-1; i++ {
+		old := tl.Point(timeline.Time(i))
+		new := tl.Point(timeline.Time(i + 1))
+		var v *ops.View
+		switch event {
+		case evolution.Stability:
+			v = ops.Intersection(ex.Graph, old, new)
+		case evolution.Growth:
+			v = ops.Difference(ex.Graph, new, old)
+		default:
+			v = ops.Difference(ex.Graph, old, new)
+		}
+		ag := agg.Aggregate(v, ex.Schema, ex.Kind)
+		for key, w := range ag.Edges {
+			cur, ok := best[key]
+			if !ok || w > cur.Peak {
+				best[key] = TupleScore{From: key.From, To: key.To, Peak: w, Old: old, New: new}
+			}
+		}
+	}
+	out := make([]TupleScore, 0, len(best))
+	for _, ts := range best {
+		out = append(out, ts)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Peak != out[j].Peak {
+			return out[i].Peak > out[j].Peak
+		}
+		return out[i].Label(ex.Schema) < out[j].Label(ex.Schema)
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

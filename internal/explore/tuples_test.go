@@ -1,0 +1,72 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/evolution"
+)
+
+func TestTopEdgeTuplesGrowth(t *testing.T) {
+	g := core.PaperExample()
+	s := agg.MustSchema(g, g.MustAttr("gender"))
+	ex := &Explorer{Graph: g, Schema: s, Kind: agg.Distinct, Result: TotalEdges}
+	// Growth on consecutive pairs: t0→t1 adds u1→u4 (m→f, 1); t1→t2 adds
+	// u4→u5 and u2→u5 (f→m, 2). Top tuple must be (f)→(m) with peak 2.
+	top := TopEdgeTuples(ex, evolution.Growth, 2)
+	if len(top) != 2 {
+		t.Fatalf("top = %d entries, want 2", len(top))
+	}
+	if got := top[0].Label(s); got != "(f)→(m)" || top[0].Peak != 2 {
+		t.Errorf("top[0] = %s peak %d, want (f)→(m) peak 2", got, top[0].Peak)
+	}
+	tl := g.Timeline()
+	if !top[0].Old.Equal(tl.Point(1)) || !top[0].New.Equal(tl.Point(2)) {
+		t.Errorf("top[0] interval pair = %v → %v, want t1 → t2", top[0].Old, top[0].New)
+	}
+	if got := top[1].Label(s); got != "(m)→(f)" || top[1].Peak != 1 {
+		t.Errorf("top[1] = %s peak %d, want (m)→(f) peak 1", got, top[1].Peak)
+	}
+}
+
+func TestTopEdgeTuplesStabilityAndLimit(t *testing.T) {
+	g := core.PaperExample()
+	s := agg.MustSchema(g, g.MustAttr("gender"))
+	ex := &Explorer{Graph: g, Schema: s, Kind: agg.Distinct, Result: TotalEdges}
+	// Stable edges t0→t1: u1→u2 (m→f) and u2→u4 (f→f); t1→t2: u2→u4.
+	top := TopEdgeTuples(ex, evolution.Stability, 0) // 0 = no limit
+	if len(top) != 2 {
+		t.Fatalf("top = %d entries, want 2", len(top))
+	}
+	labels := map[string]int64{}
+	for _, ts := range top {
+		labels[ts.Label(s)] = ts.Peak
+	}
+	if labels["(m)→(f)"] != 1 || labels["(f)→(f)"] != 1 {
+		t.Errorf("peaks = %v", labels)
+	}
+	// Limit.
+	if got := TopEdgeTuples(ex, evolution.Stability, 1); len(got) != 1 {
+		t.Errorf("limited top = %d entries, want 1", len(got))
+	}
+}
+
+func TestTopEdgeTuplesConsistentWithExplorer(t *testing.T) {
+	// The peak the ranking reports must be reproducible by a full
+	// exploration at k = peak for that tuple.
+	g := core.PaperExample()
+	s := agg.MustSchema(g, g.MustAttr("gender"))
+	ex := &Explorer{Graph: g, Schema: s, Kind: agg.Distinct, Result: TotalEdges}
+	for _, ts := range TopEdgeTuples(ex, evolution.Shrinkage, 0) {
+		fn, err := EdgeTuple(s, s.Decode(ts.From), s.Decode(ts.To))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex2 := &Explorer{Graph: g, Schema: s, Kind: agg.Distinct, Result: fn}
+		pairs := ex2.Explore(evolution.Shrinkage, UnionSemantics, ExtendOld, ts.Peak)
+		if len(pairs) == 0 {
+			t.Errorf("tuple %s: no pairs at its own peak %d", ts.Label(s), ts.Peak)
+		}
+	}
+}

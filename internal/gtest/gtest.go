@@ -1,0 +1,145 @@
+// Package gtest provides shared test support: reproducible random temporal
+// attributed graphs and random intervals for property-based tests
+// (testing/quick) across the ops, agg, evolution, explore, larray and
+// materialize packages.
+package gtest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/timeline"
+)
+
+// Params bounds the size of a random graph.
+type Params struct {
+	MaxTimes   int // ≥ 2
+	MaxNodes   int // ≥ 2
+	MaxEdges   int
+	MaxStatic  int // static attribute count
+	MaxVarying int // time-varying attribute count
+	MaxDomain  int // values per attribute domain, ≥ 1
+}
+
+// DefaultParams returns sizes suitable for quick.Check iterations.
+func DefaultParams() Params {
+	return Params{MaxTimes: 6, MaxNodes: 14, MaxEdges: 30, MaxStatic: 2, MaxVarying: 2, MaxDomain: 4}
+}
+
+// RandomGraph builds a reproducible random temporal attributed graph.
+// Every node exists at ≥1 time point, every node has all static values and
+// a time-varying value at every time point it exists, and every edge exists
+// at ≥1 time point where both endpoints exist — i.e. the graph always
+// satisfies core.Builder validation.
+func RandomGraph(r *rand.Rand, p Params) *core.Graph {
+	nTimes := 2 + r.Intn(p.MaxTimes-1)
+	labels := make([]string, nTimes)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("t%d", i)
+	}
+	tl := timeline.MustNew(labels...)
+
+	nStatic := r.Intn(p.MaxStatic + 1)
+	nVarying := r.Intn(p.MaxVarying + 1)
+	var attrs []core.AttrSpec
+	for i := 0; i < nStatic; i++ {
+		attrs = append(attrs, core.AttrSpec{Name: fmt.Sprintf("s%d", i), Kind: core.Static})
+	}
+	for i := 0; i < nVarying; i++ {
+		attrs = append(attrs, core.AttrSpec{Name: fmt.Sprintf("v%d", i), Kind: core.TimeVarying})
+	}
+	b := core.NewBuilder(tl, attrs...)
+
+	nNodes := 2 + r.Intn(p.MaxNodes-1)
+	nodes := make([]core.NodeID, nNodes)
+	for i := range nodes {
+		n := b.AddNode(fmt.Sprintf("n%d", i))
+		nodes[i] = n
+		// Random non-empty lifetime.
+		alive := make([]bool, nTimes)
+		alive[r.Intn(nTimes)] = true
+		for t := range alive {
+			if r.Intn(2) == 0 {
+				alive[t] = true
+			}
+		}
+		for t, a := range alive {
+			if !a {
+				continue
+			}
+			b.SetNodeTime(n, timeline.Time(t))
+			for v := 0; v < nVarying; v++ {
+				b.SetVarying(core.AttrID(nStatic+v), n, timeline.Time(t),
+					fmt.Sprintf("x%d", r.Intn(p.MaxDomain)))
+			}
+		}
+		for s := 0; s < nStatic; s++ {
+			b.SetStatic(core.AttrID(s), n, fmt.Sprintf("x%d", r.Intn(p.MaxDomain)))
+		}
+	}
+
+	g0, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	// Second pass for edges so we can consult node lifetimes.
+	b2 := core.NewBuilder(tl, attrs...)
+	for i := range nodes {
+		n := b2.AddNode(fmt.Sprintf("n%d", i))
+		g0.NodeTau(nodes[i]).ForEach(func(t int) { b2.SetNodeTime(n, timeline.Time(t)) })
+		for s := 0; s < nStatic; s++ {
+			b2.SetStatic(core.AttrID(s), n, g0.Dict(core.AttrID(s)).Value(g0.StaticValue(core.AttrID(s), nodes[i])))
+		}
+		for v := 0; v < nVarying; v++ {
+			a := core.AttrID(nStatic + v)
+			g0.NodeTau(nodes[i]).ForEach(func(t int) {
+				b2.SetVarying(a, n, timeline.Time(t), g0.ValueString(a, nodes[i], timeline.Time(t)))
+			})
+		}
+	}
+	nEdges := r.Intn(p.MaxEdges + 1)
+	for i := 0; i < nEdges; i++ {
+		u := core.NodeID(r.Intn(nNodes))
+		v := core.NodeID(r.Intn(nNodes))
+		if u == v {
+			continue
+		}
+		both := g0.NodeTau(u).And(g0.NodeTau(v))
+		if both.IsEmpty() {
+			continue
+		}
+		e := b2.AddEdge(u, v)
+		// Random non-empty subset of the common lifetime.
+		ts := both.Indices()
+		b2.SetEdgeTime(e, timeline.Time(ts[r.Intn(len(ts))]))
+		for _, t := range ts {
+			if r.Intn(2) == 0 {
+				b2.SetEdgeTime(e, timeline.Time(t))
+			}
+		}
+	}
+	g, err := b2.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// RandomInterval returns a random non-empty set of time points on tl.
+func RandomInterval(r *rand.Rand, tl *timeline.Timeline) timeline.Interval {
+	iv := tl.Point(timeline.Time(r.Intn(tl.Len())))
+	for t := 0; t < tl.Len(); t++ {
+		if r.Intn(3) == 0 {
+			iv = iv.Union(tl.Point(timeline.Time(t)))
+		}
+	}
+	return iv
+}
+
+// RandomRange returns a random non-empty contiguous interval on tl.
+func RandomRange(r *rand.Rand, tl *timeline.Timeline) timeline.Interval {
+	from := r.Intn(tl.Len())
+	to := from + r.Intn(tl.Len()-from)
+	return tl.Range(timeline.Time(from), timeline.Time(to))
+}

@@ -1,0 +1,62 @@
+package gtest
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/timeline"
+)
+
+func TestRandomGraphInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := RandomGraph(r, DefaultParams())
+		// Builder validation already enforces the structural invariants;
+		// additionally check that time-varying values exist at every
+		// point of a node's lifetime (RandomGraph's documented contract).
+		for a := 0; a < g.NumAttrs(); a++ {
+			if g.Attr(core.AttrID(a)).Kind != core.TimeVarying {
+				continue
+			}
+			for n := 0; n < g.NumNodes(); n++ {
+				ok := true
+				g.NodeTau(core.NodeID(n)).ForEach(func(tp int) {
+					if g.ValueString(core.AttrID(a), core.NodeID(n), timeline.Time(tp)) == "" {
+						ok = false
+					}
+				})
+				if !ok {
+					return false
+				}
+			}
+		}
+		return g.NumNodes() >= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomIntervalsNonEmpty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	g := RandomGraph(r, DefaultParams())
+	for i := 0; i < 50; i++ {
+		if RandomInterval(r, g.Timeline()).IsEmpty() {
+			t.Fatal("RandomInterval returned empty interval")
+		}
+		rg := RandomRange(r, g.Timeline())
+		if rg.IsEmpty() || !rg.IsContiguous() {
+			t.Fatal("RandomRange must be non-empty and contiguous")
+		}
+	}
+}
+
+func TestRandomGraphDeterministic(t *testing.T) {
+	a := RandomGraph(rand.New(rand.NewSource(42)), DefaultParams())
+	b := RandomGraph(rand.New(rand.NewSource(42)), DefaultParams())
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+}

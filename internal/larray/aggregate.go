@@ -1,0 +1,237 @@
+package larray
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is the literal implementation of Algorithm 2 (distinct
+// aggregation) and its §4.2 variants: non-distinct aggregation (skip the
+// deduplication steps) and the static-only optimization (skip unpivoting
+// and deduplication entirely).
+//
+// Aggregate graphs are returned as weight maps keyed by human-readable
+// tuple labels — "f,1" for nodes and "(f,1)→(m,3)" for edges — matching
+// the paper's figure notation and convenient for cross-validation against
+// the optimized engine.
+
+// AggResult is the aggregate graph produced by the reference pipeline.
+type AggResult struct {
+	Nodes map[string]int64
+	Edges map[string]int64
+}
+
+// EdgeLabel formats an aggregate edge key.
+func EdgeLabel(from, to string) string { return "(" + from + ")→(" + to + ")" }
+
+// aggRow is one row of the unpivoted-and-merged array A' of Algorithm 2:
+// node id, time point, and the attribute tuple at that time.
+type aggRow struct {
+	id    string
+	time  string
+	tuple string
+}
+
+// buildAPrime performs Algorithm 2 lines 1–7: unpivot each time-varying
+// attribute array, merge them on (id, time), and merge in the static
+// columns. It returns the rows of A' and the (id, time) → tuple lookup
+// used by the edge loop (lines 13–17). Rows exist only for (id, time)
+// combinations where every requested attribute has a value and the node
+// exists (V[id, time] = 1).
+func (ga *GraphArrays) buildAPrime(attrs []string) ([]aggRow, map[string]string) {
+	// Column positions of static attributes.
+	staticCol := make(map[string]int)
+	for i, c := range ga.S.ColLabels {
+		staticCol[c] = i
+	}
+	var rows []aggRow
+	lookup := make(map[string]string)
+	var sb strings.Builder
+	for r, id := range ga.V.RowLabels {
+		srow := ga.S.Cells[r]
+		for c, t := range ga.Times {
+			if ga.V.Cells[r][c] != "1" {
+				continue
+			}
+			sb.Reset()
+			ok := true
+			for i, attr := range attrs {
+				var v string
+				if col, isStatic := staticCol[attr]; isStatic {
+					v = srow[col]
+				} else {
+					arr, exists := ga.A[attr]
+					if !exists {
+						panic(fmt.Sprintf("larray: unknown attribute %q", attr))
+					}
+					v, _ = arr.Cell(id, t)
+				}
+				if v == missing || v == "" {
+					ok = false
+					break
+				}
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(v)
+			}
+			if !ok {
+				continue
+			}
+			tuple := sb.String()
+			rows = append(rows, aggRow{id: id, time: t, tuple: tuple})
+			lookup[id+"@"+t] = tuple
+		}
+	}
+	return rows, lookup
+}
+
+// Aggregate runs Algorithm 2 over the graph arrays: group nodes (and the
+// edges between them) by the given attribute tuple, counting distinctly
+// (DIST) or per appearance (ALL). It dispatches to the §4.2 static-only
+// fast path when every attribute is static.
+func (ga *GraphArrays) Aggregate(attrs []string, distinct bool) AggResult {
+	if len(attrs) == 0 {
+		panic("larray: at least one aggregation attribute required")
+	}
+	if ga.allStatic(attrs) {
+		return ga.aggregateStatic(attrs, distinct)
+	}
+	res := AggResult{Nodes: make(map[string]int64), Edges: make(map[string]int64)}
+
+	rows, lookup := ga.buildAPrime(attrs)
+
+	// Line 5: deduplicate A' on key (v, a').
+	if distinct {
+		seen := make(map[string]bool, len(rows))
+		kept := rows[:0]
+		for _, row := range rows {
+			key := row.id + "\x00" + row.tuple
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			kept = append(kept, row)
+		}
+		rows = kept
+	}
+	// Lines 8–12: group by a' and count.
+	for _, row := range rows {
+		res.Nodes[row.tuple]++
+	}
+
+	// Lines 13–17: build A'' from the edge array via lookups.
+	type edgeRow struct {
+		edge string
+		pair string
+	}
+	var erows []edgeRow
+	for r, label := range ga.E.RowLabels {
+		for c, t := range ga.Times {
+			if ga.E.Cells[r][c] != "1" {
+				continue
+			}
+			u, v := splitEdgeLabel(label)
+			a1, ok1 := lookup[u+"@"+t]
+			a2, ok2 := lookup[v+"@"+t]
+			if !ok1 || !ok2 {
+				continue
+			}
+			erows = append(erows, edgeRow{edge: label, pair: EdgeLabel(a1, a2)})
+		}
+	}
+	// Line 18: deduplicate A'' on ((u,v),(a',a'')).
+	if distinct {
+		seen := make(map[string]bool, len(erows))
+		kept := erows[:0]
+		for _, row := range erows {
+			key := row.edge + "\x00" + row.pair
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			kept = append(kept, row)
+		}
+		erows = kept
+	}
+	// Lines 19–23: group by (a', a'') and count.
+	for _, row := range erows {
+		res.Edges[row.pair]++
+	}
+	return res
+}
+
+func (ga *GraphArrays) allStatic(attrs []string) bool {
+	for _, a := range attrs {
+		if _, varying := ga.A[a]; varying {
+			return false
+		}
+	}
+	return true
+}
+
+// aggregateStatic is the §4.2 optimization: no unpivoting and no
+// deduplication are needed because each node has exactly one tuple. For
+// non-distinct aggregation, entity weights are initialized to the count of
+// 1-columns in V (or E) and summed per group.
+func (ga *GraphArrays) aggregateStatic(attrs []string, distinct bool) AggResult {
+	res := AggResult{Nodes: make(map[string]int64), Edges: make(map[string]int64)}
+	staticCol := make(map[string]int)
+	for i, c := range ga.S.ColLabels {
+		staticCol[c] = i
+	}
+	tupleOf := func(id string) (string, bool) {
+		srow, ok := ga.S.Row(id)
+		if !ok {
+			return "", false
+		}
+		parts := make([]string, len(attrs))
+		for i, attr := range attrs {
+			col, exists := staticCol[attr]
+			if !exists {
+				panic(fmt.Sprintf("larray: unknown static attribute %q", attr))
+			}
+			v := srow[col]
+			if v == missing || v == "" {
+				return "", false
+			}
+			parts[i] = v
+		}
+		return strings.Join(parts, ","), true
+	}
+	countOnes := func(row []string) int64 {
+		var n int64
+		for _, c := range row {
+			if c == "1" {
+				n++
+			}
+		}
+		return n
+	}
+	for r, id := range ga.V.RowLabels {
+		tuple, ok := tupleOf(id)
+		if !ok {
+			continue
+		}
+		if distinct {
+			res.Nodes[tuple]++
+		} else {
+			res.Nodes[tuple] += countOnes(ga.V.Cells[r])
+		}
+	}
+	for r, label := range ga.E.RowLabels {
+		u, v := splitEdgeLabel(label)
+		a1, ok1 := tupleOf(u)
+		a2, ok2 := tupleOf(v)
+		if !ok1 || !ok2 {
+			continue
+		}
+		key := EdgeLabel(a1, a2)
+		if distinct {
+			res.Edges[key]++
+		} else {
+			res.Edges[key] += countOnes(ga.E.Cells[r])
+		}
+	}
+	return res
+}

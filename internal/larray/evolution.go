@@ -1,0 +1,109 @@
+package larray
+
+import (
+	"repro/internal/timeline"
+)
+
+// EvolutionWeights mirrors the evolution package's (St, Gr, Shr) triple in
+// the reference engine's string-keyed form.
+type EvolutionWeights struct {
+	St, Gr, Shr int64
+}
+
+// EvolutionResult is the reference aggregated evolution graph.
+type EvolutionResult struct {
+	Nodes map[string]EvolutionWeights
+	Edges map[string]EvolutionWeights
+}
+
+// AggregateEvolution is the reference implementation of evolution
+// aggregation (§2.3): for every entity, collect the attribute tuples it
+// exhibits during told and during tnew directly from the labeled arrays;
+// a tuple seen in both intervals contributes stability, only in tnew
+// growth, only in told shrinkage (distinct counting, the paper's Fig. 4b
+// semantics). It exists to cross-validate the optimized evolution engine.
+func (ga *GraphArrays) AggregateEvolution(told, tnew timeline.Interval, attrs []string) EvolutionResult {
+	res := EvolutionResult{
+		Nodes: make(map[string]EvolutionWeights),
+		Edges: make(map[string]EvolutionWeights),
+	}
+	colsOld := ga.intervalCols(told)
+	colsNew := ga.intervalCols(tnew)
+	_, lookup := ga.buildAPrime(attrs)
+
+	colSet := func(cols []string) map[string]bool {
+		m := make(map[string]bool, len(cols))
+		for _, c := range cols {
+			m[c] = true
+		}
+		return m
+	}
+	inOld := colSet(colsOld)
+	inNew := colSet(colsNew)
+
+	// classify folds one entity's per-interval tuple sets into weights.
+	classify := func(tuplesOld, tuplesNew map[string]bool, out map[string]EvolutionWeights) {
+		for tuple := range tuplesOld {
+			w := out[tuple]
+			if tuplesNew[tuple] {
+				w.St++
+			} else {
+				w.Shr++
+			}
+			out[tuple] = w
+		}
+		for tuple := range tuplesNew {
+			if !tuplesOld[tuple] {
+				w := out[tuple]
+				w.Gr++
+				out[tuple] = w
+			}
+		}
+	}
+
+	for r, id := range ga.V.RowLabels {
+		tuplesOld := map[string]bool{}
+		tuplesNew := map[string]bool{}
+		for c, t := range ga.Times {
+			if ga.V.Cells[r][c] != "1" {
+				continue
+			}
+			tuple, ok := lookup[id+"@"+t]
+			if !ok {
+				continue
+			}
+			if inOld[t] {
+				tuplesOld[tuple] = true
+			}
+			if inNew[t] {
+				tuplesNew[tuple] = true
+			}
+		}
+		classify(tuplesOld, tuplesNew, res.Nodes)
+	}
+
+	for r, label := range ga.E.RowLabels {
+		u, v := splitEdgeLabel(label)
+		pairsOld := map[string]bool{}
+		pairsNew := map[string]bool{}
+		for c, t := range ga.Times {
+			if ga.E.Cells[r][c] != "1" {
+				continue
+			}
+			a1, ok1 := lookup[u+"@"+t]
+			a2, ok2 := lookup[v+"@"+t]
+			if !ok1 || !ok2 {
+				continue
+			}
+			pair := EdgeLabel(a1, a2)
+			if inOld[t] {
+				pairsOld[pair] = true
+			}
+			if inNew[t] {
+				pairsNew[pair] = true
+			}
+		}
+		classify(pairsOld, pairsNew, res.Edges)
+	}
+	return res
+}

@@ -1,0 +1,73 @@
+package larray
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/evolution"
+	"repro/internal/gtest"
+)
+
+func TestAggregateEvolutionFig4b(t *testing.T) {
+	g := core.PaperExample()
+	tl := g.Timeline()
+	ga := FromGraph(g)
+	res := ga.AggregateEvolution(tl.Point(0), tl.Point(1), []string{"gender", "publications"})
+	if w := res.Nodes["f,1"]; w != (EvolutionWeights{St: 1, Gr: 1, Shr: 1}) {
+		t.Fatalf("reference weights(f,1) = %+v, want 1/1/1 (Fig. 4b)", w)
+	}
+	if w := res.Edges[EdgeLabel("m,3", "f,1")]; w != (EvolutionWeights{Shr: 2}) {
+		t.Errorf("reference ((m,3)→(f,1)) = %+v, want Shr=2", w)
+	}
+}
+
+// TestQuickEvolutionReferenceMatchesOptimized cross-validates the
+// optimized evolution engine against the labeled-array reference on
+// random graphs and interval pairs.
+func TestQuickEvolutionReferenceMatchesOptimized(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := gtest.RandomGraph(r, gtest.DefaultParams())
+		if g.NumAttrs() == 0 {
+			return true
+		}
+		perm := r.Perm(g.NumAttrs())
+		n := 1 + r.Intn(g.NumAttrs())
+		var ids []core.AttrID
+		var names []string
+		for _, p := range perm[:n] {
+			ids = append(ids, core.AttrID(p))
+			names = append(names, g.Attr(core.AttrID(p)).Name)
+		}
+		schema := agg.MustSchema(g, ids...)
+		tl := g.Timeline()
+		told := gtest.RandomInterval(r, tl)
+		tnew := gtest.RandomInterval(r, tl)
+
+		fast := evolution.Aggregate(g, told, tnew, schema, agg.Distinct, nil)
+		ref := FromGraph(g).AggregateEvolution(told, tnew, names)
+
+		if len(fast.Nodes) != len(ref.Nodes) || len(fast.Edges) != len(ref.Edges) {
+			return false
+		}
+		for tu, w := range fast.Nodes {
+			rw := ref.Nodes[schema.Label(tu)]
+			if rw.St != w.St || rw.Gr != w.Gr || rw.Shr != w.Shr {
+				return false
+			}
+		}
+		for k, w := range fast.Edges {
+			rw := ref.Edges[EdgeLabel(schema.Label(k.From), schema.Label(k.To))]
+			if rw.St != w.St || rw.Gr != w.Gr || rw.Shr != w.Shr {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package materialize implements GraphTempo's partial materialization
+// optimizations (§4.3).
+//
+// Materializing every aggregate of every attribute combination over every
+// interval is unrealistic, so the paper proposes precomputing per-time-
+// point aggregations and reusing them:
+//
+//   - T-distributive reuse: the non-distinct (ALL) aggregate of a union
+//     graph over an interval is the weight-wise sum of the per-time-point
+//     ALL aggregates (distinct union aggregates are NOT T-distributive —
+//     distinct entities cannot be identified across precomputed graphs).
+//   - D-distributive reuse: the aggregate on an attribute subset A” ⊆ A'
+//     is derived from the aggregate on A' by regrouping and summing
+//     (agg.Rollup); at a single time point this is exact for DIST too.
+//
+// Store holds the per-time-point materialization for one schema; Catalog
+// adds a query-level cache that answers aggregate requests from
+// materialized results whenever one of the two derivations applies, and
+// falls back to computing from scratch (while recording what it did, for
+// the speedup experiments of Figs. 10–11).
+package materialize
+
+import (
+	"fmt"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/ops"
+	"repro/internal/timeline"
+)
+
+// Store precomputes, for one aggregation schema, the ALL aggregate of
+// every base time point (the paper's chosen materialization unit).
+type Store struct {
+	schema   *agg.Schema
+	perPoint []*agg.Graph
+}
+
+// NewStore materializes the per-time-point ALL aggregates of g under s.
+func NewStore(g *core.Graph, s *agg.Schema) *Store {
+	if s.Graph() != g {
+		panic("materialize: schema built on a different graph")
+	}
+	n := g.Timeline().Len()
+	st := &Store{schema: s, perPoint: make([]*agg.Graph, n)}
+	for t := 0; t < n; t++ {
+		st.perPoint[t] = agg.Aggregate(ops.At(g, timeline.Time(t)), s, agg.All)
+	}
+	return st
+}
+
+// Schema returns the store's aggregation schema.
+func (st *Store) Schema() *agg.Schema { return st.schema }
+
+// Point returns the materialized ALL aggregate of base time point t.
+// The caller must not modify it.
+func (st *Store) Point(t timeline.Time) *agg.Graph { return st.perPoint[t] }
+
+// UnionAll composes the ALL aggregate of the union graph over iv from the
+// materialized per-point aggregates (T-distributive reuse), without
+// touching the base graph.
+func (st *Store) UnionAll(iv timeline.Interval) *agg.Graph {
+	out := &agg.Graph{
+		Schema: st.schema,
+		Kind:   agg.All,
+		Nodes:  make(map[agg.Tuple]int64),
+		Edges:  make(map[agg.EdgeKey]int64),
+	}
+	for _, t := range iv.Times() {
+		out.Merge(st.perPoint[t])
+	}
+	return out
+}
+
+// PointSubset derives the aggregate of base time point t on a subset of
+// the store's attributes by D-distributive roll-up. At a single time
+// point the roll-up is exact for both kinds; the result carries the
+// store's ALL kind.
+func (st *Store) PointSubset(t timeline.Time, attrs ...core.AttrID) (*agg.Graph, error) {
+	return agg.Rollup(st.perPoint[t], attrs...)
+}
+
+// Source describes how a Catalog answered a request.
+type Source int
+
+const (
+	// Scratch: computed from the base graph.
+	Scratch Source = iota
+	// Cached: returned a previously computed result verbatim.
+	Cached
+	// TDistributive: composed from per-time-point materialized aggregates.
+	TDistributive
+	// DDistributive: rolled up from a materialized superset aggregate.
+	DDistributive
+)
+
+// String names the source for logs and experiment output.
+func (s Source) String() string {
+	switch s {
+	case Scratch:
+		return "scratch"
+	case Cached:
+		return "cached"
+	case TDistributive:
+		return "t-distributive"
+	default:
+		return "d-distributive"
+	}
+}
+
+// Catalog serves union-ALL aggregate requests over one graph, reusing a
+// per-time-point store per attribute set and caching full results.
+type Catalog struct {
+	g      *core.Graph
+	stores map[string]*Store
+	cache  map[string]*agg.Graph
+
+	// Hits counts answers by source, for reporting.
+	Hits map[Source]int
+}
+
+// NewCatalog returns an empty catalog over g.
+func NewCatalog(g *core.Graph) *Catalog {
+	return &Catalog{
+		g:      g,
+		stores: make(map[string]*Store),
+		cache:  make(map[string]*agg.Graph),
+		Hits:   make(map[Source]int),
+	}
+}
+
+func attrsKey(attrs []core.AttrID) string {
+	key := ""
+	for _, a := range attrs {
+		key += fmt.Sprintf("%d,", a)
+	}
+	return key
+}
+
+// Materialize builds (or returns) the per-time-point store for the given
+// attribute set.
+func (c *Catalog) Materialize(attrs ...core.AttrID) (*Store, error) {
+	key := attrsKey(attrs)
+	if st, ok := c.stores[key]; ok {
+		return st, nil
+	}
+	s, err := agg.NewSchema(c.g, attrs...)
+	if err != nil {
+		return nil, err
+	}
+	st := NewStore(c.g, s)
+	c.stores[key] = st
+	return st, nil
+}
+
+// UnionAll returns the ALL aggregate of the union graph over iv on the
+// given attributes, answering from cache or from a materialized store when
+// possible and computing from scratch otherwise. The returned Source
+// reports which path was taken; results are cached either way.
+func (c *Catalog) UnionAll(iv timeline.Interval, attrs ...core.AttrID) (*agg.Graph, Source, error) {
+	key := attrsKey(attrs) + "@" + iv.String()
+	if g, ok := c.cache[key]; ok {
+		c.Hits[Cached]++
+		return g, Cached, nil
+	}
+	if st, ok := c.stores[attrsKey(attrs)]; ok {
+		g := st.UnionAll(iv)
+		c.cache[key] = g
+		c.Hits[TDistributive]++
+		return g, TDistributive, nil
+	}
+	// A superset store at a single time point can answer by roll-up.
+	if iv.Len() == 1 {
+		for _, st := range c.stores {
+			if covers(st.Schema().Attrs(), attrs) {
+				g, err := st.PointSubset(iv.Min(), attrs...)
+				if err == nil {
+					c.cache[key] = g
+					c.Hits[DDistributive]++
+					return g, DDistributive, nil
+				}
+			}
+		}
+	}
+	s, err := agg.NewSchema(c.g, attrs...)
+	if err != nil {
+		return nil, Scratch, err
+	}
+	g := agg.Aggregate(ops.Union(c.g, iv, iv), s, agg.All)
+	c.cache[key] = g
+	c.Hits[Scratch]++
+	return g, Scratch, nil
+}
+
+// covers reports whether super contains every attribute of sub.
+func covers(super, sub []core.AttrID) bool {
+	for _, a := range sub {
+		found := false
+		for _, b := range super {
+			if a == b {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

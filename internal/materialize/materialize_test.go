@@ -1,0 +1,176 @@
+package materialize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/gtest"
+	"repro/internal/ops"
+	"repro/internal/timeline"
+)
+
+func TestUnionAllComposition(t *testing.T) {
+	g := core.PaperExample()
+	tl := g.Timeline()
+	s := agg.MustSchema(g, g.MustAttr("gender"), g.MustAttr("publications"))
+	st := NewStore(g, s)
+
+	iv := tl.Range(0, 1)
+	composed := st.UnionAll(iv)
+	scratch := agg.Aggregate(ops.Union(g, iv, iv), s, agg.All)
+	if !composed.Equal(scratch) {
+		t.Fatalf("T-distributive composition disagrees:\n%s\nvs\n%s", composed, scratch)
+	}
+	// Spot check the paper's ALL number: w(f,1) = 4 on the union of t0,t1.
+	f1, _ := s.Encode("f", "1")
+	if composed.NodeWeight(f1) != 4 {
+		t.Errorf("composed w(f,1) = %d, want 4", composed.NodeWeight(f1))
+	}
+}
+
+func TestPointSubsetRollup(t *testing.T) {
+	g := core.PaperExample()
+	s := agg.MustSchema(g, g.MustAttr("gender"), g.MustAttr("publications"))
+	st := NewStore(g, s)
+	gender := g.MustAttr("gender")
+	for tp := 0; tp < 3; tp++ {
+		rolled, err := st.PointSubset(timeline.Time(tp), gender)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := agg.Aggregate(ops.At(g, timeline.Time(tp)), agg.MustSchema(g, gender), agg.All)
+		if !rolled.Equal(direct) {
+			t.Errorf("t%d: rollup disagrees with direct", tp)
+		}
+	}
+}
+
+func TestStorePanicsOnForeignSchema(t *testing.T) {
+	g1 := core.PaperExample()
+	g2 := core.PaperExample()
+	s := agg.MustSchema(g2, g2.MustAttr("gender"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStore(g1, s)
+}
+
+func TestCatalogSources(t *testing.T) {
+	g := core.PaperExample()
+	tl := g.Timeline()
+	gender := g.MustAttr("gender")
+	pubs := g.MustAttr("publications")
+
+	c := NewCatalog(g)
+	// Nothing materialized: scratch.
+	_, src, err := c.UnionAll(tl.Range(0, 1), gender)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != Scratch {
+		t.Errorf("source = %v, want scratch", src)
+	}
+	// Same request again: cached.
+	_, src, _ = c.UnionAll(tl.Range(0, 1), gender)
+	if src != Cached {
+		t.Errorf("source = %v, want cached", src)
+	}
+	// Materialize (gender): T-distributive for other intervals.
+	if _, err := c.Materialize(gender); err != nil {
+		t.Fatal(err)
+	}
+	got, src, _ := c.UnionAll(tl.Range(0, 2), gender)
+	if src != TDistributive {
+		t.Errorf("source = %v, want t-distributive", src)
+	}
+	want := agg.Aggregate(ops.Union(g, tl.Range(0, 2), tl.Range(0, 2)), agg.MustSchema(g, gender), agg.All)
+	if !got.Equal(want) {
+		t.Error("t-distributive answer differs from scratch")
+	}
+	// Materialize (gender, pubs): single-point subset requests roll up.
+	if _, err := c.Materialize(gender, pubs); err != nil {
+		t.Fatal(err)
+	}
+	gotP, src, _ := c.UnionAll(tl.Point(2), pubs)
+	if src != DDistributive {
+		t.Errorf("source = %v, want d-distributive", src)
+	}
+	wantP := agg.Aggregate(ops.At(g, 2), agg.MustSchema(g, pubs), agg.All)
+	if !gotP.Equal(wantP) {
+		t.Error("d-distributive answer differs from scratch")
+	}
+	if c.Hits[Scratch] != 1 || c.Hits[Cached] != 1 || c.Hits[TDistributive] != 1 || c.Hits[DDistributive] != 1 {
+		t.Errorf("hit counts = %v", c.Hits)
+	}
+}
+
+func TestCatalogBadAttrs(t *testing.T) {
+	g := core.PaperExample()
+	c := NewCatalog(g)
+	if _, err := c.Materialize(); err == nil {
+		t.Error("Materialize with no attributes should fail")
+	}
+	if _, _, err := c.UnionAll(g.Timeline().Point(0)); err == nil {
+		t.Error("UnionAll with no attributes should fail")
+	}
+}
+
+func TestQuickTDistributiveEqualsScratch(t *testing.T) {
+	// §4.3's claim: union + non-distinct aggregation is T-distributive.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := gtest.RandomGraph(r, gtest.DefaultParams())
+		if g.NumAttrs() == 0 {
+			return true
+		}
+		attrs := make([]core.AttrID, g.NumAttrs())
+		for i := range attrs {
+			attrs[i] = core.AttrID(i)
+		}
+		s := agg.MustSchema(g, attrs...)
+		st := NewStore(g, s)
+		iv := gtest.RandomInterval(r, g.Timeline())
+		composed := st.UnionAll(iv)
+		scratch := agg.Aggregate(ops.Union(g, iv, iv), s, agg.All)
+		return composed.Equal(scratch)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDistinctNotTDistributiveWitness(t *testing.T) {
+	// §4.3 also notes DIST union aggregates are NOT T-distributive: find a
+	// witness where summing per-point DIST aggregates over-counts.
+	found := false
+	for seed := int64(0); seed < 300 && !found; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := gtest.RandomGraph(r, gtest.DefaultParams())
+		if g.NumAttrs() == 0 {
+			continue
+		}
+		attrs := make([]core.AttrID, g.NumAttrs())
+		for i := range attrs {
+			attrs[i] = core.AttrID(i)
+		}
+		s := agg.MustSchema(g, attrs...)
+		iv := g.Timeline().All()
+		summed := &agg.Graph{Schema: s, Kind: agg.Distinct,
+			Nodes: map[agg.Tuple]int64{}, Edges: map[agg.EdgeKey]int64{}}
+		for tp := 0; tp < g.Timeline().Len(); tp++ {
+			summed.Merge(agg.Aggregate(ops.At(g, timeline.Time(tp)), s, agg.Distinct))
+		}
+		scratch := agg.Aggregate(ops.Union(g, iv, iv), s, agg.Distinct)
+		if !summed.Equal(scratch) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no witness that DIST is not T-distributive")
+	}
+}

@@ -1,0 +1,91 @@
+package materialize
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/timeline"
+)
+
+func TestStorePersistRoundTrip(t *testing.T) {
+	g := dataset.DBLPScaled(1, 0.01)
+	s := agg.MustSchema(g, g.MustAttr("gender"), g.MustAttr("publications"))
+	st := NewStore(g, s)
+
+	path := filepath.Join(t.TempDir(), "store.json")
+	if err := st.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadStoreFile(g, s, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every per-point aggregate and every composed window must match.
+	tl := g.Timeline()
+	for tp := 0; tp < tl.Len(); tp++ {
+		if !back.Point(timeline.Time(tp)).Equal(st.Point(timeline.Time(tp))) {
+			t.Fatalf("point %d differs after reload", tp)
+		}
+	}
+	iv := tl.Range(0, 5)
+	if !back.UnionAll(iv).Equal(st.UnionAll(iv)) {
+		t.Fatal("composed window differs after reload")
+	}
+}
+
+func TestReadStoreFileValidation(t *testing.T) {
+	g := core.PaperExample()
+	s := agg.MustSchema(g, g.MustAttr("gender"))
+	st := NewStore(g, s)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.json")
+	if err := st.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong schema (different attribute set).
+	other := agg.MustSchema(g, g.MustAttr("publications"))
+	if _, err := ReadStoreFile(g, other, path); err == nil {
+		t.Error("mismatched schema should fail")
+	}
+	// Foreign graph.
+	g2 := core.PaperExample()
+	if _, err := ReadStoreFile(g2, s, path); err == nil {
+		t.Error("schema built on another graph should fail")
+	}
+	// Corrupted JSON.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadStoreFile(g, s, bad); err == nil {
+		t.Error("corrupted file should fail")
+	}
+	// Missing file.
+	if _, err := ReadStoreFile(g, s, filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+	// Out-of-domain tuple.
+	tampered := filepath.Join(dir, "tampered.json")
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(tampered,
+		[]byte(replaceFirst(string(data), `"m"`, `"zz"`)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadStoreFile(g, s, tampered); err == nil {
+		t.Error("out-of-domain tuple should fail")
+	}
+}
+
+func replaceFirst(s, old, new string) string {
+	for i := 0; i+len(old) <= len(s); i++ {
+		if s[i:i+len(old)] == old {
+			return s[:i] + new + s[i+len(old):]
+		}
+	}
+	return s
+}

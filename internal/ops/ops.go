@@ -1,0 +1,233 @@
+// Package ops implements the GraphTempo temporal operators (§2.1, §4.1):
+// time projection, union, intersection and difference.
+//
+// Each operator yields a View — a selection of nodes and edges of the base
+// graph together with the time mask over which attribute values are
+// collected. Views avoid the row copying of the paper's Algorithm 1 (which
+// package larray implements literally, for cross-validation); Materialize
+// converts a View back into a standalone core.Graph when a copy is wanted.
+package ops
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/timeline"
+)
+
+// View is the result of a temporal operator applied to a base graph: the
+// subset of nodes and edges selected, and the interval over which their
+// timestamps and attribute values are restricted (τu'(u) = τu(u) ∩ Times,
+// and likewise for edges).
+type View struct {
+	g     *core.Graph
+	nodes *bitset.Set // over node ids
+	edges *bitset.Set // over edge ids
+	times timeline.Interval
+}
+
+// Graph returns the base graph the view selects from.
+func (v *View) Graph() *core.Graph { return v.g }
+
+// Times returns the interval over which the view's timestamps and
+// attribute values are defined.
+func (v *View) Times() timeline.Interval { return v.times }
+
+// NumNodes returns the number of selected nodes.
+func (v *View) NumNodes() int { return v.nodes.Count() }
+
+// NumEdges returns the number of selected edges.
+func (v *View) NumEdges() int { return v.edges.Count() }
+
+// ContainsNode reports whether node n is selected.
+func (v *View) ContainsNode(n core.NodeID) bool { return v.nodes.Contains(int(n)) }
+
+// ContainsEdge reports whether edge e is selected.
+func (v *View) ContainsEdge(e core.EdgeID) bool { return v.edges.Contains(int(e)) }
+
+// ForEachNode calls fn for every selected node, in id order.
+func (v *View) ForEachNode(fn func(core.NodeID)) {
+	v.nodes.ForEach(func(i int) { fn(core.NodeID(i)) })
+}
+
+// ForEachEdge calls fn for every selected edge, in id order.
+func (v *View) ForEachEdge(fn func(core.EdgeID)) {
+	v.edges.ForEach(func(i int) { fn(core.EdgeID(i)) })
+}
+
+// ForEachNodeIn calls fn for every selected node with lo ≤ id < hi, in id
+// order. It lets parallel consumers shard the view by id range.
+func (v *View) ForEachNodeIn(lo, hi int, fn func(core.NodeID)) {
+	for i := v.nodes.Next(lo); i >= 0 && i < hi; i = v.nodes.Next(i + 1) {
+		fn(core.NodeID(i))
+	}
+}
+
+// ForEachEdgeIn calls fn for every selected edge with lo ≤ id < hi.
+func (v *View) ForEachEdgeIn(lo, hi int, fn func(core.EdgeID)) {
+	for i := v.edges.Next(lo); i >= 0 && i < hi; i = v.edges.Next(i + 1) {
+		fn(core.EdgeID(i))
+	}
+}
+
+// NodeTimes returns τu'(n) = τu(n) ∩ Times for a selected node.
+func (v *View) NodeTimes(n core.NodeID) *bitset.Set {
+	return v.g.NodeTau(n).And(v.times.Mask())
+}
+
+// EdgeTimes returns τe'(e) = τe(e) ∩ Times for a selected edge.
+func (v *View) EdgeTimes(e core.EdgeID) *bitset.Set {
+	return v.g.EdgeTau(e).And(v.times.Mask())
+}
+
+// NodeTimesCount returns |τu'(n)| without materializing the intersection;
+// it is the appearance count ALL aggregation needs on static schemas.
+func (v *View) NodeTimesCount(n core.NodeID) int {
+	return v.g.NodeTau(n).CountAnd(v.times.Mask())
+}
+
+// EdgeTimesCount returns |τe'(e)| without materializing the intersection.
+func (v *View) EdgeTimesCount(e core.EdgeID) int {
+	return v.g.EdgeTau(e).CountAnd(v.times.Mask())
+}
+
+// Project implements the time project operator (Definition 2.2): the
+// subgraph containing the nodes and edges that exist throughout T1
+// (T1 ⊆ τ(x)), with timestamps restricted to T1.
+func Project(g *core.Graph, t1 timeline.Interval) *View {
+	mask := t1.Mask()
+	nodes := bitset.New(g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		if g.NodeTau(core.NodeID(n)).ContainsAll(mask) {
+			nodes.Add(n)
+		}
+	}
+	edges := bitset.New(g.NumEdges())
+	for e := 0; e < g.NumEdges(); e++ {
+		if g.EdgeTau(core.EdgeID(e)).ContainsAll(mask) {
+			edges.Add(e)
+		}
+	}
+	return &View{g: g, nodes: nodes, edges: edges, times: t1}
+}
+
+// At is shorthand for Project on the single time point t — the per-time-
+// point graphs used throughout the paper's evaluation.
+func At(g *core.Graph, t timeline.Time) *View {
+	return Project(g, g.Timeline().Point(t))
+}
+
+// Union implements the union operator (Definition 2.3, Algorithm 1): the
+// graph containing every node and edge existing at some point of T1 or of
+// T2, with timestamps restricted to T1 ∪ T2.
+func Union(g *core.Graph, t1, t2 timeline.Interval) *View {
+	both := t1.Union(t2)
+	mask := both.Mask()
+	nodes := bitset.New(g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		if g.NodeTau(core.NodeID(n)).Intersects(mask) {
+			nodes.Add(n)
+		}
+	}
+	edges := bitset.New(g.NumEdges())
+	for e := 0; e < g.NumEdges(); e++ {
+		if g.EdgeTau(core.EdgeID(e)).Intersects(mask) {
+			edges.Add(e)
+		}
+	}
+	return &View{g: g, nodes: nodes, edges: edges, times: both}
+}
+
+// Intersection implements the intersection operator (Definition 2.4): the
+// stable part of the graph — nodes and edges existing at some point of T1
+// and at some point of T2 — with timestamps restricted to T1 ∪ T2.
+func Intersection(g *core.Graph, t1, t2 timeline.Interval) *View {
+	m1, m2 := t1.Mask(), t2.Mask()
+	nodes := bitset.New(g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		tau := g.NodeTau(core.NodeID(n))
+		if tau.Intersects(m1) && tau.Intersects(m2) {
+			nodes.Add(n)
+		}
+	}
+	edges := bitset.New(g.NumEdges())
+	for e := 0; e < g.NumEdges(); e++ {
+		tau := g.EdgeTau(core.EdgeID(e))
+		if tau.Intersects(m1) && tau.Intersects(m2) {
+			edges.Add(e)
+		}
+	}
+	return &View{g: g, nodes: nodes, edges: edges, times: t1.Union(t2)}
+}
+
+// Difference implements the difference operator (Definition 2.5) for
+// T1 − T2: the part of the graph that exists in T1 but not in T2. Edges are
+// selected when τe ∩ T1 ≠ ∅ and τe ∩ T2 = ∅; nodes when τu ∩ T1 ≠ ∅ and
+// either τu ∩ T2 = ∅ or the node is an endpoint of a selected edge.
+// Timestamps are restricted to T1. The operator is not symmetric: T2 − T1
+// (with T1 preceding T2) captures growth instead of shrinkage (§2.1).
+func Difference(g *core.Graph, t1, t2 timeline.Interval) *View {
+	m1, m2 := t1.Mask(), t2.Mask()
+	edges := bitset.New(g.NumEdges())
+	endpoint := bitset.New(g.NumNodes())
+	for e := 0; e < g.NumEdges(); e++ {
+		tau := g.EdgeTau(core.EdgeID(e))
+		if tau.Intersects(m1) && !tau.Intersects(m2) {
+			edges.Add(e)
+			ep := g.Edge(core.EdgeID(e))
+			endpoint.Add(int(ep.U))
+			endpoint.Add(int(ep.V))
+		}
+	}
+	nodes := bitset.New(g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		tau := g.NodeTau(core.NodeID(n))
+		if tau.Intersects(m1) && (!tau.Intersects(m2) || endpoint.Contains(n)) {
+			nodes.Add(n)
+		}
+	}
+	return &View{g: g, nodes: nodes, edges: edges, times: t1}
+}
+
+// Materialize copies a view out into a standalone graph, as the paper's
+// Algorithm 1 does: node/edge timestamps are intersected with the view's
+// interval and attribute values are copied for the selected nodes.
+func Materialize(v *View) (*core.Graph, error) {
+	g := v.g
+	b := core.NewBuilder(g.Timeline(), g.Attrs()...)
+	v.ForEachNode(func(n core.NodeID) {
+		nn := b.AddNode(g.NodeLabel(n))
+		times := v.NodeTimes(n)
+		times.ForEach(func(t int) {
+			b.SetNodeTime(nn, timeline.Time(t))
+		})
+		for a := 0; a < g.NumAttrs(); a++ {
+			id := core.AttrID(a)
+			if g.Attr(id).Kind == core.Static {
+				b.SetStatic(id, nn, g.Dict(id).Value(g.StaticValue(id, n)))
+			} else {
+				times.ForEach(func(t int) {
+					s := g.ValueString(id, n, timeline.Time(t))
+					if s != "" {
+						b.SetVarying(id, nn, timeline.Time(t), s)
+					}
+				})
+			}
+		}
+	})
+	v.ForEachEdge(func(e core.EdgeID) {
+		ep := g.Edge(e)
+		u, ok1 := b.NodeID(g.NodeLabel(ep.U))
+		w, ok2 := b.NodeID(g.NodeLabel(ep.V))
+		if !ok1 || !ok2 {
+			// An edge of the view whose endpoint is not in the view would
+			// violate the operators' definitions; Build would reject it
+			// anyway, but fail fast with a clear location.
+			panic("ops: view edge with endpoint outside view")
+		}
+		ee := b.AddEdge(u, w)
+		v.EdgeTimes(e).ForEach(func(t int) {
+			b.SetEdgeTime(ee, timeline.Time(t))
+		})
+	})
+	return b.Build()
+}

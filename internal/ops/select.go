@@ -1,0 +1,89 @@
+package ops
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/timeline"
+)
+
+// Sel pairs an interval with the semantics under which an entity is
+// considered to exist "in" it (§3.1):
+//
+//   - Exists (ForAll=false, union semantics): the entity exists at ≥1 time
+//     point of the interval. This is how the binary operators of §2.1 test
+//     membership, and how an exploration interval extended in the *union*
+//     semi-lattice behaves (T_{i+1} ∪ T_{i+2} ∪ …).
+//   - ForAll (ForAll=true, intersection semantics): the entity exists at
+//     every time point of the interval, the behaviour of an interval
+//     extended in the *intersection* semi-lattice (T_{i+1} ∩ T_{i+2} ∩ …).
+type Sel struct {
+	Interval timeline.Interval
+	ForAll   bool
+}
+
+// Exists returns the union-semantics selector for iv.
+func Exists(iv timeline.Interval) Sel { return Sel{Interval: iv} }
+
+// ForAll returns the intersection-semantics selector for iv.
+func ForAll(iv timeline.Interval) Sel { return Sel{Interval: iv, ForAll: true} }
+
+// matches reports whether a timestamp bitset satisfies the selector.
+func (s Sel) matches(tau *bitset.Set) bool {
+	if s.ForAll {
+		return !s.Interval.IsEmpty() && tau.ContainsAll(s.Interval.Mask())
+	}
+	return tau.Intersects(s.Interval.Mask())
+}
+
+// StabilityView generalizes the intersection operator (Definition 2.4) to
+// selector semantics: it keeps the nodes and edges that exist in old AND in
+// new, each side interpreted under its own semantics. With two Exists
+// selectors it coincides with Intersection. Timestamps are restricted to
+// the union of the two intervals, as in Definition 2.4.
+func StabilityView(g *core.Graph, old, new Sel) *View {
+	nodes := bitset.New(g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		tau := g.NodeTau(core.NodeID(n))
+		if old.matches(tau) && new.matches(tau) {
+			nodes.Add(n)
+		}
+	}
+	edges := bitset.New(g.NumEdges())
+	for e := 0; e < g.NumEdges(); e++ {
+		tau := g.EdgeTau(core.EdgeID(e))
+		if old.matches(tau) && new.matches(tau) {
+			edges.Add(e)
+		}
+	}
+	return &View{g: g, nodes: nodes, edges: edges, times: old.Interval.Union(new.Interval)}
+}
+
+// DifferenceView generalizes the difference operator (Definition 2.5) to
+// selector semantics: it keeps the edges that exist in pos but NOT in neg,
+// and the nodes that exist in pos and either do not exist in neg or are
+// endpoints of a kept edge. With two Exists selectors it coincides with
+// Difference. Timestamps are restricted to pos's interval.
+//
+// Growth between Told and Tnew is DifferenceView(g, new, old); shrinkage is
+// DifferenceView(g, old, new) (§3.3, §3.4).
+func DifferenceView(g *core.Graph, pos, neg Sel) *View {
+	edges := bitset.New(g.NumEdges())
+	endpoint := bitset.New(g.NumNodes())
+	for e := 0; e < g.NumEdges(); e++ {
+		tau := g.EdgeTau(core.EdgeID(e))
+		if pos.matches(tau) && !neg.matches(tau) {
+			edges.Add(e)
+			ep := g.Edge(core.EdgeID(e))
+			endpoint.Add(int(ep.U))
+			endpoint.Add(int(ep.V))
+		}
+	}
+	nodes := bitset.New(g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		tau := g.NodeTau(core.NodeID(n))
+		if pos.matches(tau) && (!neg.matches(tau) || endpoint.Contains(n)) {
+			nodes.Add(n)
+		}
+	}
+	return &View{g: g, nodes: nodes, edges: edges, times: pos.Interval}
+}

@@ -1,0 +1,268 @@
+// Package stream supports evolving graphs that arrive one time point at a
+// time — the interactive setting the paper's conclusion envisions.
+//
+// A Series ingests snapshots (the nodes and edges alive at the new time
+// point, with attribute values) and maintains, for every registered
+// aggregation, the per-time-point non-distinct (ALL) aggregate computed
+// once at ingestion. Because union + ALL aggregation is T-distributive
+// (§4.3), the aggregate of any time window is then the weight-wise sum of
+// the stored per-point aggregates — no re-scan of history.
+//
+// A full core.Graph over everything ingested so far can be materialized at
+// any time (and is cached between appends) for operators and explorations
+// that need the complete model.
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/timeline"
+)
+
+// NodeRecord describes one node alive at the appended time point.
+type NodeRecord struct {
+	Label string
+	// Static holds static attribute values; values for a node seen before
+	// must not contradict the earlier ones.
+	Static map[string]string
+	// Varying holds this time point's values of time-varying attributes.
+	Varying map[string]string
+}
+
+// EdgeRecord describes one directed interaction at the appended time
+// point. Both endpoints must appear in the snapshot's node list.
+type EdgeRecord struct {
+	U, V string
+}
+
+// Snapshot is the content of one time point.
+type Snapshot struct {
+	Nodes []NodeRecord
+	Edges []EdgeRecord
+}
+
+// aggSpec is one registered aggregation with its per-point results.
+type aggSpec struct {
+	attrs []string
+	// nodes[t][tupleLabel] and edges[t][pairLabel] are the ALL aggregate
+	// of time point t, keyed by decoded labels so they survive dictionary
+	// growth across appends.
+	nodes []map[string]int64
+	edges []map[string]int64
+}
+
+// Series accumulates an evolving graph.
+type Series struct {
+	attrs  []core.AttrSpec
+	labels []string
+	snaps  []Snapshot
+
+	aggs map[string]*aggSpec
+
+	cached *core.Graph // full graph; nil when stale
+}
+
+// New returns an empty series with the given attribute schema.
+func New(attrs ...core.AttrSpec) *Series {
+	return &Series{attrs: append([]core.AttrSpec(nil), attrs...), aggs: map[string]*aggSpec{}}
+}
+
+// Len returns the number of time points ingested.
+func (s *Series) Len() int { return len(s.labels) }
+
+// Labels returns the ingested time point labels in order.
+func (s *Series) Labels() []string { return append([]string(nil), s.labels...) }
+
+// RegisterAggregation adds an aggregation (by attribute names) whose
+// per-point ALL aggregates are maintained from the next Append on; already
+// ingested points are back-filled.
+func (s *Series) RegisterAggregation(name string, attrNames ...string) error {
+	if _, dup := s.aggs[name]; dup {
+		return fmt.Errorf("stream: aggregation %q already registered", name)
+	}
+	if len(attrNames) == 0 {
+		return fmt.Errorf("stream: aggregation needs at least one attribute")
+	}
+	for _, n := range attrNames {
+		found := false
+		for _, a := range s.attrs {
+			if a.Name == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("stream: unknown attribute %q", n)
+		}
+	}
+	spec := &aggSpec{attrs: append([]string(nil), attrNames...)}
+	for i := range s.snaps {
+		nodes, edges := aggregateSnapshot(s.snaps[i], spec.attrs)
+		spec.nodes = append(spec.nodes, nodes)
+		spec.edges = append(spec.edges, edges)
+	}
+	s.aggs[name] = spec
+	return nil
+}
+
+// Append ingests the next time point. The label must be new; edges must
+// reference snapshot nodes; nodes must carry values for every attribute of
+// the schema (static values may be omitted after the node's first
+// appearance).
+func (s *Series) Append(label string, snap Snapshot) error {
+	for _, l := range s.labels {
+		if l == label {
+			return fmt.Errorf("stream: duplicate time point label %q", label)
+		}
+	}
+	present := make(map[string]bool, len(snap.Nodes))
+	for _, n := range snap.Nodes {
+		if n.Label == "" {
+			return fmt.Errorf("stream: node with empty label at %s", label)
+		}
+		if present[n.Label] {
+			return fmt.Errorf("stream: node %q appears twice at %s", n.Label, label)
+		}
+		present[n.Label] = true
+	}
+	for _, e := range snap.Edges {
+		if !present[e.U] || !present[e.V] {
+			return fmt.Errorf("stream: edge (%s,%s) references a node not in the %s snapshot", e.U, e.V, label)
+		}
+	}
+	s.labels = append(s.labels, label)
+	s.snaps = append(s.snaps, snap)
+	s.cached = nil
+	for _, spec := range s.aggs {
+		nodes, edges := aggregateSnapshot(snap, spec.attrs)
+		spec.nodes = append(spec.nodes, nodes)
+		spec.edges = append(spec.edges, edges)
+	}
+	return nil
+}
+
+// aggregateSnapshot computes the single-point ALL aggregate of a snapshot
+// directly from its records (at one time point ALL and DIST coincide).
+func aggregateSnapshot(snap Snapshot, attrs []string) (map[string]int64, map[string]int64) {
+	nodes := make(map[string]int64)
+	edges := make(map[string]int64)
+	tuples := make(map[string]string, len(snap.Nodes))
+	for _, n := range snap.Nodes {
+		tuple, ok := tupleOf(n, attrs)
+		if !ok {
+			continue
+		}
+		tuples[n.Label] = tuple
+		nodes[tuple]++
+	}
+	for _, e := range snap.Edges {
+		tu, ok1 := tuples[e.U]
+		tv, ok2 := tuples[e.V]
+		if !ok1 || !ok2 {
+			continue
+		}
+		edges["("+tu+")→("+tv+")"]++
+	}
+	return nodes, edges
+}
+
+func tupleOf(n NodeRecord, attrs []string) (string, bool) {
+	tuple := ""
+	for i, a := range attrs {
+		v, ok := n.Static[a]
+		if !ok {
+			v, ok = n.Varying[a]
+		}
+		if !ok || v == "" {
+			return "", false
+		}
+		if i > 0 {
+			tuple += ","
+		}
+		tuple += v
+	}
+	return tuple, true
+}
+
+// WindowUnionAll returns the union-ALL aggregate of the time points
+// [from, to] (inclusive indices) for a registered aggregation, composed
+// from the per-point aggregates by T-distributive summation.
+func (s *Series) WindowUnionAll(name string, from, to int) (map[string]int64, map[string]int64, error) {
+	spec, ok := s.aggs[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("stream: no aggregation named %q", name)
+	}
+	if from < 0 || to >= len(s.labels) || from > to {
+		return nil, nil, fmt.Errorf("stream: window [%d,%d] out of range [0,%d]", from, to, len(s.labels)-1)
+	}
+	nodes := make(map[string]int64)
+	edges := make(map[string]int64)
+	for t := from; t <= to; t++ {
+		for k, w := range spec.nodes[t] {
+			nodes[k] += w
+		}
+		for k, w := range spec.edges[t] {
+			edges[k] += w
+		}
+	}
+	return nodes, edges, nil
+}
+
+// Graph materializes (and caches) the full temporal attributed graph over
+// every ingested time point. Static attribute conflicts across snapshots
+// surface as an error here; the first seen value is authoritative.
+func (s *Series) Graph() (*core.Graph, error) {
+	if s.cached != nil {
+		return s.cached, nil
+	}
+	if len(s.labels) == 0 {
+		return nil, fmt.Errorf("stream: no time points ingested")
+	}
+	tl, err := timeline.New(s.labels...)
+	if err != nil {
+		return nil, err
+	}
+	b := core.NewBuilder(tl, s.attrs...)
+	staticSeen := map[string]map[string]string{} // node → attr → value
+	for t, snap := range s.snaps {
+		for _, n := range snap.Nodes {
+			id := b.AddNode(n.Label)
+			b.SetNodeTime(id, timeline.Time(t))
+			for ai, spec := range s.attrs {
+				if spec.Kind == core.Static {
+					v, ok := n.Static[spec.Name]
+					if !ok {
+						continue
+					}
+					if prev, seen := staticSeen[n.Label][spec.Name]; seen {
+						if prev != v {
+							return nil, fmt.Errorf("stream: node %s static attribute %s changed from %q to %q",
+								n.Label, spec.Name, prev, v)
+						}
+						continue
+					}
+					if staticSeen[n.Label] == nil {
+						staticSeen[n.Label] = map[string]string{}
+					}
+					staticSeen[n.Label][spec.Name] = v
+					b.SetStatic(core.AttrID(ai), id, v)
+				} else if v, ok := n.Varying[spec.Name]; ok && v != "" {
+					b.SetVarying(core.AttrID(ai), id, timeline.Time(t), v)
+				}
+			}
+		}
+		for _, e := range snap.Edges {
+			u, _ := b.NodeID(e.U)
+			v, _ := b.NodeID(e.V)
+			id := b.AddEdge(u, v)
+			b.SetEdgeTime(id, timeline.Time(t))
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	s.cached = g
+	return g, nil
+}

@@ -1,0 +1,443 @@
+package tgql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/agg"
+	"repro/internal/benchutil"
+	"repro/internal/core"
+	"repro/internal/evolution"
+	"repro/internal/explore"
+	"repro/internal/ops"
+	"repro/internal/timeline"
+)
+
+// Result holds the output of one executed query; exactly one of the
+// payload fields is set.
+type Result struct {
+	Agg       *agg.Graph
+	Measure   *agg.MeasureGraph
+	Evolution *evolution.Agg
+	Pairs     []explore.Pair
+	K         int64 // the threshold an EXPLORE ran with (chosen or tuned)
+	Stats     *core.Stats
+	Top       []explore.TupleScore
+	TopSchema *agg.Schema
+	Timeline  []evolution.TimelineStep
+	// Coarse is the zoomed-out graph of a COARSEN statement; the REPL
+	// reports its statistics.
+	Coarse *core.Graph
+
+	// g is the graph the query ran against, for rendering context.
+	g *core.Graph
+}
+
+// String renders the result for terminals and the REPL.
+func (r *Result) String() string {
+	switch {
+	case r.Agg != nil:
+		return r.Agg.String()
+	case r.Measure != nil:
+		return r.Measure.String()
+	case r.Evolution != nil:
+		return r.Evolution.String()
+	case r.Stats != nil:
+		var b strings.Builder
+		tb := &benchutil.Table{ID: "stats", Title: "nodes and edges per time point",
+			Header: []string{"#TP", "#Nodes", "#Edges"}}
+		for i, label := range r.Stats.Labels {
+			tb.Add(label, fmt.Sprintf("%d", r.Stats.Nodes[i]), fmt.Sprintf("%d", r.Stats.Edges[i]))
+		}
+		tb.Print(&b)
+		return b.String()
+	case r.Top != nil:
+		var b strings.Builder
+		fmt.Fprintf(&b, "top %d attribute groups by peak event count\n", len(r.Top))
+		for i, ts := range r.Top {
+			fmt.Fprintf(&b, "  %d. %s peak %d at %s → %s\n",
+				i+1, ts.Label(r.TopSchema), ts.Peak, ts.Old, ts.New)
+		}
+		return b.String()
+	case r.Timeline != nil:
+		var b strings.Builder
+		tb := &benchutil.Table{ID: "timeline", Title: "evolution per consecutive pair",
+			Header: []string{"step", "nodes St", "nodes Gr", "nodes Shr", "edges St", "edges Gr", "edges Shr"}}
+		tl := r.g.Timeline()
+		for _, st := range r.Timeline {
+			tb.Add(tl.Label(st.Old)+"→"+tl.Label(st.New),
+				fmt.Sprintf("%d", st.NodeSt), fmt.Sprintf("%d", st.NodeGr), fmt.Sprintf("%d", st.NodeShr),
+				fmt.Sprintf("%d", st.EdgeSt), fmt.Sprintf("%d", st.EdgeGr), fmt.Sprintf("%d", st.EdgeShr))
+		}
+		tb.Print(&b)
+		return b.String()
+	case r.Coarse != nil:
+		var b strings.Builder
+		stats := core.ComputeStats(r.Coarse)
+		tb := &benchutil.Table{ID: "coarsened", Title: "zoomed-out graph",
+			Header: []string{"#TP", "#Nodes", "#Edges"}}
+		for i, label := range stats.Labels {
+			tb.Add(label, fmt.Sprintf("%d", stats.Nodes[i]), fmt.Sprintf("%d", stats.Edges[i]))
+		}
+		tb.Print(&b)
+		return b.String()
+	default:
+		var b strings.Builder
+		fmt.Fprintf(&b, "k=%d: %d pair(s)\n", r.K, len(r.Pairs))
+		for _, p := range r.Pairs {
+			fmt.Fprintf(&b, "  %s\n", p)
+		}
+		return b.String()
+	}
+}
+
+// ParseFilter compiles a standalone predicate expression (the WHERE
+// grammar without the keyword, e.g. "publications > 4 AND gender = 'f'")
+// into an appearance filter usable with AggregateFiltered and
+// evolution.Aggregate.
+func ParseFilter(g *core.Graph, expr string) (agg.Filter, error) {
+	toks, err := lexAll(expr)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var cmps []comparison
+	for {
+		attr, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		opTok := p.peek()
+		if opTok.kind != tokOp {
+			return nil, p.errorf(opTok, "expected a comparison operator, found %q", opTok.text)
+		}
+		p.take()
+		val, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		cmps = append(cmps, comparison{Attr: attr, Op: opTok.text, Value: val})
+		if !p.keyword("AND") {
+			break
+		}
+	}
+	if err := p.atEOF(); err != nil {
+		return nil, err
+	}
+	return compilePredicate(g, cmps)
+}
+
+// Exec parses and executes one query against g.
+func Exec(g *core.Graph, query string) (*Result, error) {
+	stmt, err := parse(query)
+	if err != nil {
+		return nil, err
+	}
+	var res *Result
+	switch q := stmt.(type) {
+	case statsQuery:
+		s := core.ComputeStats(g)
+		res = &Result{Stats: &s}
+	case aggQuery:
+		res, err = execAgg(g, q)
+	case evolveQuery:
+		res, err = execEvolve(g, q)
+	case exploreQuery:
+		res, err = execExplore(g, q)
+	case topQuery:
+		res, err = execTop(g, q)
+	case timelineQuery:
+		res, err = execTimeline(g, q)
+	case coarsenQuery:
+		spec, specErr := core.UniformGroups(g.Timeline(), q.Width)
+		if specErr != nil {
+			return nil, specErr
+		}
+		coarse, cErr := core.Coarsen(g, spec)
+		if cErr != nil {
+			return nil, cErr
+		}
+		res = &Result{Coarse: coarse}
+	default:
+		return nil, fmt.Errorf("tgql: unhandled statement %T", stmt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.g = g
+	return res, nil
+}
+
+func execTimeline(g *core.Graph, q timelineQuery) (*Result, error) {
+	schema, err := agg.ByName(g, q.Attrs...)
+	if err != nil {
+		return nil, err
+	}
+	filter, err := compilePredicate(g, q.Where)
+	if err != nil {
+		return nil, err
+	}
+	steps := evolution.Timeline(g, schema, agg.Distinct, evolution.Filter(filter))
+	return &Result{Timeline: steps}, nil
+}
+
+func resolveInterval(g *core.Graph, iv intervalExpr) (timeline.Interval, error) {
+	tl := g.Timeline()
+	from, ok := tl.TimeOf(iv.From)
+	if !ok {
+		return timeline.Interval{}, fmt.Errorf("tgql: unknown time point %q", iv.From)
+	}
+	if iv.To == "" {
+		return tl.Point(from), nil
+	}
+	to, ok := tl.TimeOf(iv.To)
+	if !ok {
+		return timeline.Interval{}, fmt.Errorf("tgql: unknown time point %q", iv.To)
+	}
+	if from > to {
+		return timeline.Interval{}, fmt.Errorf("tgql: interval %s..%s runs backwards", iv.From, iv.To)
+	}
+	return tl.Range(from, to), nil
+}
+
+func resolveView(g *core.Graph, op opExpr) (*ops.View, error) {
+	a, err := resolveInterval(g, op.A)
+	if err != nil {
+		return nil, err
+	}
+	switch op.Op {
+	case "POINT", "PROJECT":
+		return ops.Project(g, a), nil
+	}
+	b, err := resolveInterval(g, op.B)
+	if err != nil {
+		return nil, err
+	}
+	switch op.Op {
+	case "UNION":
+		return ops.Union(g, a, b), nil
+	case "INTERSECT":
+		return ops.Intersection(g, a, b), nil
+	default: // DIFF
+		return ops.Difference(g, a, b), nil
+	}
+}
+
+func resolveKind(kind string) agg.Kind {
+	if kind == "ALL" {
+		return agg.All
+	}
+	return agg.Distinct
+}
+
+// compilePredicate turns WHERE comparisons into an appearance filter.
+// Equality and inequality compare strings; ordering operators compare
+// numerically and reject appearances whose value does not parse.
+func compilePredicate(g *core.Graph, cmps []comparison) (agg.Filter, error) {
+	if len(cmps) == 0 {
+		return nil, nil
+	}
+	type compiled struct {
+		attr    core.AttrID
+		op      string
+		str     string
+		num     float64
+		numeric bool
+	}
+	cs := make([]compiled, len(cmps))
+	for i, c := range cmps {
+		a, ok := g.AttrByName(c.Attr)
+		if !ok {
+			return nil, fmt.Errorf("tgql: unknown attribute %q in WHERE", c.Attr)
+		}
+		cc := compiled{attr: a, op: c.Op, str: c.Value}
+		if n, err := strconv.ParseFloat(c.Value, 64); err == nil {
+			cc.num, cc.numeric = n, true
+		}
+		if (c.Op != "=" && c.Op != "!=") && !cc.numeric {
+			return nil, fmt.Errorf("tgql: operator %s needs a numeric value, got %q", c.Op, c.Value)
+		}
+		cs[i] = cc
+	}
+	return func(n core.NodeID, t timeline.Time) bool {
+		for _, c := range cs {
+			v := g.ValueString(c.attr, n, t)
+			if v == "" {
+				return false
+			}
+			switch c.op {
+			case "=":
+				if v != c.str {
+					return false
+				}
+			case "!=":
+				if v == c.str {
+					return false
+				}
+			default:
+				x, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return false
+				}
+				switch c.op {
+				case "<":
+					if !(x < c.num) {
+						return false
+					}
+				case "<=":
+					if !(x <= c.num) {
+						return false
+					}
+				case ">":
+					if !(x > c.num) {
+						return false
+					}
+				case ">=":
+					if !(x >= c.num) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}, nil
+}
+
+func execAgg(g *core.Graph, q aggQuery) (*Result, error) {
+	schema, err := agg.ByName(g, q.Attrs...)
+	if err != nil {
+		return nil, err
+	}
+	view, err := resolveView(g, q.Op)
+	if err != nil {
+		return nil, err
+	}
+	filter, err := compilePredicate(g, q.Where)
+	if err != nil {
+		return nil, err
+	}
+	if q.Measure != "" {
+		if filter != nil {
+			return nil, fmt.Errorf("tgql: WHERE and MEASURE cannot be combined")
+		}
+		a, ok := g.AttrByName(q.MAttr)
+		if !ok {
+			return nil, fmt.Errorf("tgql: unknown measured attribute %q", q.MAttr)
+		}
+		var fn agg.Measure
+		switch q.Measure {
+		case "SUM":
+			fn = agg.Sum
+		case "AVG":
+			fn = agg.Avg
+		case "MIN":
+			fn = agg.Min
+		default:
+			fn = agg.Max
+		}
+		mg, err := agg.AggregateMeasure(view, schema, a, fn)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Measure: mg}, nil
+	}
+	return &Result{Agg: agg.AggregateFiltered(view, schema, resolveKind(q.Kind), filter)}, nil
+}
+
+func execEvolve(g *core.Graph, q evolveQuery) (*Result, error) {
+	schema, err := agg.ByName(g, q.Attrs...)
+	if err != nil {
+		return nil, err
+	}
+	old, err := resolveInterval(g, q.From)
+	if err != nil {
+		return nil, err
+	}
+	new, err := resolveInterval(g, q.To)
+	if err != nil {
+		return nil, err
+	}
+	filter, err := compilePredicate(g, q.Where)
+	if err != nil {
+		return nil, err
+	}
+	ev := evolution.Aggregate(g, old, new, schema, resolveKind(q.Kind), evolution.Filter(filter))
+	return &Result{Evolution: ev}, nil
+}
+
+func execTop(g *core.Graph, q topQuery) (*Result, error) {
+	schema, err := agg.ByName(g, q.Attrs...)
+	if err != nil {
+		return nil, err
+	}
+	ex := &explore.Explorer{Graph: g, Schema: schema, Kind: agg.Distinct, Result: explore.TotalEdges}
+	var event explore.Event
+	switch q.Event {
+	case "STABILITY":
+		event = evolution.Stability
+	case "GROWTH":
+		event = evolution.Growth
+	default:
+		event = evolution.Shrinkage
+	}
+	return &Result{Top: explore.TopEdgeTuples(ex, event, q.N), TopSchema: schema}, nil
+}
+
+func execExplore(g *core.Graph, q exploreQuery) (*Result, error) {
+	schema, err := agg.ByName(g, q.Attrs...)
+	if err != nil {
+		return nil, err
+	}
+	ex := &explore.Explorer{Graph: g, Schema: schema, Kind: agg.Distinct, Result: explore.TotalEdges}
+	switch {
+	case q.EdgeFrom != nil:
+		fn, err := explore.EdgeTuple(schema, q.EdgeFrom, q.EdgeTo)
+		if err != nil {
+			return nil, err
+		}
+		ex.Result = fn
+	case q.NodeTuple != nil:
+		fn, err := explore.NodeTuple(schema, q.NodeTuple...)
+		if err != nil {
+			return nil, err
+		}
+		ex.Result = fn
+	}
+	var event explore.Event
+	switch q.Event {
+	case "STABILITY":
+		event = evolution.Stability
+	case "GROWTH":
+		event = evolution.Growth
+	default:
+		event = evolution.Shrinkage
+	}
+	sem := explore.UnionSemantics
+	if q.Semantics == "INTERSECTION" {
+		sem = explore.IntersectionSemantics
+	}
+	ext := explore.ExtendNew
+	if q.Extend == "OLD" {
+		ext = explore.ExtendOld
+	}
+	if q.Tune > 0 {
+		k, pairs := ex.TuneK(event, sem, ext, q.Tune)
+		return &Result{Pairs: pairs, K: k}, nil
+	}
+	k := q.K
+	if k < 1 {
+		// §3.5 initialization: max of consecutive pairs for minimal
+		// (union) searches, min for maximal (intersection) ones.
+		min, max := ex.InitK(event)
+		if sem == explore.UnionSemantics {
+			k = max
+		} else {
+			k = min
+		}
+		if k < 1 {
+			k = 1
+		}
+	}
+	return &Result{Pairs: ex.Explore(event, sem, ext, k), K: k}, nil
+}

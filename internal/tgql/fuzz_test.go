@@ -1,0 +1,33 @@
+package tgql
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzExec throws arbitrary statements at the parser and executor: every
+// input must either produce a result or an error, never a panic.
+func FuzzExec(f *testing.F) {
+	f.Add("STATS")
+	f.Add("AGG DIST gender, publications ON UNION(t0, t1)")
+	f.Add("AGG ALL gender ON PROJECT t0..t2 WHERE publications > 2")
+	f.Add("AGG DIST gender ON POINT t0 MEASURE AVG(publications)")
+	f.Add("EVOLVE DIST gender FROM t0 TO t1 WHERE publications = 3")
+	f.Add("EXPLORE STABILITY BY gender EDGE 'f' -> 'f' SEMANTICS INTERSECTION EXTEND NEW K 1")
+	f.Add("EXPLORE GROWTH BY gender TUNE 2")
+	f.Add("TOP 3 SHRINKAGE BY gender")
+	f.Add("AGG DIST gender ON UNION(t0, '")
+	f.Add("agg dist gender on point t0 where gender != 'f' and publications <= 2")
+
+	g := core.PaperExample()
+	f.Fuzz(func(t *testing.T, query string) {
+		res, err := Exec(g, query)
+		if err == nil && res == nil {
+			t.Fatal("nil result without error")
+		}
+		if err == nil {
+			_ = res.String() // rendering must not panic either
+		}
+	})
+}

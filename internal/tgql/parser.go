@@ -1,0 +1,482 @@
+package tgql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AST node types. Intervals and attribute values stay as strings until
+// execution, when they are resolved against a concrete graph.
+
+type intervalExpr struct {
+	From, To string // To == "" for a single point
+}
+
+type opExpr struct {
+	Op string // POINT, PROJECT, UNION, INTERSECT, DIFF
+	A  intervalExpr
+	B  intervalExpr // for binary operators
+}
+
+type comparison struct {
+	Attr  string
+	Op    string // = != < <= > >=
+	Value string
+}
+
+type aggQuery struct {
+	Kind    string // DIST | ALL
+	Attrs   []string
+	Op      opExpr
+	Where   []comparison
+	Measure string // "" or SUM/AVG/MIN/MAX
+	MAttr   string // measured attribute
+}
+
+type evolveQuery struct {
+	Kind  string
+	Attrs []string
+	From  intervalExpr
+	To    intervalExpr
+	Where []comparison
+}
+
+type exploreQuery struct {
+	Event     string // STABILITY | GROWTH | SHRINKAGE
+	Attrs     []string
+	EdgeFrom  []string // nil when not an edge target
+	EdgeTo    []string
+	NodeTuple []string // nil when not a node target
+	Semantics string   // UNION | INTERSECTION (default UNION)
+	Extend    string   // OLD | NEW (default NEW)
+	K         int64    // -1 when TUNE is used
+	Tune      int      // 0 when K is used
+}
+
+type statsQuery struct{}
+
+type topQuery struct {
+	N     int
+	Event string
+	Attrs []string
+}
+
+type timelineQuery struct {
+	Attrs []string
+	Where []comparison
+}
+
+type coarsenQuery struct {
+	Width int
+}
+
+// parser consumes the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) take() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("tgql: position %d: %s", t.pos+1, fmt.Sprintf(format, args...))
+}
+
+// keyword consumes an identifier and reports whether it equals kw
+// (case-insensitive).
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.take()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errorf(p.peek(), "expected %s, found %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+// value consumes an identifier or quoted string.
+func (p *parser) value() (string, error) {
+	t := p.peek()
+	if t.kind == tokIdent || t.kind == tokString {
+		p.take()
+		return t.text, nil
+	}
+	return "", p.errorf(t, "expected a value, found %q", t.text)
+}
+
+// valueList parses value (, value)*.
+func (p *parser) valueList() ([]string, error) {
+	var out []string
+	for {
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		if p.peek().kind != tokComma {
+			return out, nil
+		}
+		p.take()
+	}
+}
+
+// interval parses label or label..label.
+func (p *parser) interval() (intervalExpr, error) {
+	from, err := p.value()
+	if err != nil {
+		return intervalExpr{}, err
+	}
+	if p.peek().kind == tokRange {
+		p.take()
+		to, err := p.value()
+		if err != nil {
+			return intervalExpr{}, err
+		}
+		return intervalExpr{From: from, To: to}, nil
+	}
+	return intervalExpr{From: from}, nil
+}
+
+// opExpr parses the temporal operator expression of AGG … ON.
+func (p *parser) opExpr() (opExpr, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return opExpr{}, p.errorf(t, "expected an operator, found %q", t.text)
+	}
+	op := strings.ToUpper(t.text)
+	switch op {
+	case "POINT", "PROJECT":
+		p.take()
+		iv, err := p.interval()
+		if err != nil {
+			return opExpr{}, err
+		}
+		return opExpr{Op: op, A: iv}, nil
+	case "UNION", "INTERSECT", "DIFF":
+		p.take()
+		if p.peek().kind != tokLParen {
+			return opExpr{}, p.errorf(p.peek(), "expected ( after %s", op)
+		}
+		p.take()
+		a, err := p.interval()
+		if err != nil {
+			return opExpr{}, err
+		}
+		if p.peek().kind != tokComma {
+			return opExpr{}, p.errorf(p.peek(), "expected , in %s(...)", op)
+		}
+		p.take()
+		b, err := p.interval()
+		if err != nil {
+			return opExpr{}, err
+		}
+		if p.peek().kind != tokRParen {
+			return opExpr{}, p.errorf(p.peek(), "expected ) to close %s(...)", op)
+		}
+		p.take()
+		return opExpr{Op: op, A: a, B: b}, nil
+	default:
+		return opExpr{}, p.errorf(t, "unknown operator %q (want POINT, PROJECT, UNION, INTERSECT or DIFF)", t.text)
+	}
+}
+
+// where parses WHERE cmp (AND cmp)* if present.
+func (p *parser) where() ([]comparison, error) {
+	if !p.keyword("WHERE") {
+		return nil, nil
+	}
+	var out []comparison
+	for {
+		attr, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		opTok := p.peek()
+		if opTok.kind != tokOp {
+			return nil, p.errorf(opTok, "expected a comparison operator, found %q", opTok.text)
+		}
+		p.take()
+		val, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, comparison{Attr: attr, Op: opTok.text, Value: val})
+		if !p.keyword("AND") {
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) kind() (string, error) {
+	switch {
+	case p.keyword("DIST"):
+		return "DIST", nil
+	case p.keyword("ALL"):
+		return "ALL", nil
+	default:
+		return "", p.errorf(p.peek(), "expected DIST or ALL, found %q", p.peek().text)
+	}
+}
+
+func (p *parser) atEOF() error {
+	if t := p.peek(); t.kind != tokEOF {
+		return p.errorf(t, "unexpected trailing input starting at %q", t.text)
+	}
+	return nil
+}
+
+// parse parses one statement.
+func parse(in string) (interface{}, error) {
+	toks, err := lexAll(in)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	switch {
+	case p.keyword("STATS"):
+		if err := p.atEOF(); err != nil {
+			return nil, err
+		}
+		return statsQuery{}, nil
+	case p.keyword("AGG"):
+		return p.parseAgg()
+	case p.keyword("EVOLVE"):
+		return p.parseEvolve()
+	case p.keyword("EXPLORE"):
+		return p.parseExplore()
+	case p.keyword("TOP"):
+		return p.parseTop()
+	case p.keyword("TIMELINE"):
+		var q timelineQuery
+		var err error
+		if err = p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		if q.Attrs, err = p.valueList(); err != nil {
+			return nil, err
+		}
+		if q.Where, err = p.where(); err != nil {
+			return nil, err
+		}
+		if err := p.atEOF(); err != nil {
+			return nil, err
+		}
+		return q, nil
+	case p.keyword("COARSEN"):
+		var q coarsenQuery
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fmt.Sscanf(v, "%d", &q.Width); err != nil || q.Width < 1 {
+			return nil, p.errorf(p.peek(), "COARSEN wants a positive width, got %q", v)
+		}
+		if err := p.atEOF(); err != nil {
+			return nil, err
+		}
+		return q, nil
+	default:
+		return nil, p.errorf(p.peek(),
+			"expected STATS, AGG, EVOLVE, EXPLORE, TOP, TIMELINE or COARSEN, found %q", p.peek().text)
+	}
+}
+
+// parseTop parses TOP n event BY attrs — rank the aggregate edges
+// (attribute groups) by peak event count over consecutive interval pairs.
+func (p *parser) parseTop() (interface{}, error) {
+	var q topQuery
+	v, err := p.value()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Sscanf(v, "%d", &q.N); err != nil || q.N < 1 {
+		return nil, p.errorf(p.peek(), "TOP wants a positive count, got %q", v)
+	}
+	switch {
+	case p.keyword("STABILITY"):
+		q.Event = "STABILITY"
+	case p.keyword("GROWTH"):
+		q.Event = "GROWTH"
+	case p.keyword("SHRINKAGE"):
+		q.Event = "SHRINKAGE"
+	default:
+		return nil, p.errorf(p.peek(), "expected STABILITY, GROWTH or SHRINKAGE, found %q", p.peek().text)
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	if q.Attrs, err = p.valueList(); err != nil {
+		return nil, err
+	}
+	if err := p.atEOF(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) parseAgg() (interface{}, error) {
+	var q aggQuery
+	var err error
+	if q.Kind, err = p.kind(); err != nil {
+		return nil, err
+	}
+	if q.Attrs, err = p.valueList(); err != nil {
+		return nil, err
+	}
+	if err = p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	if q.Op, err = p.opExpr(); err != nil {
+		return nil, err
+	}
+	if q.Where, err = p.where(); err != nil {
+		return nil, err
+	}
+	if p.keyword("MEASURE") {
+		fn := p.peek()
+		switch {
+		case p.keyword("SUM"), p.keyword("AVG"), p.keyword("MIN"), p.keyword("MAX"):
+			q.Measure = strings.ToUpper(fn.text)
+		default:
+			return nil, p.errorf(fn, "expected SUM, AVG, MIN or MAX, found %q", fn.text)
+		}
+		if p.peek().kind != tokLParen {
+			return nil, p.errorf(p.peek(), "expected ( after MEASURE %s", q.Measure)
+		}
+		p.take()
+		if q.MAttr, err = p.value(); err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, p.errorf(p.peek(), "expected ) after measured attribute")
+		}
+		p.take()
+	}
+	if err := p.atEOF(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) parseEvolve() (interface{}, error) {
+	var q evolveQuery
+	var err error
+	if q.Kind, err = p.kind(); err != nil {
+		return nil, err
+	}
+	if q.Attrs, err = p.valueList(); err != nil {
+		return nil, err
+	}
+	if err = p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if q.From, err = p.interval(); err != nil {
+		return nil, err
+	}
+	if err = p.expectKeyword("TO"); err != nil {
+		return nil, err
+	}
+	if q.To, err = p.interval(); err != nil {
+		return nil, err
+	}
+	if q.Where, err = p.where(); err != nil {
+		return nil, err
+	}
+	if err := p.atEOF(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) parseExplore() (interface{}, error) {
+	q := exploreQuery{Semantics: "UNION", Extend: "NEW", K: -1}
+	switch {
+	case p.keyword("STABILITY"):
+		q.Event = "STABILITY"
+	case p.keyword("GROWTH"):
+		q.Event = "GROWTH"
+	case p.keyword("SHRINKAGE"):
+		q.Event = "SHRINKAGE"
+	default:
+		return nil, p.errorf(p.peek(), "expected STABILITY, GROWTH or SHRINKAGE, found %q", p.peek().text)
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	var err error
+	if q.Attrs, err = p.valueList(); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.keyword("EDGE"):
+			if q.EdgeFrom, err = p.valueList(); err != nil {
+				return nil, err
+			}
+			if p.peek().kind != tokArrow {
+				return nil, p.errorf(p.peek(), "expected -> in EDGE target")
+			}
+			p.take()
+			if q.EdgeTo, err = p.valueList(); err != nil {
+				return nil, err
+			}
+		case p.keyword("NODE"):
+			if q.NodeTuple, err = p.valueList(); err != nil {
+				return nil, err
+			}
+		case p.keyword("SEMANTICS"):
+			switch {
+			case p.keyword("UNION"):
+				q.Semantics = "UNION"
+			case p.keyword("INTERSECTION"):
+				q.Semantics = "INTERSECTION"
+			default:
+				return nil, p.errorf(p.peek(), "expected UNION or INTERSECTION")
+			}
+		case p.keyword("EXTEND"):
+			switch {
+			case p.keyword("OLD"):
+				q.Extend = "OLD"
+			case p.keyword("NEW"):
+				q.Extend = "NEW"
+			default:
+				return nil, p.errorf(p.peek(), "expected OLD or NEW")
+			}
+		case p.keyword("K"):
+			v, err := p.value()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := fmt.Sscanf(v, "%d", &q.K); err != nil || q.K < 1 {
+				return nil, p.errorf(p.peek(), "K wants a positive integer, got %q", v)
+			}
+		case p.keyword("TUNE"):
+			v, err := p.value()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := fmt.Sscanf(v, "%d", &q.Tune); err != nil || q.Tune < 1 {
+				return nil, p.errorf(p.peek(), "TUNE wants a positive integer, got %q", v)
+			}
+		default:
+			if err := p.atEOF(); err != nil {
+				return nil, err
+			}
+			return q, nil
+		}
+	}
+}
