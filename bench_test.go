@@ -523,3 +523,50 @@ func BenchmarkAblationExplorePruning(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkExploreFastPath measures the incremental-view exploration fast
+// path against the seed evaluator (selector views + fresh aggregation per
+// candidate) on paper-scale exploration workloads: one traversal of each
+// kind that dominates §5.2 (U-Explore on stability, I-Explore on stability,
+// and growth via minimal pairs). "seed" pins NoFastPath, "fast" evaluates
+// candidates serially on incremental views, "parallel" adds the bounded
+// worker pool at GOMAXPROCS.
+func BenchmarkExploreFastPath(b *testing.B) {
+	g, _ := benchGraphs(b)
+	s := mustSchema(b, g, "gender")
+	cases := []struct {
+		name  string
+		event graphtempo.EvolutionClass
+		sem   explore.Semantics
+		ext   explore.Extend
+		useK  func(min, max int64) int64
+	}{
+		{"stability-union-min", graphtempo.Stability, graphtempo.UnionSemantics, graphtempo.ExtendNew,
+			func(min, max int64) int64 { return max }},
+		{"stability-intersect-max", graphtempo.Stability, graphtempo.IntersectionSemantics, graphtempo.ExtendNew,
+			func(min, max int64) int64 { return min }},
+		{"growth-union-min", graphtempo.Growth, graphtempo.UnionSemantics, graphtempo.ExtendNew,
+			func(min, max int64) int64 { return max }},
+	}
+	for _, tc := range cases {
+		ex := &explore.Explorer{Graph: g, Schema: s, Kind: agg.Distinct, Result: explore.TotalEdges}
+		min, max := ex.InitK(tc.event)
+		k := tc.useK(min, max)
+		if k < 1 {
+			k = 1
+		}
+		run := func(noFast bool, workers int) func(*testing.B) {
+			return func(b *testing.B) {
+				ex.NoFastPath = noFast
+				ex.Workers = workers
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ex.Explore(tc.event, tc.sem, tc.ext, k)
+				}
+			}
+		}
+		b.Run(tc.name+"/seed", run(true, 0))
+		b.Run(tc.name+"/fast", run(false, 0))
+		b.Run(tc.name+"/parallel", run(false, -1))
+	}
+}

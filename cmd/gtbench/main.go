@@ -7,10 +7,12 @@
 //	gtbench -scale 0.1 -all          # scaled-down quick run
 //	gtbench -run fig10,fig13         # selected experiments
 //	gtbench -all -csvdir out/        # additionally write one CSV per result
+//	gtbench -all -json               # one JSON object per result (JSON lines)
 //	gtbench -list                    # list experiment ids
 //
 // Output is plain text: one aligned table per experiment, in paper order
-// (plus CSV files for plotting when -csvdir is set). Timings are wall
+// (one JSON object per result with -json, CSV files for plotting when
+// -csvdir is set). Timings are wall
 // clock on this machine; the reproduction target is the shape of each
 // curve (who wins, by what factor, where crossovers fall), not the
 // paper's absolute milliseconds.
@@ -202,6 +204,7 @@ func main() {
 		seed   = flag.Int64("seed", 1, "dataset generator seed")
 		out    = flag.String("out", "", "write text output to file instead of stdout")
 		csvdir = flag.String("csvdir", "", "additionally write one CSV per result into this directory")
+		asJSON = flag.Bool("json", false, "emit one JSON object per result (JSON lines) instead of text tables")
 	)
 	flag.Parse()
 
@@ -260,11 +263,20 @@ func main() {
 	}
 
 	env := &environment{seed: *seed, scale: *scale}
-	fmt.Fprintf(w, "GraphTempo evaluation harness — seed %d, scale %g\n\n", *seed, *scale)
+	if !*asJSON {
+		fmt.Fprintf(w, "GraphTempo evaluation harness — seed %d, scale %g\n\n", *seed, *scale)
+	}
 	for _, e := range selected {
 		start := time.Now()
 		for _, p := range e.make(env) {
-			p.Print(w)
+			if *asJSON {
+				if err := p.WriteJSON(w); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			} else {
+				p.Print(w)
+			}
 			if *csvdir != "" {
 				path := filepath.Join(*csvdir, csvName(p.Name()))
 				f, err := os.Create(path)

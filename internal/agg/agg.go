@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dict"
@@ -64,7 +65,14 @@ type Schema struct {
 	attrs     []core.AttrID
 	strides   []int64
 	radices   []int64
+	domain    int64
 	allStatic bool
+
+	// Dense-kernel state (dense.go): pooled flat accumulators, and the
+	// lazily built per-node static tuple codes for all-static schemas.
+	dense       sync.Pool
+	staticOnce  sync.Once
+	staticCodes []int32
 }
 
 // NewSchema returns a schema aggregating g's nodes on the given attributes,
@@ -104,6 +112,7 @@ func NewSchema(g *core.Graph, attrs ...core.AttrID) (*Schema, error) {
 			s.allStatic = false
 		}
 	}
+	s.domain = stride
 	return s, nil
 }
 
@@ -138,6 +147,11 @@ func (s *Schema) Attrs() []core.AttrID { return append([]core.AttrID(nil), s.att
 // AllStatic reports whether every aggregation attribute is static, enabling
 // the §4.2 fast path.
 func (s *Schema) AllStatic() bool { return s.allStatic }
+
+// Domain returns the size of the schema's full cartesian tuple space: the
+// product of the attribute domain cardinalities. Every tuple code lies in
+// [0, Domain).
+func (s *Schema) Domain() int64 { return s.domain }
 
 // TupleAt encodes the attribute tuple of node n at time t. The second
 // result is false when any aggregation attribute has no value there (the
@@ -281,7 +295,38 @@ func (ag *Graph) String() string {
 // Aggregate computes the aggregate graph of a view under the schema
 // (Algorithm 2 and its ALL/static variants). The view must be over the
 // same base graph as the schema.
+//
+// When the schema's tuple domain is small (Domain ≤ DenseDomainLimit, the
+// common case for the paper's dictionary-encoded attribute combinations),
+// the accumulation runs on pooled flat arrays indexed by dense tuple codes
+// instead of hash maps (dense.go); otherwise it falls back to the map
+// engine. Both engines produce identical weights — see AggregateMap and
+// the cross-check tests in dense_test.go.
 func Aggregate(v *ops.View, s *Schema, kind Kind) *Graph {
+	if v.Graph() != s.g {
+		panic("agg: view and schema built on different graphs")
+	}
+	ag := &Graph{Schema: s, Kind: kind}
+	if s.denseEligible() {
+		aggregateDense(v, s, kind, ag, 0, s.g.NumNodes(), 0, s.g.NumEdges())
+		return ag
+	}
+	ag.Nodes = make(map[Tuple]int64)
+	ag.Edges = make(map[EdgeKey]int64)
+	if s.allStatic {
+		aggregateStatic(v, s, kind, ag)
+	} else {
+		aggregateVarying(v, s, kind, ag)
+	}
+	return ag
+}
+
+// AggregateMap computes the same result as Aggregate but always uses the
+// original hash-map accumulators, even when the dense kernel is eligible.
+// It is the reference engine the dense kernel is cross-checked against and
+// the "seed path" comparator of the fast-path benchmarks; library code
+// should call Aggregate.
+func AggregateMap(v *ops.View, s *Schema, kind Kind) *Graph {
 	if v.Graph() != s.g {
 		panic("agg: view and schema built on different graphs")
 	}

@@ -19,9 +19,10 @@ import (
 // tuple pairs are only ever deduplicated against themselves), so no
 // entity's appearances are split across workers.
 //
-// workers ≤ 0 selects GOMAXPROCS. With one worker it falls back to the
-// serial Aggregate. Worthwhile for large views (dense MovieLens months);
-// for small views the merge overhead dominates — measured by
+// workers ≤ 0 selects GOMAXPROCS. With one worker — or when the view
+// selects fewer than ParallelMinEntities entities, where goroutine spawn
+// and merge overhead dominate — it falls back to the serial Aggregate.
+// Worthwhile for large views (dense MovieLens months); measured by
 // BenchmarkAblationParallelAggregation.
 func AggregateParallel(v *ops.View, s *Schema, kind Kind, workers int) *Graph {
 	if v.Graph() != s.g {
@@ -30,7 +31,7 @@ func AggregateParallel(v *ops.View, s *Schema, kind Kind, workers int) *Graph {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers == 1 {
+	if workers == 1 || v.NumNodes()+v.NumEdges() < parallelMinEntities {
 		return Aggregate(v, s, kind)
 	}
 	g := s.g
@@ -42,12 +43,7 @@ func AggregateParallel(v *ops.View, s *Schema, kind Kind, workers int) *Graph {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			part := &Graph{
-				Schema: s,
-				Kind:   kind,
-				Nodes:  make(map[Tuple]int64),
-				Edges:  make(map[EdgeKey]int64),
-			}
+			part := &Graph{Schema: s, Kind: kind}
 			parts[w] = part
 			nLo, nHi := w*nodeShard, (w+1)*nodeShard
 			if nHi > g.NumNodes() {
@@ -57,6 +53,12 @@ func AggregateParallel(v *ops.View, s *Schema, kind Kind, workers int) *Graph {
 			if eHi > g.NumEdges() {
 				eHi = g.NumEdges()
 			}
+			if s.denseEligible() {
+				aggregateDense(v, s, kind, part, nLo, nHi, eLo, eHi)
+				return
+			}
+			part.Nodes = make(map[Tuple]int64)
+			part.Edges = make(map[EdgeKey]int64)
 			if s.allStatic {
 				aggregateStaticRange(v, s, kind, part, nLo, nHi, eLo, eHi)
 			} else {
@@ -65,12 +67,34 @@ func AggregateParallel(v *ops.View, s *Schema, kind Kind, workers int) *Graph {
 		}(w)
 	}
 	wg.Wait()
-	out := parts[0]
-	for _, part := range parts[1:] {
+	// Pre-size the merged maps from the partials: tuple sets of shards
+	// overlap, so the sums are an upper bound and the maps never rehash
+	// during the merge.
+	var nNodes, nEdges int
+	for _, part := range parts {
+		nNodes += len(part.Nodes)
+		nEdges += len(part.Edges)
+	}
+	out := &Graph{
+		Schema: s,
+		Kind:   kind,
+		Nodes:  make(map[Tuple]int64, nNodes),
+		Edges:  make(map[EdgeKey]int64, nEdges),
+	}
+	for _, part := range parts {
 		out.Merge(part)
 	}
 	return out
 }
+
+// parallelMinEntities is the measured crossover below which
+// AggregateParallel falls back to the serial engine: on small views the
+// fixed cost of spawning workers and merging partials exceeds the
+// aggregation itself (BenchmarkAblationParallelAggregation shows the serial
+// engine winning by >2× at a few thousand entities and losing from a few
+// tens of thousands up). A variable, not a constant, so tests can force
+// the parallel path on small fixtures.
+var parallelMinEntities = 16384
 
 // aggregateStaticRange is aggregateStatic restricted to id ranges.
 func aggregateStaticRange(v *ops.View, s *Schema, kind Kind, ag *Graph, nLo, nHi, eLo, eHi int) {

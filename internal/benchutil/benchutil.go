@@ -8,6 +8,7 @@ package benchutil
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -16,10 +17,11 @@ import (
 )
 
 // Printable is implemented by Experiment and Table: render as an aligned
-// text block or as CSV.
+// text block, as CSV, or as one JSON object.
 type Printable interface {
 	Print(w io.Writer)
 	WriteCSV(w io.Writer) error
+	WriteJSON(w io.Writer) error
 	Name() string
 }
 
@@ -173,6 +175,30 @@ func (e *Experiment) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// WriteJSON renders the experiment as one JSON object (followed by a
+// newline, so concatenated experiments form a JSON-lines stream).
+func (e *Experiment) WriteJSON(w io.Writer) error {
+	return writeJSONLine(w, struct {
+		Kind string `json:"kind"`
+		*Experiment
+	}{"experiment", e})
+}
+
+// WriteJSON renders the table as one JSON object under the same framing as
+// Experiment.WriteJSON.
+func (t *Table) WriteJSON(w io.Writer) error {
+	return writeJSONLine(w, struct {
+		Kind string `json:"kind"`
+		*Table
+	}{"table", t})
+}
+
+func writeJSONLine(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(v)
 }
 
 // WriteCSV renders the table as CSV.

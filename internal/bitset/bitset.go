@@ -243,11 +243,85 @@ func (s *Set) Next(i int) int {
 
 // Indices returns the indices of all set bits, in increasing order.
 func (s *Set) Indices() []int {
-	r := make([]int, 0, s.Count())
-	for i := s.Next(0); i >= 0; i = s.Next(i + 1) {
-		r = append(r, i)
+	return s.AppendIndices(make([]int, 0, s.Count()))
+}
+
+// AppendIndices appends the indices of all set bits to buf, in increasing
+// order, and returns the extended slice. Passing a reused buffer (buf[:0])
+// makes repeated index extraction allocation-free once the buffer has grown
+// to the high-water mark.
+func (s *Set) AppendIndices(buf []int) []int {
+	for wi, w := range s.words {
+		base := wi * wordBits
+		for w != 0 {
+			buf = append(buf, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
 	}
-	return r
+	return buf
+}
+
+// ForEachWord calls fn for every backing word of the set, in order. The
+// index wi is the word's position: bit b of word wi is set-bit wi*64+b.
+// It is the non-allocating building block for word-parallel consumers.
+func (s *Set) ForEachWord(fn func(wi int, w uint64)) {
+	for wi, w := range s.words {
+		fn(wi, w)
+	}
+}
+
+// ForEachAnd calls fn for every index set in both s and t, in increasing
+// order, without materializing the intersection — the allocation-free
+// equivalent of s.And(t).ForEach(fn). It panics on length mismatch.
+func (s *Set) ForEachAnd(t *Set, fn func(i int)) {
+	s.sameLen(t, "ForEachAnd")
+	for wi, w := range s.words {
+		w &= t.words[wi]
+		base := wi * wordBits
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// CopyFrom overwrites s with the contents of t, in place.
+// It panics if the sets have different lengths.
+func (s *Set) CopyFrom(t *Set) {
+	s.sameLen(t, "CopyFrom")
+	copy(s.words, t.words)
+}
+
+// AndNotWith clears every bit of s that is set in t, in place.
+// It panics if the sets have different lengths.
+func (s *Set) AndNotWith(t *Set) {
+	s.sameLen(t, "AndNotWith")
+	for i := range s.words {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// SetAnd overwrites s with a ∧ b in one pass. All three sets must have the
+// same length.
+func (s *Set) SetAnd(a, b *Set) {
+	s.sameLen(a, "SetAnd")
+	s.sameLen(b, "SetAnd")
+	for i := range s.words {
+		s.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// SetAndNotOr overwrites s with pos ∧ (¬neg ∨ rescue) in one pass: the
+// word-parallel form of Definition 2.5's node rule, where rescue holds the
+// endpoints of kept difference edges. All four sets must have the same
+// length.
+func (s *Set) SetAndNotOr(pos, neg, rescue *Set) {
+	s.sameLen(pos, "SetAndNotOr")
+	s.sameLen(neg, "SetAndNotOr")
+	s.sameLen(rescue, "SetAndNotOr")
+	for i := range s.words {
+		s.words[i] = pos.words[i] & (^neg.words[i] | rescue.words[i])
+	}
 }
 
 // ForEach calls fn for every set bit in increasing index order.

@@ -234,3 +234,173 @@ func equalInts(a, b []int) bool {
 	}
 	return true
 }
+
+func TestAppendIndicesMatchesIndices(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		s := New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(3) == 0 {
+				s.Add(i)
+			}
+		}
+		want := s.Indices()
+		buf := make([]int, 0, 4)
+		got := s.AppendIndices(buf[:0])
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		// Appending after existing content must preserve it.
+		pre := s.AppendIndices([]int{-7})
+		return len(pre) == len(want)+1 && pre[0] == -7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachAndMatchesAnd(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				a.Add(i)
+			}
+			if r.Intn(2) == 0 {
+				b.Add(i)
+			}
+		}
+		want := a.And(b).Indices()
+		var got []int
+		a.ForEachAnd(b, func(i int) { got = append(got, i) })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachWordCoversAllBits(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 63, 64, 100, 129} {
+		s.Add(i)
+	}
+	rebuilt := New(130)
+	s.ForEachWord(func(wi int, w uint64) {
+		for b := 0; b < wordBits; b++ {
+			if w&(1<<uint(b)) != 0 {
+				rebuilt.Add(wi*wordBits + b)
+			}
+		}
+	})
+	if !rebuilt.Equal(s) {
+		t.Fatalf("ForEachWord rebuild = %v, want %v", rebuilt, s)
+	}
+}
+
+func TestInPlaceCombinators(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		mk := func() *Set {
+			s := New(n)
+			for i := 0; i < n; i++ {
+				if r.Intn(2) == 0 {
+					s.Add(i)
+				}
+			}
+			return s
+		}
+		pos, neg, rescue := mk(), mk(), mk()
+
+		cp := New(n)
+		cp.CopyFrom(pos)
+		if !cp.Equal(pos) {
+			return false
+		}
+
+		anw := pos.Clone()
+		anw.AndNotWith(neg)
+		if !anw.Equal(pos.AndNot(neg)) {
+			return false
+		}
+
+		sa := New(n)
+		sa.SetAnd(pos, neg)
+		if !sa.Equal(pos.And(neg)) {
+			return false
+		}
+
+		// SetAndNotOr == pos ∧ (¬neg ∨ rescue) == (pos ∧ ¬neg) ∨ (pos ∧ rescue)
+		dk := New(n)
+		dk.SetAndNotOr(pos, neg, rescue)
+		want := pos.AndNot(neg).Or(pos.And(rescue))
+		return dk.Equal(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkIndicesVsAppend measures the allocation the reusable-buffer
+// iteration removes from hot loops.
+func BenchmarkIndicesVsAppend(b *testing.B) {
+	s := New(4096)
+	for i := 0; i < 4096; i += 3 {
+		s.Add(i)
+	}
+	b.Run("Indices", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = s.Indices()
+		}
+	})
+	b.Run("AppendIndices", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]int, 0, s.Count())
+		for i := 0; i < b.N; i++ {
+			buf = s.AppendIndices(buf[:0])
+		}
+	})
+}
+
+// BenchmarkForEachAnd compares materializing the intersection against the
+// word-level fused iteration.
+func BenchmarkForEachAnd(b *testing.B) {
+	a, c := New(4096), New(4096)
+	for i := 0; i < 4096; i += 2 {
+		a.Add(i)
+	}
+	for i := 0; i < 4096; i += 3 {
+		c.Add(i)
+	}
+	sink := 0
+	b.Run("And+ForEach", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a.And(c).ForEach(func(i int) { sink += i })
+		}
+	})
+	b.Run("ForEachAnd", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a.ForEachAnd(c, func(i int) { sink += i })
+		}
+	})
+}

@@ -138,8 +138,21 @@ type Explorer struct {
 
 	// Evaluations counts aggregate-graph evaluations performed by the
 	// most recent Explore or Naive call; it is the cost metric of the
-	// pruning ablation.
+	// pruning ablation. The fast path evaluates exactly the candidates
+	// the seed traversal would, so the count is engine-independent.
 	Evaluations int
+
+	// Workers bounds the fast path's parallel candidate evaluator: 0 or 1
+	// evaluates serially, n > 1 uses up to n goroutines, and a negative
+	// value selects GOMAXPROCS. Candidates at the same traversal depth are
+	// independent, so parallel runs produce bit-identical pairs,
+	// ordering and Evaluations counts.
+	Workers int
+
+	// NoFastPath forces the seed evaluation engine (selector views plus a
+	// fresh aggregation per candidate) even when the incremental-view
+	// fast path is applicable. Used by ablations and equivalence tests.
+	NoFastPath bool
 
 	// index, when set (NewIndexedExplorer), evaluates candidate pairs
 	// with precomputed per-time-point edge bitmasks instead of view
@@ -147,6 +160,10 @@ type Explorer struct {
 	// (NewNodeIndexedExplorer).
 	index     *EdgeIndex
 	nodeIndex *NodeIndex
+
+	// pointIdx caches the per-time-point existence index backing the fast
+	// path's incremental views; built lazily on first use.
+	pointIdx *ops.PointIndex
 }
 
 // eval computes result(G) for the aggregate graph of the event between the
@@ -188,6 +205,19 @@ func sel(iv timeline.Interval, sem Semantics) ops.Sel {
 // traversal of Table 1 for the given event and extension side.
 func (ex *Explorer) Explore(event Event, sem Semantics, ext Extend, k int64) []Pair {
 	ex.Evaluations = 0
+	if ex.fastEligible() {
+		fr := ex.newFastRun(event, sem, ext)
+		switch traversalFor(event, sem, ext) {
+		case travU:
+			return fr.uExplore(k)
+		case travI:
+			return fr.iExplore(k)
+		case travBase:
+			return fr.checkBase(k)
+		default:
+			return fr.checkLongest(k)
+		}
+	}
 	switch traversalFor(event, sem, ext) {
 	case travU:
 		return ex.uExplore(event, sem, ext, k)
@@ -353,6 +383,9 @@ func (ex *Explorer) checkLongest(event Event, sem Semantics, ext Extend, k int64
 // baseline for the pruned traversals and the ablation comparator.
 func (ex *Explorer) Naive(event Event, sem Semantics, ext Extend, k int64) []Pair {
 	ex.Evaluations = 0
+	if ex.fastEligible() {
+		return ex.newFastRun(event, sem, ext).naive(sem, k)
+	}
 	var out []Pair
 	n := ex.Graph.Timeline().Len()
 	for i := 0; i < n-1; i++ {

@@ -1,0 +1,158 @@
+package explore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/evolution"
+	"repro/internal/gtest"
+)
+
+// anyExplorer builds an explorer over a random graph with a random
+// attribute subset (static, varying or mixed) and random kind. Engine
+// equivalence must hold regardless of monotonicity: the fast path and the
+// seed path follow the same control flow over the same result values.
+func anyExplorer(r *rand.Rand) *Explorer {
+	g := gtest.RandomGraph(r, gtest.DefaultParams())
+	if g.NumAttrs() == 0 {
+		return nil
+	}
+	attrs := make([]core.AttrID, g.NumAttrs())
+	for a := range attrs {
+		attrs[a] = core.AttrID(a)
+	}
+	r.Shuffle(len(attrs), func(i, j int) { attrs[i], attrs[j] = attrs[j], attrs[i] })
+	attrs = attrs[:1+r.Intn(len(attrs))]
+	kind := agg.Distinct
+	if r.Intn(2) == 0 {
+		kind = agg.All
+	}
+	result := TotalEdges
+	if r.Intn(2) == 0 {
+		result = TotalNodes
+	}
+	return &Explorer{
+		Graph:  g,
+		Schema: agg.MustSchema(g, attrs...),
+		Kind:   kind,
+		Result: result,
+	}
+}
+
+// TestQuickFastPathMatchesSeed checks, across all 12 Table 1 cases on
+// random graphs, that the incremental-view fast path — serial and with the
+// bounded worker pool — returns bit-identical pairs, ordering and
+// Evaluations counts to the seed selector-view engine (NoFastPath), for
+// both Explore and Naive.
+func TestQuickFastPathMatchesSeed(t *testing.T) {
+	events := []Event{evolution.Stability, evolution.Growth, evolution.Shrinkage}
+	sems := []Semantics{UnionSemantics, IntersectionSemantics}
+	exts := []Extend{ExtendOld, ExtendNew}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ex := anyExplorer(r)
+		if ex == nil {
+			return true
+		}
+		_, max := ex.InitK(events[r.Intn(len(events))])
+		k := int64(1)
+		if max > 0 {
+			k = 1 + r.Int63n(max+1)
+		}
+		for _, ev := range events {
+			for _, sem := range sems {
+				for _, ext := range exts {
+					ex.NoFastPath = true
+					seedPairs := ex.Explore(ev, sem, ext, k)
+					seedEvals := ex.Evaluations
+					seedNaive := ex.Naive(ev, sem, ext, k)
+					seedNaiveEvals := ex.Evaluations
+
+					for _, workers := range []int{0, 4} {
+						ex.NoFastPath = false
+						ex.Workers = workers
+						fast := ex.Explore(ev, sem, ext, k)
+						if !samePairs(fast, seedPairs) || ex.Evaluations != seedEvals {
+							return false
+						}
+						fastNaive := ex.Naive(ev, sem, ext, k)
+						if !samePairs(fastNaive, seedNaive) || ex.Evaluations != seedNaiveEvals {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFastPathParallelRace exercises the worker pool under the race
+// detector on a fixture large enough for real contention: every Table 1
+// traversal with Workers well above GOMAXPROCS-typical values.
+func TestFastPathParallelRace(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	p := gtest.DefaultParams()
+	p.MaxNodes *= 4
+	p.MaxEdges *= 4
+	p.MaxTimes += 4
+	g := gtest.RandomGraph(r, p)
+	var static []core.AttrID
+	for a := 0; a < g.NumAttrs(); a++ {
+		if g.Attr(core.AttrID(a)).Kind == core.Static {
+			static = append(static, core.AttrID(a))
+		}
+	}
+	if len(static) == 0 {
+		t.Skip("fixture has no static attributes")
+	}
+	ex := &Explorer{
+		Graph:   g,
+		Schema:  agg.MustSchema(g, static...),
+		Kind:    agg.Distinct,
+		Result:  TotalEdges,
+		Workers: 8,
+	}
+	serial := &Explorer{Graph: g, Schema: ex.Schema, Kind: ex.Kind, Result: ex.Result}
+	for _, ev := range []Event{evolution.Stability, evolution.Growth, evolution.Shrinkage} {
+		for _, sem := range []Semantics{UnionSemantics, IntersectionSemantics} {
+			for _, ext := range []Extend{ExtendOld, ExtendNew} {
+				got := ex.Explore(ev, sem, ext, 2)
+				want := serial.Explore(ev, sem, ext, 2)
+				if !samePairs(got, want) || ex.Evaluations != serial.Evaluations {
+					t.Fatalf("%v %v %v: parallel explore diverged from serial", ev, sem, ext)
+				}
+			}
+		}
+	}
+}
+
+// TestFastPathReusesPointIndex checks the lazy index is cached across calls
+// and rebuilt when the graph changes.
+func TestFastPathReusesPointIndex(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	ex := staticExplorer(r)
+	for ex == nil {
+		ex = staticExplorer(r)
+	}
+	ex.Explore(evolution.Stability, UnionSemantics, ExtendNew, 1)
+	first := ex.pointIdx
+	if first == nil {
+		t.Fatal("fast path did not build a point index")
+	}
+	ex.Explore(evolution.Growth, IntersectionSemantics, ExtendOld, 1)
+	if ex.pointIdx != first {
+		t.Fatal("point index rebuilt for the same graph")
+	}
+	g2 := gtest.RandomGraph(r, gtest.DefaultParams())
+	ex.Graph = g2
+	if ex.pointIndex().Graph() != g2 {
+		t.Fatal("point index not rebuilt after graph swap")
+	}
+}

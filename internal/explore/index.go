@@ -70,20 +70,26 @@ func NewEdgeIndex(s *agg.Schema, from, to []string) (*EdgeIndex, error) {
 	return ix, nil
 }
 
-// selMask combines the per-point masks under the selector's semantics.
+// selMask combines the per-point masks under the selector's semantics,
+// iterating the interval's bitmask directly (Times() would allocate a
+// []Time per evaluation).
 func (ix *EdgeIndex) selMask(sel ops.Sel) *bitset.Set {
-	ts := sel.Interval.Times()
-	if len(ts) == 0 {
-		return bitset.New(ix.g.NumEdges())
+	out := bitset.New(ix.g.NumEdges())
+	if sel.Interval.IsEmpty() {
+		return out
 	}
-	out := ix.perPoint[int(ts[0])].Clone()
-	for _, t := range ts[1:] {
-		if sel.ForAll {
-			out.AndWith(ix.perPoint[int(t)])
-		} else {
-			out.OrWith(ix.perPoint[int(t)])
+	first := true
+	sel.Interval.Mask().ForEach(func(t int) {
+		switch {
+		case first:
+			out.CopyFrom(ix.perPoint[t])
+			first = false
+		case sel.ForAll:
+			out.AndWith(ix.perPoint[t])
+		default:
+			out.OrWith(ix.perPoint[t])
 		}
-	}
+	})
 	return out
 }
 

@@ -65,20 +65,26 @@ func NewNodeIndex(s *agg.Schema, values ...string) (*NodeIndex, error) {
 	return ix, nil
 }
 
-// combine folds per-point masks under the selector semantics.
+// combine folds per-point masks under the selector semantics, iterating
+// the interval's bitmask directly (Times() would allocate a []Time per
+// evaluation).
 func combine(perPoint []*bitset.Set, width int, sel ops.Sel) *bitset.Set {
-	ts := sel.Interval.Times()
-	if len(ts) == 0 {
-		return bitset.New(width)
+	out := bitset.New(width)
+	if sel.Interval.IsEmpty() {
+		return out
 	}
-	out := perPoint[int(ts[0])].Clone()
-	for _, t := range ts[1:] {
-		if sel.ForAll {
-			out.AndWith(perPoint[int(t)])
-		} else {
-			out.OrWith(perPoint[int(t)])
+	first := true
+	sel.Interval.Mask().ForEach(func(t int) {
+		switch {
+		case first:
+			out.CopyFrom(perPoint[t])
+			first = false
+		case sel.ForAll:
+			out.AndWith(perPoint[t])
+		default:
+			out.OrWith(perPoint[t])
 		}
-	}
+	})
 	return out
 }
 
