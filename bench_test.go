@@ -209,8 +209,10 @@ func BenchmarkFig9DifferenceNewOld(b *testing.B) {
 }
 
 // BenchmarkFig10MaterializedUnion compares union-ALL aggregation from
-// scratch against T-distributive composition from the per-year store
-// (Fig. 10).
+// scratch against T-distributive composition from the per-year store at
+// the longest interval (Fig. 10), across the three composition engines —
+// linear map-merge, O(log) sparse-table, O(1) prefix-sum — plus the
+// concurrent catalog under parallel clients.
 func BenchmarkFig10MaterializedUnion(b *testing.B) {
 	g, _ := benchGraphs(b)
 	tl := g.Timeline()
@@ -218,15 +220,46 @@ func BenchmarkFig10MaterializedUnion(b *testing.B) {
 	for _, attr := range []string{"gender", "publications"} {
 		s := mustSchema(b, g, attr)
 		store := graphtempo.NewMatStore(g, s)
+		store.UnionAll(whole) // build the dense tables outside the timings
 		b.Run(attr+"-scratch", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				graphtempo.Aggregate(graphtempo.Union(g, whole, whole), s, graphtempo.All)
 			}
 		})
-		b.Run(attr+"-materialized", func(b *testing.B) {
+		b.Run(attr+"-linear", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				store.UnionAllLinear(whole)
+			}
+		})
+		b.Run(attr+"-sparse", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				store.UnionAllLog(whole)
+			}
+		})
+		b.Run(attr+"-prefix", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				store.UnionAll(whole)
 			}
+		})
+		attrID := g.MustAttr(attr)
+		cat := graphtempo.NewMatCatalog(g)
+		if _, err := cat.Materialize(attrID); err != nil {
+			b.Fatal(err)
+		}
+		ivs := make([]graphtempo.Interval, tl.Len())
+		for i := range ivs {
+			ivs[i] = tl.Range(0, graphtempo.Time(i))
+		}
+		b.Run(attr+"-catalog-parallel", func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, _, err := cat.UnionAll(ivs[i%len(ivs)], attrID); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
 		})
 	}
 }

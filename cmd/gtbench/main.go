@@ -119,6 +119,14 @@ func experiments() []experiment {
 			return one(benchutil.Fig10("Fig. 10", "DBLP: T-distributive union composition vs scratch",
 				env.DBLP(), "gender", "publications"))
 		}},
+		{"fig10s", "Composition engines: linear vs sparse-table vs prefix (Fig. 10 variant)", func(env *environment) []benchutil.Printable {
+			return one(benchutil.Fig10Sparse("Fig. 10s", "DBLP: union-ALL composition engine comparison (gender)",
+				env.DBLP(), "gender"))
+		}},
+		{"fig10c", "Concurrent clients on a shared materialization catalog (Fig. 10 variant)", func(env *environment) []benchutil.Printable {
+			return one(benchutil.Fig10Concurrent("Fig. 10c", "DBLP: catalog throughput vs concurrent clients (gender)",
+				env.DBLP(), "gender", []int{1, 2, 4, 8, 16}))
+		}},
 		{"fig11a", "DBLP attribute roll-up speedup (Fig. 11a)", func(env *environment) []benchutil.Printable {
 			return one(benchutil.Fig11("Fig. 11a", "DBLP: gender and publications from (gender,publications)",
 				env.DBLP(), []string{"gender", "publications"},

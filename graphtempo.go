@@ -131,6 +131,13 @@ type (
 	MatCatalog = materialize.Catalog
 	// MatSource reports how a catalog answered a request.
 	MatSource = materialize.Source
+	// MatCatalogConfig sizes a catalog's serving cache.
+	MatCatalogConfig = materialize.CatalogConfig
+	// MatStats is an atomic snapshot of a catalog's counters.
+	MatStats = materialize.Stats
+	// EvalMemo is an opt-in cross-run cache of exploration candidate
+	// evaluations (used automatically by TuneK).
+	EvalMemo = explore.EvalMemo
 	// Cube manages OLAP partial materialization over the attribute
 	// lattice.
 	Cube = cube.Cube
@@ -309,6 +316,16 @@ func NewMatStore(g *Graph, s *AggSchema) *MatStore { return materialize.NewStore
 
 // NewMatCatalog returns an empty materialization catalog over g.
 func NewMatCatalog(g *Graph) *MatCatalog { return materialize.NewCatalog(g) }
+
+// NewMatCatalogWith returns an empty materialization catalog over g with
+// an explicit cache configuration.
+func NewMatCatalogWith(g *Graph, cfg MatCatalogConfig) *MatCatalog {
+	return materialize.NewCatalogWith(g, cfg)
+}
+
+// NewEvalMemo returns an exploration evaluation memo with the given byte
+// budget (<= 0 selects the default).
+func NewEvalMemo(maxBytes int64) *EvalMemo { return explore.NewEvalMemo(maxBytes) }
 
 // NewCube returns an OLAP cube over the given dimensions (all attributes
 // of g when none are given); materialize cuboids explicitly, greedily, or

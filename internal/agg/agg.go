@@ -613,6 +613,19 @@ func (ag *Graph) Merge(other *Graph) {
 	}
 }
 
+// ApproxBytes estimates the resident size of the aggregate graph for
+// cache accounting: a fixed header plus the hash-map entries (key, weight
+// and bucket overhead). It is deliberately cheap — O(1) — and approximate;
+// byte-budgeted caches only need relative sizes to be sane.
+func (ag *Graph) ApproxBytes() int64 {
+	const (
+		header    = 64
+		nodeEntry = 48 // Tuple (8) + int64 (8) + bucket overhead
+		edgeEntry = 64 // EdgeKey (16) + int64 (8) + bucket overhead
+	)
+	return header + int64(len(ag.Nodes))*nodeEntry + int64(len(ag.Edges))*edgeEntry
+}
+
 // Clone returns a deep copy of ag.
 func (ag *Graph) Clone() *Graph {
 	out := &Graph{

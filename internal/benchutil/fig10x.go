@@ -1,0 +1,91 @@
+package benchutil
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/materialize"
+	"repro/internal/timeline"
+)
+
+// This file holds the PR-2 extensions of the Fig. 10 materialization
+// experiment: the composition-engine comparison (linear map-merge vs
+// sparse-table vs prefix-sum) and the concurrent-client catalog sweep.
+
+// Fig10Sparse compares the three interval-composition engines of
+// materialize.Store on one attribute while extending the interval
+// [t0, t0+x]: the linear per-point map merge (O(x) merges), the
+// doubling/sparse table (O(log x) vector additions) and the prefix-sum
+// engine (O(1) vector subtraction), plus the dense engines' speedups over
+// linear.
+func Fig10Sparse(id, title string, g *core.Graph, attr string) *Experiment {
+	e := &Experiment{
+		ID: id, Title: title, XLabel: "interval end",
+		Series: []string{"linear", "sparse", "prefix", "sparse×", "prefix×"},
+	}
+	st := materialize.NewStore(g, schemaFor(g, attr))
+	st.UnionAll(g.Timeline().All()) // build the dense tables outside the timings
+	tl := g.Timeline()
+	for x := 1; x < tl.Len(); x++ {
+		iv := tl.Range(0, timeline.Time(x))
+		lin := timed(func() { st.UnionAllLinear(iv) })
+		sparse := timed(func() { st.UnionAllLog(iv) })
+		prefix := timed(func() { st.UnionAll(iv) })
+		e.Add(tl.Label(timeline.Time(x)),
+			lin, sparse, prefix, ratio(lin, sparse), ratio(lin, prefix))
+	}
+	return e
+}
+
+// Fig10Concurrent sweeps concurrent clients over a shared
+// materialize.Catalog: every worker issues union-ALL queries drawn from
+// all contiguous intervals of the timeline (so requests collide on the
+// cache and on in-flight computations), and the experiment reports
+// aggregate throughput and its scaling versus one client.
+func Fig10Concurrent(id, title string, g *core.Graph, attr string, clients []int) *Experiment {
+	e := &Experiment{
+		ID: id, Title: title, XLabel: "clients",
+		Series: []string{"queries/s", "scaling"},
+	}
+	a := schemaFor(g, attr).Attrs()[0]
+	tl := g.Timeline()
+	var ivs []timeline.Interval
+	for i := 0; i < tl.Len(); i++ {
+		for j := i; j < tl.Len(); j++ {
+			ivs = append(ivs, tl.Range(timeline.Time(i), timeline.Time(j)))
+		}
+	}
+	const perClient = 400
+	var base float64
+	for _, n := range clients {
+		// A fresh catalog per sweep point: every client mix pays the same
+		// cold-start, so scaling reflects contention, not warm caches.
+		cat := materialize.NewCatalog(g)
+		if _, err := cat.Materialize(a); err != nil {
+			panic(err)
+		}
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for q := 0; q < perClient; q++ {
+					if _, _, err := cat.UnionAll(ivs[(w*13+q)%len(ivs)], a); err != nil {
+						panic(err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		qps := float64(n*perClient) / elapsed
+		if base == 0 {
+			base = qps
+		}
+		e.Add(strconv.Itoa(n), qps, ratio(qps, base))
+	}
+	return e
+}

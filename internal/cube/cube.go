@@ -20,10 +20,14 @@ package cube
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/agg"
 	"repro/internal/core"
+	"repro/internal/lru"
 	"repro/internal/ops"
 	"repro/internal/timeline"
 )
@@ -38,6 +42,8 @@ const (
 	Rollup
 	// Scratch: computed from the base graph.
 	Scratch
+
+	numSources
 )
 
 // String names the source.
@@ -60,12 +66,33 @@ type cuboid struct {
 	size     int64 // total aggregate nodes + edges across time points
 }
 
+// qEntry is one cached query answer with its originating source.
+type qEntry struct {
+	g   *agg.Graph
+	src Source
+}
+
+func qEntrySize(e qEntry) int64 { return e.g.ApproxBytes() }
+
 // Cube manages partial materialization over one graph's attribute lattice.
+// All methods are safe for concurrent use: the cuboid set is guarded by an
+// RWMutex, counters are atomic, and computed query answers (roll-ups and
+// scratch aggregations) are cached in a sharded LRU with singleflight
+// deduplication. Cache keys carry a generation number that every
+// materialization bumps, so answers derived under an older cuboid set are
+// never served once a better source may exist.
 type Cube struct {
-	g         *core.Graph
-	dims      []core.AttrID // the cube's dimensions, in declaration order
-	cuboids   map[string]*cuboid
-	hits      map[Source]int
+	g    *core.Graph
+	dims []core.AttrID // the cube's dimensions, in declaration order
+
+	mu      sync.RWMutex
+	cuboids map[string]*cuboid
+
+	gen    atomic.Int64
+	qcache *lru.Cache[qEntry]
+	hits   [numSources]atomic.Int64
+	cached atomic.Int64
+
 	scratchSz int64 // cost stand-in for answering from the base graph
 }
 
@@ -106,7 +133,7 @@ func New(g *core.Graph, dims ...core.AttrID) (*Cube, error) {
 		g:         g,
 		dims:      append([]core.AttrID(nil), dims...),
 		cuboids:   make(map[string]*cuboid),
-		hits:      map[Source]int{},
+		qcache:    lru.New[qEntry](lru.Config{MaxBytes: 16 << 20}),
 		scratchSz: sz,
 	}, nil
 }
@@ -123,17 +150,39 @@ func key(attrs []core.AttrID) string {
 }
 
 // Materialize computes and stores the cuboid for the given attribute set.
+// Adding a cuboid advances the query-cache generation: previously cached
+// roll-up and scratch answers become unreachable, so later queries re-derive
+// from the (possibly better) new materialization state.
 func (c *Cube) Materialize(attrs ...core.AttrID) error {
 	if err := c.checkDims(attrs); err != nil {
 		return err
 	}
 	k := key(attrs)
-	if _, ok := c.cuboids[k]; ok {
+	c.mu.RLock()
+	_, ok := c.cuboids[k]
+	c.mu.RUnlock()
+	if ok {
 		return nil
 	}
-	s, err := agg.NewSchema(c.g, attrs...)
+	cb, err := c.buildCuboid(attrs)
 	if err != nil {
 		return err
+	}
+	c.mu.Lock()
+	if _, ok := c.cuboids[k]; !ok { // concurrent Materialize may have won
+		c.cuboids[k] = cb
+		c.gen.Add(1)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// buildCuboid aggregates every base time point under the attribute set's
+// schema, without touching the cube's shared state.
+func (c *Cube) buildCuboid(attrs []core.AttrID) (*cuboid, error) {
+	s, err := agg.NewSchema(c.g, attrs...)
+	if err != nil {
+		return nil, err
 	}
 	cb := &cuboid{attrs: append([]core.AttrID(nil), attrs...), schema: s}
 	n := c.g.Timeline().Len()
@@ -143,8 +192,7 @@ func (c *Cube) Materialize(attrs ...core.AttrID) error {
 		cb.perPoint[t] = ag
 		cb.size += int64(len(ag.Nodes) + len(ag.Edges))
 	}
-	c.cuboids[k] = cb
-	return nil
+	return cb, nil
 }
 
 func (c *Cube) checkDims(attrs []core.AttrID) error {
@@ -169,6 +217,8 @@ func (c *Cube) checkDims(attrs []core.AttrID) error {
 // Materialized returns the attribute sets currently materialized, apex
 // first, each in canonical (sorted) order.
 func (c *Cube) Materialized() [][]core.AttrID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var out [][]core.AttrID
 	for _, cb := range c.cuboids {
 		s := append([]core.AttrID(nil), cb.attrs...)
@@ -221,6 +271,12 @@ func (c *Cube) MaterializeGreedy(budget int) error {
 	if budget <= 0 {
 		return fmt.Errorf("cube: budget must be positive")
 	}
+	// The greedy loop reads and grows the cuboid set throughout; hold the
+	// write lock for its duration (materialization is a batch setup step,
+	// concurrent Query throughput matters after it, not during).
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer c.gen.Add(1)
 	all := c.lattice()
 
 	// Estimate cuboid sizes cheaply by materializing lazily: the greedy
@@ -255,7 +311,7 @@ func (c *Cube) MaterializeGreedy(budget int) error {
 	// Current answering cost of each lattice member.
 	costs := make(map[string]int64, len(all))
 	for _, attrs := range all {
-		costs[key(attrs)] = c.answerCost(attrs)
+		costs[key(attrs)] = c.answerCostLocked(attrs)
 	}
 
 	for picked := 0; picked < budget && picked < len(all); picked++ {
@@ -332,6 +388,13 @@ func subset(sub, super []core.AttrID) bool {
 
 // answerCost is the size of the cheapest materialized source for attrs.
 func (c *Cube) answerCost(attrs []core.AttrID) int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.answerCostLocked(attrs)
+}
+
+// answerCostLocked is answerCost with c.mu already held.
+func (c *Cube) answerCostLocked(attrs []core.AttrID) int64 {
 	if cb, ok := c.cuboids[key(attrs)]; ok {
 		return cb.size
 	}
@@ -346,58 +409,110 @@ func (c *Cube) answerCost(attrs []core.AttrID) int64 {
 
 // Query returns the DIST aggregate of base time point t on the given
 // attribute set, answering from the exact cuboid, by roll-up from the
-// smallest materialized ancestor, or from the base graph.
+// smallest materialized ancestor, or from the base graph. Computed answers
+// (roll-ups, permutations and scratch aggregations) are cached; an
+// order-exact cuboid hit is already a slice lookup and bypasses the cache.
+// Concurrent identical queries share one computation.
 func (c *Cube) Query(t timeline.Time, attrs ...core.AttrID) (*agg.Graph, Source, error) {
 	if err := c.checkDims(attrs); err != nil {
 		return nil, Scratch, err
 	}
-	if cb, ok := c.cuboids[key(attrs)]; ok {
-		c.hits[Hit]++
-		if sameOrder(attrs, cb.attrs) {
-			return cb.perPoint[t], Hit, nil
+	c.mu.RLock()
+	cb, exact := c.cuboids[key(attrs)]
+	c.mu.RUnlock()
+	if exact && sameOrder(attrs, cb.attrs) {
+		c.hits[Hit].Add(1)
+		return cb.perPoint[t], Hit, nil
+	}
+	e, cached, err := c.qcache.Do(c.queryKey(t, attrs), qEntrySize, func() (qEntry, error) {
+		return c.computeQuery(t, attrs)
+	})
+	if err != nil {
+		return nil, Scratch, err
+	}
+	if cached {
+		c.cached.Add(1)
+	} else {
+		c.hits[e.src].Add(1)
+	}
+	return e.g, e.src, nil
+}
+
+// queryKey builds the order-sensitive cache key of one query, prefixed
+// with the current materialization generation.
+func (c *Cube) queryKey(t timeline.Time, attrs []core.AttrID) string {
+	b := make([]byte, 0, 16+4*len(attrs))
+	b = strconv.AppendInt(b, c.gen.Load(), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(t), 10)
+	b = append(b, '|')
+	for _, a := range attrs {
+		b = strconv.AppendInt(b, int64(a), 10)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// computeQuery answers a cache miss from the current materialization state.
+func (c *Cube) computeQuery(t timeline.Time, attrs []core.AttrID) (qEntry, error) {
+	c.mu.RLock()
+	exactCb, exact := c.cuboids[key(attrs)]
+	var best *cuboid
+	if !exact {
+		for _, cb := range c.cuboids {
+			if subset(attrs, cb.attrs) && (best == nil || cb.size < best.size) {
+				best = cb
+			}
 		}
+	}
+	c.mu.RUnlock()
+	if exact {
 		// Same attribute set in a different order: re-project so tuples
 		// are encoded in the requested order (Rollup permutes for free).
-		ag, err := agg.Rollup(cb.perPoint[t], attrs...)
+		ag, err := agg.Rollup(exactCb.perPoint[t], attrs...)
 		if err != nil {
-			return nil, Hit, err
+			return qEntry{}, err
 		}
-		return ag, Hit, nil
-	}
-	var best *cuboid
-	for _, cb := range c.cuboids {
-		if subset(attrs, cb.attrs) && (best == nil || cb.size < best.size) {
-			best = cb
-		}
+		return qEntry{ag, Hit}, nil
 	}
 	if best != nil {
 		ag, err := agg.Rollup(best.perPoint[t], attrs...)
 		if err != nil {
-			return nil, Rollup, err
+			return qEntry{}, err
 		}
-		c.hits[Rollup]++
-		return ag, Rollup, nil
+		return qEntry{ag, Rollup}, nil
 	}
 	s, err := agg.NewSchema(c.g, attrs...)
 	if err != nil {
-		return nil, Scratch, err
+		return qEntry{}, err
 	}
-	c.hits[Scratch]++
-	return agg.Aggregate(ops.At(c.g, t), s, agg.Distinct), Scratch, nil
+	return qEntry{agg.Aggregate(ops.At(c.g, t), s, agg.Distinct), Scratch}, nil
 }
 
-// Hits returns how many queries were answered per source.
+// Hits returns how many queries were answered (computed) per source. Cache
+// hits of previously computed answers are reported by CachedAnswers, not
+// here, so the per-source counts reflect actual derivation work.
 func (c *Cube) Hits() map[Source]int {
-	out := make(map[Source]int, len(c.hits))
-	for k, v := range c.hits {
-		out[k] = v
+	out := make(map[Source]int, numSources)
+	for s := Source(0); s < numSources; s++ {
+		if n := c.hits[s].Load(); n > 0 {
+			out[s] = int(n)
+		}
 	}
 	return out
 }
 
+// CachedAnswers returns how many queries were served from the query cache.
+func (c *Cube) CachedAnswers() int64 { return c.cached.Load() }
+
+// CacheStats exposes the query cache's internal counters.
+func (c *Cube) CacheStats() lru.Stats { return c.qcache.Stats() }
+
 // Size returns the total stored aggregate entries across materialized
 // cuboids.
 func (c *Cube) Size() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var sz int64
 	for _, cb := range c.cuboids {
 		sz += cb.size
@@ -407,15 +522,27 @@ func (c *Cube) Size() int64 {
 
 // Describe renders the materialization state for logs and tools.
 func (c *Cube) Describe() string {
+	mats := c.Materialized()
+	c.mu.RLock()
+	count := len(c.cuboids)
+	var total int64
+	sizes := make([]int64, len(mats))
+	for i, attrs := range mats {
+		sizes[i] = c.cuboids[key(attrs)].size
+	}
+	for _, cb := range c.cuboids {
+		total += cb.size
+	}
+	c.mu.RUnlock()
 	var b strings.Builder
 	fmt.Fprintf(&b, "cube over %d dimensions, %d/%d cuboids materialized, size %d\n",
-		len(c.dims), len(c.cuboids), (1<<len(c.dims))-1, c.Size())
-	for _, attrs := range c.Materialized() {
+		len(c.dims), count, (1<<len(c.dims))-1, total)
+	for i, attrs := range mats {
 		names := make([]string, len(attrs))
 		for i, a := range attrs {
 			names[i] = c.g.Attr(a).Name
 		}
-		fmt.Fprintf(&b, "  (%s) size %d\n", strings.Join(names, ","), c.cuboids[key(attrs)].size)
+		fmt.Fprintf(&b, "  (%s) size %d\n", strings.Join(names, ","), sizes[i])
 	}
 	return b.String()
 }

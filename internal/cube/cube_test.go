@@ -1,8 +1,10 @@
 package cube
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -226,6 +228,99 @@ func TestQuickCubeAnswersMatchScratch(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryCacheGenerations(t *testing.T) {
+	g := core.PaperExample()
+	gender := g.MustAttr("gender")
+	pubs := g.MustAttr("publications")
+	c, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First query computes from scratch; the repeat is a cache hit that
+	// does not advance any source counter.
+	if _, src, _ := c.Query(0, gender); src != Scratch {
+		t.Fatalf("source = %v, want scratch", src)
+	}
+	if _, src, _ := c.Query(0, gender); src != Scratch {
+		t.Fatalf("cached source = %v, want scratch", src)
+	}
+	if n := c.CachedAnswers(); n != 1 {
+		t.Fatalf("cached answers = %d, want 1", n)
+	}
+	if hits := c.Hits(); hits[Scratch] != 1 {
+		t.Fatalf("hits = %v, want one scratch compute", hits)
+	}
+	// Materializing bumps the generation: the stale scratch answer is
+	// unreachable and the same query now derives by roll-up.
+	if err := c.Materialize(gender, pubs); err != nil {
+		t.Fatal(err)
+	}
+	if _, src, _ := c.Query(0, gender); src != Rollup {
+		t.Fatalf("post-materialize source = %v, want rollup", src)
+	}
+}
+
+func TestCubeConcurrentQueries(t *testing.T) {
+	g := core.PaperExample()
+	gender := g.MustAttr("gender")
+	pubs := g.MustAttr("publications")
+	c, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrSets := [][]core.AttrID{{gender}, {pubs}, {gender, pubs}, {pubs, gender}}
+	n := g.Timeline().Len()
+	want := make(map[string]*agg.Graph)
+	for _, attrs := range attrSets {
+		for tp := 0; tp < n; tp++ {
+			k := key(attrs) + string(rune('0'+tp)) + g.Attr(attrs[0]).Name
+			want[k] = agg.Aggregate(ops.At(g, timeline.Time(tp)), agg.MustSchema(g, attrs...), agg.Distinct)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if w == 0 {
+				if err := c.Materialize(gender, pubs); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if w == 1 {
+				if err := c.MaterializeGreedy(2); err != nil {
+					errs <- err
+					return
+				}
+			}
+			for rep := 0; rep < 20; rep++ {
+				attrs := attrSets[(w+rep)%len(attrSets)]
+				tp := timeline.Time((w * rep) % n)
+				got, _, err := c.Query(tp, attrs...)
+				if err != nil {
+					errs <- err
+					return
+				}
+				k := key(attrs) + string(rune('0'+int(tp))) + g.Attr(attrs[0]).Name
+				if !got.Equal(want[k]) {
+					errs <- fmt.Errorf("worker %d: wrong answer for %v@%d", w, attrs, tp)
+					return
+				}
+				c.Hits()
+				c.Size()
+			}
+			_ = c.Describe()
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
 		t.Fatal(err)
 	}
 }

@@ -154,6 +154,13 @@ type Explorer struct {
 	// fast path is applicable. Used by ablations and equivalence tests.
 	NoFastPath bool
 
+	// Memo, when non-nil, caches candidate evaluations across runs (the
+	// §3.5 tuning loop re-evaluates mostly the same candidates at every
+	// threshold). Memo hits are not charged to Evaluations, so leave it
+	// nil when comparing evaluation counts across engines. TuneK installs
+	// a temporary memo automatically when none is set.
+	Memo *EvalMemo
+
 	// index, when set (NewIndexedExplorer), evaluates candidate pairs
 	// with precomputed per-time-point edge bitmasks instead of view
 	// construction + aggregation; nodeIndex is its node-tuple analogue
@@ -167,9 +174,23 @@ type Explorer struct {
 }
 
 // eval computes result(G) for the aggregate graph of the event between the
-// two selectors.
+// two selectors, consulting the memo (when set) first.
 func (ex *Explorer) eval(event Event, old, new ops.Sel) int64 {
+	if ex.Memo != nil {
+		if r, ok := ex.Memo.lookup(event, old, new); ok {
+			return r
+		}
+	}
 	ex.Evaluations++
+	r := ex.evalCompute(event, old, new)
+	if ex.Memo != nil {
+		ex.Memo.store(event, old, new, r)
+	}
+	return r
+}
+
+// evalCompute is the uncached evaluation engine behind eval.
+func (ex *Explorer) evalCompute(event Event, old, new ops.Sel) int64 {
 	if ex.index != nil {
 		return ex.index.Eval(event, old, new)
 	}

@@ -132,11 +132,23 @@ func (fr *fastRun) maxExtra(i int) int {
 }
 
 // process advances one reference point to its target extension and
-// evaluates the resulting candidate into rs.r. Safe to call concurrently
-// for distinct reference points as long as each worker owns its PairView:
-// agg.Aggregate draws scratch from the schema's internal pool and the
-// ResultFunc only reads the aggregate graph.
-func (fr *fastRun) process(rs *refState, pv *ops.PairView) {
+// evaluates the resulting candidate into rs.r, reporting whether it had to
+// compute (false on a memo hit). A hit leaves the incremental views where
+// they are — the catch-up loop advances them lazily on the next computed
+// candidate. Safe to call concurrently for distinct reference points as
+// long as each worker owns its PairView: agg.Aggregate draws scratch from
+// the schema's internal pool, the ResultFunc only reads the aggregate
+// graph, and the memo cache is itself concurrency-safe.
+func (fr *fastRun) process(rs *refState, pv *ops.PairView) bool {
+	var oldSel, newSel ops.Sel
+	if fr.ex.Memo != nil {
+		oldIv, newIv, _ := fr.ex.pairAt(rs.i, fr.ext, rs.target)
+		oldSel, newSel = sel(oldIv, fr.sem), sel(newIv, fr.sem)
+		if r, ok := fr.ex.Memo.lookup(fr.event, oldSel, newSel); ok {
+			rs.r = r
+			return false
+		}
+	}
 	for rs.extra < rs.target {
 		rs.extra++
 		var iv *ops.IncrementalView
@@ -164,13 +176,17 @@ func (fr *fastRun) process(rs *refState, pv *ops.PairView) {
 		panic("explore: unknown event")
 	}
 	rs.r = fr.ex.Result(agg.Aggregate(v, fr.ex.Schema, fr.ex.Kind))
+	if fr.ex.Memo != nil {
+		fr.ex.Memo.store(fr.event, oldSel, newSel, rs.r)
+	}
+	return true
 }
 
 // run evaluates the given candidates, fanning out to the bounded worker
-// pool when it pays off, and charges them to Evaluations. Tasks are handed
-// out through an atomic cursor; each worker reuses its own PairView.
+// pool when it pays off, and charges the computed ones (memo hits are
+// free) to Evaluations. Tasks are handed out through an atomic cursor;
+// each worker reuses its own PairView.
 func (fr *fastRun) run(tasks []*refState) {
-	fr.ex.Evaluations += len(tasks)
 	w := fr.workers
 	if w > len(tasks) {
 		w = len(tasks)
@@ -178,11 +194,13 @@ func (fr *fastRun) run(tasks []*refState) {
 	if w <= 1 {
 		pv := fr.pvs[0]
 		for _, rs := range tasks {
-			fr.process(rs, pv)
+			if fr.process(rs, pv) {
+				fr.ex.Evaluations++
+			}
 		}
 		return
 	}
-	var next int64
+	var next, computed int64
 	var wg sync.WaitGroup
 	for wi := 0; wi < w; wi++ {
 		wg.Add(1)
@@ -193,11 +211,14 @@ func (fr *fastRun) run(tasks []*refState) {
 				if t >= len(tasks) {
 					return
 				}
-				fr.process(tasks[t], pv)
+				if fr.process(tasks[t], pv) {
+					atomic.AddInt64(&computed, 1)
+				}
 			}
 		}(fr.pvs[wi])
 	}
 	wg.Wait()
+	fr.ex.Evaluations += int(computed)
 }
 
 // collect assembles the output in reference-point order — every traversal

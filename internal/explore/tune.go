@@ -15,6 +15,13 @@ func (ex *Explorer) TuneK(event Event, sem Semantics, ext Extend, minPairs int) 
 	if minPairs < 1 {
 		minPairs = 1
 	}
+	// The runs at different thresholds walk overlapping candidate chains;
+	// memoize them for the duration of the loop unless the caller already
+	// manages a memo.
+	if ex.Memo == nil {
+		ex.Memo = NewEvalMemo(0)
+		defer func() { ex.Memo = nil }()
+	}
 	run := func(k int64) []Pair { return ex.Explore(event, sem, ext, k) }
 
 	best := run(1)

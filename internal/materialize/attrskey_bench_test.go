@@ -1,0 +1,45 @@
+package materialize
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// attrsKeySprintf is the previous implementation, kept only as the
+// baseline for BenchmarkAttrsKey: one fmt.Sprintf (reflection + interface
+// allocation) per attribute id.
+func attrsKeySprintf(attrs []core.AttrID) string {
+	key := ""
+	for _, a := range attrs {
+		key += fmt.Sprintf("%d,", a)
+	}
+	return key
+}
+
+var benchKeySink string
+
+func BenchmarkAttrsKey(b *testing.B) {
+	attrs := []core.AttrID{3, 141, 59, 2653, 5}
+	b.Run("sprintf", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchKeySink = attrsKeySprintf(attrs)
+		}
+	})
+	b.Run("appendint", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchKeySink = attrsKey(attrs)
+		}
+	})
+}
+
+func TestAttrsKeyMatchesSprintf(t *testing.T) {
+	for _, attrs := range [][]core.AttrID{nil, {0}, {1, 2, 3}, {42, 0, 7}} {
+		if got, want := attrsKey(attrs), attrsKeySprintf(attrs); got != want {
+			t.Errorf("attrsKey(%v) = %q, want %q", attrs, got, want)
+		}
+	}
+}

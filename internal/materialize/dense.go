@@ -1,0 +1,223 @@
+package materialize
+
+import (
+	"math/bits"
+
+	"repro/internal/agg"
+	"repro/internal/timeline"
+)
+
+// This file implements the dense interval-composition engine behind
+// Store.UnionAll.
+//
+// The per-time-point ALL aggregates are T-distributive (§4.3): the union
+// aggregate over an interval is the weight-wise sum of the per-point
+// aggregates. The reference implementation (UnionAllLinear) merges the
+// per-point hash maps one at a time — O(|interval|) map merges with a hash
+// probe per entry. The dense engine instead flattens every per-point
+// aggregate into one []int64 weight vector over a compact slot dictionary
+// (slot ↔ mixed-radix tuple code of internal/agg: one slot per node tuple
+// and per from*Domain+to edge code that is non-zero at ANY time point), and
+// precomputes over those vectors
+//
+//   - prefix sums: prefix[i] = Σ points[0..i), so a contiguous run [a,b]
+//     composes with ONE vector subtraction, prefix[b+1] − prefix[a] — the
+//     O(1) two-lookup path (COUNT weights are invertible, so subtraction is
+//     exact; idempotent aggregates would need the sparse table below), and
+//   - a doubling/sparse table: level[l][i] = Σ points[i..i+2^l), so a run
+//     composes from its binary length decomposition with O(log|run|) pure
+//     vector additions and no subtraction.
+//
+// Decoding back to an *agg.Graph happens only at the boundary, with
+// exactly-sized result maps. Both engines are cross-checked against the
+// linear reference by randomized equivalence tests.
+//
+// The structures are built lazily on the first composed query (sync.Once,
+// so a Store is safe for concurrent UnionAll callers) and cost
+// O(points × slots × log points) int64 adds and ~8·slots·(2n + n·log n)
+// bytes — compact-slot indexing, not the full Domain² space, keeps that
+// small even for wide schemas.
+
+// composer holds the flattened per-point weight vectors and their prefix
+// and sparse tables. Immutable once built.
+type composer struct {
+	schema *agg.Schema
+
+	// Slot dictionary: slots [0, len(nodeCodes)) are node tuples, slots
+	// [len(nodeCodes), width) are edge keys, in first-seen order.
+	nodeCodes []agg.Tuple
+	edgeCodes []agg.EdgeKey
+	width     int
+
+	points [][]int64   // level-0 vectors, one per base time point
+	prefix [][]int64   // prefix[i] = Σ points[0..i); len = n+1
+	levels [][][]int64 // levels[l][i] = Σ points[i..i+2^l); l ≥ 1
+}
+
+// composer returns the store's dense composition engine, building it on
+// first use.
+func (st *Store) composer() *composer {
+	st.compOnce.Do(func() {
+		st.comp = buildComposer(st.schema, st.perPoint)
+	})
+	return st.comp
+}
+
+func buildComposer(s *agg.Schema, perPoint []*agg.Graph) *composer {
+	c := &composer{schema: s}
+	nodeSlot := make(map[agg.Tuple]int)
+	edgeSlot := make(map[agg.EdgeKey]int)
+	for _, ag := range perPoint {
+		for tu := range ag.Nodes {
+			if _, ok := nodeSlot[tu]; !ok {
+				nodeSlot[tu] = len(c.nodeCodes)
+				c.nodeCodes = append(c.nodeCodes, tu)
+			}
+		}
+		for k := range ag.Edges {
+			if _, ok := edgeSlot[k]; !ok {
+				edgeSlot[k] = len(c.edgeCodes)
+				c.edgeCodes = append(c.edgeCodes, k)
+			}
+		}
+	}
+	nn := len(c.nodeCodes)
+	c.width = nn + len(c.edgeCodes)
+
+	n := len(perPoint)
+	c.points = make([][]int64, n)
+	for t, ag := range perPoint {
+		vec := make([]int64, c.width)
+		for tu, w := range ag.Nodes {
+			vec[nodeSlot[tu]] = w
+		}
+		for k, w := range ag.Edges {
+			vec[nn+edgeSlot[k]] = w
+		}
+		c.points[t] = vec
+	}
+
+	c.prefix = make([][]int64, n+1)
+	c.prefix[0] = make([]int64, c.width)
+	for i := 0; i < n; i++ {
+		vec := make([]int64, c.width)
+		prev, pt := c.prefix[i], c.points[i]
+		for j := range vec {
+			vec[j] = prev[j] + pt[j]
+		}
+		c.prefix[i+1] = vec
+	}
+
+	// Doubling table: level l spans 2^l points; level 0 is points itself.
+	for span := 2; span <= n; span <<= 1 {
+		lower := c.points
+		if len(c.levels) > 0 {
+			lower = c.levels[len(c.levels)-1]
+		}
+		half := span / 2
+		level := make([][]int64, n-span+1)
+		for i := range level {
+			vec := make([]int64, c.width)
+			a, b := lower[i], lower[i+half]
+			for j := range vec {
+				vec[j] = a[j] + b[j]
+			}
+			level[i] = vec
+		}
+		c.levels = append(c.levels, level)
+	}
+	return c
+}
+
+// block returns the precomputed sum of points [i, i+2^l).
+func (c *composer) block(l, i int) []int64 {
+	if l == 0 {
+		return c.points[i]
+	}
+	return c.levels[l-1][i]
+}
+
+// runs decomposes the interval into maximal contiguous [a,b] runs.
+func runs(iv timeline.Interval) [][2]int {
+	var out [][2]int
+	ts := iv.Times()
+	for i := 0; i < len(ts); {
+		j := i
+		for j+1 < len(ts) && ts[j+1] == ts[j]+1 {
+			j++
+		}
+		out = append(out, [2]int{int(ts[i]), int(ts[j])})
+		i = j + 1
+	}
+	return out
+}
+
+// addPrefix accumulates the run [a,b] into acc via one prefix-sum
+// subtraction (two vector lookups, O(width) adds regardless of run length).
+func (c *composer) addPrefix(acc []int64, a, b int) {
+	pa, pb := c.prefix[a], c.prefix[b+1]
+	for j := range acc {
+		acc[j] += pb[j] - pa[j]
+	}
+}
+
+// addLog accumulates the run [a,b] into acc from its binary length
+// decomposition over the sparse table: O(log(b-a+1)) vector additions.
+func (c *composer) addLog(acc []int64, a, b int) {
+	for length := b - a + 1; length > 0; {
+		l := bits.Len(uint(length)) - 1
+		blk := c.block(l, a)
+		for j := range acc {
+			acc[j] += blk[j]
+		}
+		a += 1 << l
+		length -= 1 << l
+	}
+}
+
+// decode materializes the accumulated weight vector as an aggregate graph
+// with exactly-sized maps, skipping zero slots.
+func (c *composer) decode(acc []int64) *agg.Graph {
+	nn := len(c.nodeCodes)
+	cn, ce := 0, 0
+	for j, w := range acc {
+		if w == 0 {
+			continue
+		}
+		if j < nn {
+			cn++
+		} else {
+			ce++
+		}
+	}
+	out := &agg.Graph{
+		Schema: c.schema,
+		Kind:   agg.All,
+		Nodes:  make(map[agg.Tuple]int64, cn),
+		Edges:  make(map[agg.EdgeKey]int64, ce),
+	}
+	for j, tu := range c.nodeCodes {
+		if w := acc[j]; w != 0 {
+			out.Nodes[tu] = w
+		}
+	}
+	for j, k := range c.edgeCodes {
+		if w := acc[nn+j]; w != 0 {
+			out.Edges[k] = w
+		}
+	}
+	return out
+}
+
+// compose runs one of the two vector engines over the interval's runs.
+func (c *composer) compose(iv timeline.Interval, log bool) *agg.Graph {
+	acc := make([]int64, c.width)
+	for _, r := range runs(iv) {
+		if log {
+			c.addLog(acc, r[0], r[1])
+		} else {
+			c.addPrefix(acc, r[0], r[1])
+		}
+	}
+	return c.decode(acc)
+}

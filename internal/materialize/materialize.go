@@ -13,27 +13,40 @@
 //     is derived from the aggregate on A' by regrouping and summing
 //     (agg.Rollup); at a single time point this is exact for DIST too.
 //
-// Store holds the per-time-point materialization for one schema; Catalog
-// adds a query-level cache that answers aggregate requests from
+// Store holds the per-time-point materialization for one schema and
+// composes interval queries from flat weight vectors (dense.go): prefix
+// sums answer a contiguous run in O(1) vector ops and the doubling/sparse
+// table in O(log) additions, with the linear map-merge kept as the
+// cross-checked reference. Catalog adds a concurrent query-level serving
+// layer — a sharded byte-budgeted LRU with singleflight deduplication and
+// atomic per-source counters — that answers aggregate requests from
 // materialized results whenever one of the two derivations applies, and
 // falls back to computing from scratch (while recording what it did, for
 // the speedup experiments of Figs. 10–11).
 package materialize
 
 import (
-	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/agg"
 	"repro/internal/core"
+	"repro/internal/lru"
 	"repro/internal/ops"
 	"repro/internal/timeline"
 )
 
 // Store precomputes, for one aggregation schema, the ALL aggregate of
 // every base time point (the paper's chosen materialization unit).
+// A Store is immutable after construction and safe for concurrent readers;
+// the dense composition tables are built lazily on first composed query.
 type Store struct {
 	schema   *agg.Schema
 	perPoint []*agg.Graph
+
+	compOnce sync.Once
+	comp     *composer
 }
 
 // NewStore materializes the per-time-point ALL aggregates of g under s.
@@ -58,8 +71,25 @@ func (st *Store) Point(t timeline.Time) *agg.Graph { return st.perPoint[t] }
 
 // UnionAll composes the ALL aggregate of the union graph over iv from the
 // materialized per-point aggregates (T-distributive reuse), without
-// touching the base graph.
+// touching the base graph. It uses the dense prefix-sum engine: each
+// contiguous run of the interval costs one vector subtraction, independent
+// of its length, and the result is decoded to maps only at the boundary.
 func (st *Store) UnionAll(iv timeline.Interval) *agg.Graph {
+	return st.composer().compose(iv, false)
+}
+
+// UnionAllLog composes the same result from the doubling/sparse table:
+// every contiguous run is split into its binary length decomposition and
+// summed with O(log|run|) precomputed vector additions (no subtraction).
+// It exists for the Fig. 10 engine comparison; UnionAll is the fast path.
+func (st *Store) UnionAllLog(iv timeline.Interval) *agg.Graph {
+	return st.composer().compose(iv, true)
+}
+
+// UnionAllLinear is the reference composition: merge the per-point
+// map-based aggregates one at a time, O(|interval|) map merges. The dense
+// engines are cross-checked against it.
+func (st *Store) UnionAllLinear(iv timeline.Interval) *agg.Graph {
 	out := &agg.Graph{
 		Schema: st.schema,
 		Kind:   agg.All,
@@ -92,6 +122,8 @@ const (
 	TDistributive
 	// DDistributive: rolled up from a materialized superset aggregate.
 	DDistributive
+
+	numSources
 )
 
 // String names the source for logs and experiment output.
@@ -108,88 +140,216 @@ func (s Source) String() string {
 	}
 }
 
+// CatalogConfig sizes a Catalog's serving cache. The zero value selects
+// the defaults.
+type CatalogConfig struct {
+	// MaxBytes is the byte budget for cached query results (approximate,
+	// see agg.Graph.ApproxBytes); least-recently-used results are evicted
+	// beyond it. <= 0 selects 64 MiB.
+	MaxBytes int64
+	// Shards is the number of independently locked cache shards. <= 0
+	// selects 16.
+	Shards int
+}
+
+// Stats is a snapshot of a Catalog's counters.
+type Stats struct {
+	// Answers by source. A request deduplicated onto another goroutine's
+	// in-flight computation is counted under that computation's source.
+	Scratch, Cached, TDistributive, DDistributive int64
+
+	// Serving-cache internals.
+	CacheEntries   int
+	CacheBytes     int64
+	CacheEvictions int64
+	CacheDeduped   int64
+
+	// Stores is the number of materialized per-time-point stores.
+	Stores int
+}
+
+// Answered returns the total number of answered requests.
+func (s Stats) Answered() int64 {
+	return s.Scratch + s.Cached + s.TDistributive + s.DDistributive
+}
+
+// catEntry is a cached query result together with how it was derived.
+type catEntry struct {
+	g   *agg.Graph
+	src Source
+}
+
 // Catalog serves union-ALL aggregate requests over one graph, reusing a
-// per-time-point store per attribute set and caching full results.
+// per-time-point store per attribute set and caching full results in a
+// sharded LRU. All methods are safe for concurrent use: distinct requests
+// proceed in parallel (mutex-per-shard cache, RWMutex-guarded store set)
+// and concurrent identical requests are deduplicated onto one computation.
 type Catalog struct {
-	g      *core.Graph
-	stores map[string]*Store
-	cache  map[string]*agg.Graph
+	g *core.Graph
 
-	// Hits counts answers by source, for reporting.
-	Hits map[Source]int
+	mu          sync.RWMutex
+	stores      map[string]*Store
+	storeFlight map[string]*storeCall
+
+	cache *lru.Cache[catEntry]
+	hits  [numSources]atomic.Int64
 }
 
-// NewCatalog returns an empty catalog over g.
+type storeCall struct {
+	wg  sync.WaitGroup
+	st  *Store
+	err error
+}
+
+// NewCatalog returns an empty catalog over g with the default cache
+// configuration.
 func NewCatalog(g *core.Graph) *Catalog {
+	return NewCatalogWith(g, CatalogConfig{})
+}
+
+// NewCatalogWith returns an empty catalog over g sized by cfg.
+func NewCatalogWith(g *core.Graph, cfg CatalogConfig) *Catalog {
 	return &Catalog{
-		g:      g,
-		stores: make(map[string]*Store),
-		cache:  make(map[string]*agg.Graph),
-		Hits:   make(map[Source]int),
+		g:           g,
+		stores:      make(map[string]*Store),
+		storeFlight: make(map[string]*storeCall),
+		cache:       lru.New[catEntry](lru.Config{MaxBytes: cfg.MaxBytes, Shards: cfg.Shards}),
 	}
 }
 
+// attrsKey renders an attribute list as a compact cache key without any
+// fmt machinery (one strconv.AppendInt per id, no intermediate strings).
 func attrsKey(attrs []core.AttrID) string {
-	key := ""
+	b := make([]byte, 0, 4*len(attrs))
 	for _, a := range attrs {
-		key += fmt.Sprintf("%d,", a)
+		b = strconv.AppendInt(b, int64(a), 10)
+		b = append(b, ',')
 	}
-	return key
+	return string(b)
 }
 
 // Materialize builds (or returns) the per-time-point store for the given
-// attribute set.
+// attribute set. Concurrent calls for the same attribute set share one
+// construction.
 func (c *Catalog) Materialize(attrs ...core.AttrID) (*Store, error) {
 	key := attrsKey(attrs)
+	c.mu.Lock()
 	if st, ok := c.stores[key]; ok {
+		c.mu.Unlock()
 		return st, nil
 	}
-	s, err := agg.NewSchema(c.g, attrs...)
-	if err != nil {
-		return nil, err
+	if call, ok := c.storeFlight[key]; ok {
+		c.mu.Unlock()
+		call.wg.Wait()
+		return call.st, call.err
 	}
-	st := NewStore(c.g, s)
-	c.stores[key] = st
-	return st, nil
+	call := &storeCall{}
+	call.wg.Add(1)
+	c.storeFlight[key] = call
+	c.mu.Unlock()
+
+	s, err := agg.NewSchema(c.g, attrs...)
+	if err == nil {
+		call.st = NewStore(c.g, s)
+	} else {
+		call.err = err
+	}
+
+	c.mu.Lock()
+	delete(c.storeFlight, key)
+	if call.err == nil {
+		c.stores[key] = call.st
+	}
+	c.mu.Unlock()
+	call.wg.Done()
+	return call.st, call.err
 }
+
+// store returns the materialized store for the exact attribute set, if any.
+func (c *Catalog) store(key string) (*Store, bool) {
+	c.mu.RLock()
+	st, ok := c.stores[key]
+	c.mu.RUnlock()
+	return st, ok
+}
+
+// snapshotStores returns the current stores for iteration outside the lock.
+func (c *Catalog) snapshotStores() []*Store {
+	c.mu.RLock()
+	out := make([]*Store, 0, len(c.stores))
+	for _, st := range c.stores {
+		out = append(out, st)
+	}
+	c.mu.RUnlock()
+	return out
+}
+
+func catEntrySize(e catEntry) int64 { return e.g.ApproxBytes() }
 
 // UnionAll returns the ALL aggregate of the union graph over iv on the
 // given attributes, answering from cache or from a materialized store when
 // possible and computing from scratch otherwise. The returned Source
-// reports which path was taken; results are cached either way.
+// reports which path was taken; results are cached either way. Safe for
+// concurrent use; concurrent identical requests share one computation.
 func (c *Catalog) UnionAll(iv timeline.Interval, attrs ...core.AttrID) (*agg.Graph, Source, error) {
-	key := attrsKey(attrs) + "@" + iv.String()
-	if g, ok := c.cache[key]; ok {
-		c.Hits[Cached]++
-		return g, Cached, nil
+	skey := attrsKey(attrs)
+	key := skey + "@" + iv.String()
+	e, cached, err := c.cache.Do(key, catEntrySize, func() (catEntry, error) {
+		return c.computeUnionAll(skey, iv, attrs)
+	})
+	if err != nil {
+		return nil, Scratch, err
 	}
-	if st, ok := c.stores[attrsKey(attrs)]; ok {
-		g := st.UnionAll(iv)
-		c.cache[key] = g
-		c.Hits[TDistributive]++
-		return g, TDistributive, nil
+	if cached {
+		c.hits[Cached].Add(1)
+		return e.g, Cached, nil
+	}
+	c.hits[e.src].Add(1)
+	return e.g, e.src, nil
+}
+
+// computeUnionAll answers a cache miss: T-distributive composition from an
+// exact store, D-distributive roll-up from a superset store at a single
+// point, or scratch aggregation from the base graph.
+func (c *Catalog) computeUnionAll(skey string, iv timeline.Interval, attrs []core.AttrID) (catEntry, error) {
+	if st, ok := c.store(skey); ok {
+		return catEntry{st.UnionAll(iv), TDistributive}, nil
 	}
 	// A superset store at a single time point can answer by roll-up.
 	if iv.Len() == 1 {
-		for _, st := range c.stores {
+		for _, st := range c.snapshotStores() {
 			if covers(st.Schema().Attrs(), attrs) {
 				g, err := st.PointSubset(iv.Min(), attrs...)
 				if err == nil {
-					c.cache[key] = g
-					c.Hits[DDistributive]++
-					return g, DDistributive, nil
+					return catEntry{g, DDistributive}, nil
 				}
 			}
 		}
 	}
 	s, err := agg.NewSchema(c.g, attrs...)
 	if err != nil {
-		return nil, Scratch, err
+		return catEntry{}, err
 	}
-	g := agg.Aggregate(ops.Union(c.g, iv, iv), s, agg.All)
-	c.cache[key] = g
-	c.Hits[Scratch]++
-	return g, Scratch, nil
+	return catEntry{agg.Aggregate(ops.Union(c.g, iv, iv), s, agg.All), Scratch}, nil
+}
+
+// Stats returns an atomic snapshot of the catalog's counters.
+func (c *Catalog) Stats() Stats {
+	cs := c.cache.Stats()
+	c.mu.RLock()
+	stores := len(c.stores)
+	c.mu.RUnlock()
+	return Stats{
+		Scratch:        c.hits[Scratch].Load(),
+		Cached:         c.hits[Cached].Load(),
+		TDistributive:  c.hits[TDistributive].Load(),
+		DDistributive:  c.hits[DDistributive].Load(),
+		CacheEntries:   cs.Entries,
+		CacheBytes:     cs.Bytes,
+		CacheEvictions: cs.Evictions,
+		CacheDeduped:   cs.Deduped,
+		Stores:         stores,
+	}
 }
 
 // covers reports whether super contains every attribute of sub.

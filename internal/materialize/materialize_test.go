@@ -1,7 +1,9 @@
 package materialize
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -19,15 +21,41 @@ func TestUnionAllComposition(t *testing.T) {
 	st := NewStore(g, s)
 
 	iv := tl.Range(0, 1)
-	composed := st.UnionAll(iv)
 	scratch := agg.Aggregate(ops.Union(g, iv, iv), s, agg.All)
-	if !composed.Equal(scratch) {
-		t.Fatalf("T-distributive composition disagrees:\n%s\nvs\n%s", composed, scratch)
+	for name, composed := range map[string]*agg.Graph{
+		"prefix": st.UnionAll(iv),
+		"log":    st.UnionAllLog(iv),
+		"linear": st.UnionAllLinear(iv),
+	} {
+		if !composed.Equal(scratch) {
+			t.Fatalf("%s T-distributive composition disagrees:\n%s\nvs\n%s", name, composed, scratch)
+		}
+		// Spot check the paper's ALL number: w(f,1) = 4 on the union of t0,t1.
+		f1, _ := s.Encode("f", "1")
+		if composed.NodeWeight(f1) != 4 {
+			t.Errorf("%s composed w(f,1) = %d, want 4", name, composed.NodeWeight(f1))
+		}
 	}
-	// Spot check the paper's ALL number: w(f,1) = 4 on the union of t0,t1.
-	f1, _ := s.Encode("f", "1")
-	if composed.NodeWeight(f1) != 4 {
-		t.Errorf("composed w(f,1) = %d, want 4", composed.NodeWeight(f1))
+}
+
+func TestUnionAllEmptyAndNonContiguous(t *testing.T) {
+	g := core.PaperExample()
+	s := agg.MustSchema(g, g.MustAttr("gender"))
+	st := NewStore(g, s)
+	tl := g.Timeline()
+
+	empty := st.UnionAll(tl.Empty())
+	if len(empty.Nodes) != 0 || len(empty.Edges) != 0 {
+		t.Errorf("empty interval composed non-empty aggregate: %s", empty)
+	}
+	// Non-contiguous {t0, t2} decomposes into two runs.
+	iv := tl.Of(0, 2)
+	want := st.UnionAllLinear(iv)
+	if got := st.UnionAll(iv); !got.Equal(want) {
+		t.Errorf("prefix composition over %s differs from linear", iv)
+	}
+	if got := st.UnionAllLog(iv); !got.Equal(want) {
+		t.Errorf("sparse-table composition over %s differs from linear", iv)
 	}
 }
 
@@ -104,8 +132,18 @@ func TestCatalogSources(t *testing.T) {
 	if !gotP.Equal(wantP) {
 		t.Error("d-distributive answer differs from scratch")
 	}
-	if c.Hits[Scratch] != 1 || c.Hits[Cached] != 1 || c.Hits[TDistributive] != 1 || c.Hits[DDistributive] != 1 {
-		t.Errorf("hit counts = %v", c.Hits)
+	st := c.Stats()
+	if st.Scratch != 1 || st.Cached != 1 || st.TDistributive != 1 || st.DDistributive != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Answered() != 4 {
+		t.Errorf("answered = %d, want 4", st.Answered())
+	}
+	if st.Stores != 2 {
+		t.Errorf("stores = %d, want 2", st.Stores)
+	}
+	if st.CacheEntries != 3 || st.CacheBytes <= 0 {
+		t.Errorf("cache residency = %d entries / %d bytes", st.CacheEntries, st.CacheBytes)
 	}
 }
 
@@ -117,6 +155,150 @@ func TestCatalogBadAttrs(t *testing.T) {
 	}
 	if _, _, err := c.UnionAll(g.Timeline().Point(0)); err == nil {
 		t.Error("UnionAll with no attributes should fail")
+	}
+	if st := c.Stats(); st.Answered() != 0 {
+		t.Errorf("failed requests were counted: %+v", st)
+	}
+}
+
+func TestCatalogEviction(t *testing.T) {
+	g := core.PaperExample()
+	// A budget far below one aggregate's footprint: every result is evicted
+	// immediately, so repeats recompute instead of hitting the cache.
+	c := NewCatalogWith(g, CatalogConfig{MaxBytes: 1, Shards: 1})
+	gender := g.MustAttr("gender")
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.UnionAll(g.Timeline().Range(0, 1), gender); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Cached != 0 {
+		t.Errorf("cached answers under a zero budget: %+v", st)
+	}
+	if st.Scratch != 3 {
+		t.Errorf("scratch = %d, want 3", st.Scratch)
+	}
+	if st.CacheEvictions < 3 {
+		t.Errorf("evictions = %d, want >= 3", st.CacheEvictions)
+	}
+}
+
+// TestCatalogConcurrentHammer drives a catalog from 16 goroutines mixing
+// UnionAll (varied intervals and attribute sets), Materialize and Stats —
+// the -race workload of the concurrent serving layer. Every answer is
+// checked against a serially computed reference.
+func TestCatalogConcurrentHammer(t *testing.T) {
+	g := core.PaperExample()
+	tl := g.Timeline()
+	gender := g.MustAttr("gender")
+	pubs := g.MustAttr("publications")
+
+	type query struct {
+		iv    timeline.Interval
+		attrs []core.AttrID
+	}
+	var queries []query
+	for a := 0; a < tl.Len(); a++ {
+		for b := a; b < tl.Len(); b++ {
+			iv := tl.Range(timeline.Time(a), timeline.Time(b))
+			queries = append(queries,
+				query{iv, []core.AttrID{gender}},
+				query{iv, []core.AttrID{pubs}},
+				query{iv, []core.AttrID{gender, pubs}})
+		}
+	}
+	want := make([]*agg.Graph, len(queries))
+	for i, q := range queries {
+		s := agg.MustSchema(g, q.attrs...)
+		want[i] = agg.Aggregate(ops.Union(g, q.iv, q.iv), s, agg.All)
+	}
+
+	c := NewCatalogWith(g, CatalogConfig{MaxBytes: 1 << 20, Shards: 4})
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if w%4 == 0 { // some workers race store materialization
+				if _, err := c.Materialize(gender); err != nil {
+					errs <- err
+					return
+				}
+			}
+			for rep := 0; rep < 3; rep++ {
+				for off := 0; off < len(queries); off++ {
+					i := (off + w*7) % len(queries)
+					got, _, err := c.UnionAll(queries[i].iv, queries[i].attrs...)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !got.Equal(want[i]) {
+						errs <- fmt.Errorf("worker %d: wrong answer for query %d", w, i)
+						return
+					}
+				}
+				c.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if got := st.Answered(); got != int64(workers*3*len(queries)) {
+		t.Errorf("answered = %d, want %d", got, workers*3*len(queries))
+	}
+}
+
+// TestQuickDenseEqualsLinear is the randomized equivalence of the dense
+// composition engines against the linear map-merge reference: random
+// graphs, random attribute subsets, random (possibly non-contiguous)
+// intervals.
+func TestQuickDenseEqualsLinear(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := gtest.RandomGraph(r, gtest.DefaultParams())
+		if g.NumAttrs() == 0 {
+			return true
+		}
+		// Random non-empty attribute subset in random order.
+		perm := r.Perm(g.NumAttrs())
+		n := 1 + r.Intn(g.NumAttrs())
+		attrs := make([]core.AttrID, n)
+		for i := 0; i < n; i++ {
+			attrs[i] = core.AttrID(perm[i])
+		}
+		s := agg.MustSchema(g, attrs...)
+		st := NewStore(g, s)
+		for trial := 0; trial < 4; trial++ {
+			var iv timeline.Interval
+			if trial%2 == 0 {
+				iv = gtest.RandomInterval(r, g.Timeline())
+			} else {
+				// Arbitrary point set: exercises the run decomposition.
+				var ts []timeline.Time
+				for p := 0; p < g.Timeline().Len(); p++ {
+					if r.Intn(2) == 0 {
+						ts = append(ts, timeline.Time(p))
+					}
+				}
+				iv = g.Timeline().Of(ts...)
+			}
+			want := st.UnionAllLinear(iv)
+			if !st.UnionAll(iv).Equal(want) || !st.UnionAllLog(iv).Equal(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
 	}
 }
 
