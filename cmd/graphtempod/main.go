@@ -1,0 +1,210 @@
+// Command graphtempod is the GraphTempo query-serving daemon: it loads a
+// dataset (or ingests snapshots live) and serves the JSON API of
+// internal/server over HTTP.
+//
+// Usage:
+//
+//	graphtempod -dataset paper                       # running example
+//	graphtempod -dataset dblp -scale 0.05 -seed 42   # synthetic DBLP
+//	graphtempod -dataset /path/to/graphdir           # WriteGraphDir layout
+//	graphtempod -stream gender:static,publications:varying   # live ingestion
+//
+// Endpoints: POST /v1/aggregate, /v1/explore, /v1/tgql, /v1/ingest;
+// GET /healthz, /readyz, /metrics. See DESIGN.md §3 for the serving
+// architecture (admission control, deadlines, metrics taxonomy).
+//
+// SIGTERM/SIGINT starts a graceful drain: /readyz flips to 503 so load
+// balancers stop routing here, in-flight requests finish (up to
+// -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/server"
+	"repro/internal/stream"
+)
+
+type options struct {
+	addr         string
+	dataset      string
+	scale        float64
+	seed         int64
+	streamSpec   string
+	maxInflight  int64
+	maxQueue     int
+	timeout      time.Duration
+	drainTimeout time.Duration
+	cacheBytes   int64
+	logFormat    string
+}
+
+func parseFlags(args []string) (*options, error) {
+	fs := flag.NewFlagSet("graphtempod", flag.ContinueOnError)
+	o := &options{}
+	fs.StringVar(&o.addr, "addr", ":8089", "listen address")
+	fs.StringVar(&o.dataset, "dataset", "", "dataset to serve: paper, dblp, movielens, or a graph directory path")
+	fs.Float64Var(&o.scale, "scale", 1.0, "size factor for synthetic datasets")
+	fs.Int64Var(&o.seed, "seed", 42, "generator seed for synthetic datasets")
+	fs.StringVar(&o.streamSpec, "stream", "", "run in stream mode with this schema, e.g. gender:static,publications:varying")
+	fs.Int64Var(&o.maxInflight, "max-inflight", 0, "admission capacity in weight units (0 = 2×GOMAXPROCS)")
+	fs.IntVar(&o.maxQueue, "max-queue", -1, "admission wait-queue length (-1 = 2×capacity)")
+	fs.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request deadline cap")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 20*time.Second, "graceful shutdown budget")
+	fs.Int64Var(&o.cacheBytes, "cache-bytes", 0, "materialization cache budget (0 = default)")
+	fs.StringVar(&o.logFormat, "log", "text", "log format: text or json")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if (o.dataset == "") == (o.streamSpec == "") {
+		return nil, errors.New("exactly one of -dataset and -stream is required")
+	}
+	return o, nil
+}
+
+// parseStreamSpec compiles "name:kind,name:kind" into an attribute schema.
+func parseStreamSpec(spec string) ([]core.AttrSpec, error) {
+	var attrs []core.AttrSpec
+	for _, field := range strings.Split(spec, ",") {
+		name, kind, ok := strings.Cut(strings.TrimSpace(field), ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad attribute %q (want name:static or name:varying)", field)
+		}
+		var k core.AttrKind
+		switch kind {
+		case "static":
+			k = core.Static
+		case "varying", "time-varying":
+			k = core.TimeVarying
+		default:
+			return nil, fmt.Errorf("bad attribute kind %q for %s (want static or varying)", kind, name)
+		}
+		attrs = append(attrs, core.AttrSpec{Name: name, Kind: k})
+	}
+	return attrs, nil
+}
+
+// loadGraph resolves the -dataset flag.
+func loadGraph(o *options, log *slog.Logger) (*core.Graph, error) {
+	start := time.Now()
+	var (
+		g   *core.Graph
+		err error
+	)
+	switch o.dataset {
+	case "paper":
+		g = core.PaperExample()
+	case "dblp":
+		g = dataset.DBLPScaled(o.seed, o.scale)
+	case "movielens":
+		g = dataset.MovieLensScaled(o.seed, o.scale)
+	default:
+		g, err = core.ReadDir(o.dataset)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", o.dataset, err)
+		}
+	}
+	log.Info("dataset loaded", "dataset", o.dataset, "scale", o.scale,
+		"nodes", g.NumNodes(), "edges", g.NumEdges(), "points", g.Timeline().Len(),
+		"elapsed", time.Since(start).Round(time.Millisecond).String())
+	return g, nil
+}
+
+// newServer builds the server.Config for the parsed options.
+func newServer(o *options, log *slog.Logger) (*server.Server, error) {
+	cfg := server.Config{
+		MaxInflight:    o.maxInflight,
+		MaxQueue:       o.maxQueue,
+		RequestTimeout: o.timeout,
+		CacheBytes:     o.cacheBytes,
+		Logger:         log,
+	}
+	if o.streamSpec != "" {
+		attrs, err := parseStreamSpec(o.streamSpec)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Series = stream.New(attrs...)
+		log.Info("stream mode", "schema", o.streamSpec)
+	} else {
+		g, err := loadGraph(o, log)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Graph = g
+	}
+	return server.New(cfg)
+}
+
+func newLogger(format string) *slog.Logger {
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
+}
+
+func run(args []string) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	log := newLogger(o.logFormat)
+	srv, err := newServer(o, log)
+	if err != nil {
+		return err
+	}
+
+	hs := &http.Server{
+		Addr:              o.addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Info("listening", "addr", o.addr)
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop advertising readiness, then let in-flight
+	// requests finish within the drain budget.
+	log.Info("signal received, draining", "budget", o.drainTimeout.String())
+	srv.BeginDrain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	log.Info("drained, exiting")
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "graphtempod:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags([]string{"-dataset", "paper", "-addr", ":0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.dataset != "paper" || o.addr != ":0" {
+		t.Fatalf("parsed %+v", o)
+	}
+	if _, err := parseFlags(nil); err == nil {
+		t.Fatal("no dataset and no stream accepted")
+	}
+	if _, err := parseFlags([]string{"-dataset", "paper", "-stream", "a:static"}); err == nil {
+		t.Fatal("dataset and stream together accepted")
+	}
+}
+
+func TestParseStreamSpec(t *testing.T) {
+	attrs, err := parseStreamSpec("gender:static, publications:varying")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != 2 || attrs[0].Name != "gender" || attrs[0].Kind != core.Static ||
+		attrs[1].Name != "publications" || attrs[1].Kind != core.TimeVarying {
+		t.Fatalf("parsed %+v", attrs)
+	}
+	for _, bad := range []string{"", "gender", "gender:maybe", ":static"} {
+		if _, err := parseStreamSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestNewServerModes(t *testing.T) {
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	o, err := parseFlags([]string{"-dataset", "paper"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newServer(o, log); err != nil {
+		t.Fatalf("static mode: %v", err)
+	}
+	o, err = parseFlags([]string{"-stream", "gender:static"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newServer(o, log); err != nil {
+		t.Fatalf("stream mode: %v", err)
+	}
+	o, err = parseFlags([]string{"-dataset", "/nonexistent/graphdir"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newServer(o, log); err == nil {
+		t.Fatal("bad graph dir accepted")
+	}
+}
+
+// TestRunServesAndDrains boots the daemon on a random port, waits for
+// readiness, runs one query, then sends SIGTERM and checks the graceful
+// exit path.
+func TestRunServesAndDrains(t *testing.T) {
+	// Pick a free port up front so the test can poll it.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-dataset", "paper", "-addr", addr, "-drain-timeout", "5s"})
+	}()
+
+	base := "http://" + addr
+	ready := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				ready = true
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !ready {
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Post(base+"/v1/tgql", "application/json",
+		strings.NewReader(`{"query": "STATS"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("tgql = %d: %s", resp.StatusCode, body)
+	}
+	var tr struct {
+		Text string `json:"text"`
+	}
+	if err := json.Unmarshal(body, &tr); err != nil || tr.Text == "" {
+		t.Fatalf("malformed tgql response: %s", body)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+}

@@ -23,7 +23,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -188,6 +190,16 @@ func experiments() []experiment {
 	}
 }
 
+// gitDescribe labels the source tree for run metadata; best effort — an
+// empty string when git or the repository is unavailable.
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
 // csvName turns a result id like "Fig. 13a" into "fig-13a.csv".
 func csvName(id string) string {
 	s := strings.ToLower(id)
@@ -271,7 +283,16 @@ func main() {
 	}
 
 	env := &environment{seed: *seed, scale: *scale}
-	if !*asJSON {
+	if *asJSON {
+		benchutil.SetRunMeta(&benchutil.RunMeta{
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			Git:        gitDescribe(),
+			Seed:       *seed,
+			Scale:      *scale,
+		})
+	} else {
 		fmt.Fprintf(w, "GraphTempo evaluation harness — seed %d, scale %g\n\n", *seed, *scale)
 	}
 	for _, e := range selected {

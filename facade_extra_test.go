@@ -2,6 +2,7 @@ package graphtempo_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -67,6 +68,16 @@ func TestFacadeParallelAggregation(t *testing.T) {
 	want := graphtempo.Aggregate(v, s, graphtempo.All)
 	if !got.Equal(want) {
 		t.Fatal("facade parallel aggregation differs")
+	}
+
+	ctxGot, err := graphtempo.AggregateParallelCtx(context.Background(), v, s, graphtempo.All, 4)
+	if err != nil || !ctxGot.Equal(want) {
+		t.Fatalf("facade ctx aggregation: err %v, equal %v", err, ctxGot.Equal(want))
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := graphtempo.AggregateParallelCtx(canceled, v, s, graphtempo.All, 4); err != context.Canceled {
+		t.Fatalf("canceled ctx aggregation returned %v, want context.Canceled", err)
 	}
 }
 

@@ -33,6 +33,7 @@
 package graphtempo
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/agg"
@@ -238,6 +239,14 @@ func Aggregate(v *View, s *AggSchema, kind AggKind) *AggGraph { return agg.Aggre
 // workers ≤ 0 selects GOMAXPROCS.
 func AggregateParallel(v *View, s *AggSchema, kind AggKind, workers int) *AggGraph {
 	return agg.AggregateParallel(v, s, kind, workers)
+}
+
+// AggregateParallelCtx is AggregateParallel under a context deadline: the
+// kernels poll ctx between chunks and the call returns ctx.Err() when it
+// expires mid-aggregation. This is the entry point graphtempod serves
+// requests through.
+func AggregateParallelCtx(ctx context.Context, v *View, s *AggSchema, kind AggKind, workers int) (*AggGraph, error) {
+	return agg.AggregateParallelCtx(ctx, v, s, kind, workers)
 }
 
 // AggregateFiltered is Aggregate restricted to the (node, time)

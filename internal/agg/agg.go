@@ -306,6 +306,7 @@ func Aggregate(v *ops.View, s *Schema, kind Kind) *Graph {
 	if v.Graph() != s.g {
 		panic("agg: view and schema built on different graphs")
 	}
+	countKernel(s)
 	ag := &Graph{Schema: s, Kind: kind}
 	if s.denseEligible() {
 		aggregateDense(v, s, kind, ag, 0, s.g.NumNodes(), 0, s.g.NumEdges())

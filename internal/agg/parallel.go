@@ -1,8 +1,7 @@
 package agg
 
 import (
-	"runtime"
-	"sync"
+	"context"
 
 	"repro/internal/core"
 	"repro/internal/ops"
@@ -28,63 +27,9 @@ func AggregateParallel(v *ops.View, s *Schema, kind Kind, workers int) *Graph {
 	if v.Graph() != s.g {
 		panic("agg: view and schema built on different graphs")
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers == 1 || v.NumNodes()+v.NumEdges() < parallelMinEntities {
-		return Aggregate(v, s, kind)
-	}
-	g := s.g
-	parts := make([]*Graph, workers)
-	var wg sync.WaitGroup
-	nodeShard := (g.NumNodes() + workers - 1) / workers
-	edgeShard := (g.NumEdges() + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			part := &Graph{Schema: s, Kind: kind}
-			parts[w] = part
-			nLo, nHi := w*nodeShard, (w+1)*nodeShard
-			if nHi > g.NumNodes() {
-				nHi = g.NumNodes()
-			}
-			eLo, eHi := w*edgeShard, (w+1)*edgeShard
-			if eHi > g.NumEdges() {
-				eHi = g.NumEdges()
-			}
-			if s.denseEligible() {
-				aggregateDense(v, s, kind, part, nLo, nHi, eLo, eHi)
-				return
-			}
-			part.Nodes = make(map[Tuple]int64)
-			part.Edges = make(map[EdgeKey]int64)
-			if s.allStatic {
-				aggregateStaticRange(v, s, kind, part, nLo, nHi, eLo, eHi)
-			} else {
-				aggregateVaryingRange(v, s, kind, part, nLo, nHi, eLo, eHi)
-			}
-		}(w)
-	}
-	wg.Wait()
-	// Pre-size the merged maps from the partials: tuple sets of shards
-	// overlap, so the sums are an upper bound and the maps never rehash
-	// during the merge.
-	var nNodes, nEdges int
-	for _, part := range parts {
-		nNodes += len(part.Nodes)
-		nEdges += len(part.Edges)
-	}
-	out := &Graph{
-		Schema: s,
-		Kind:   kind,
-		Nodes:  make(map[Tuple]int64, nNodes),
-		Edges:  make(map[EdgeKey]int64, nEdges),
-	}
-	for _, part := range parts {
-		out.Merge(part)
-	}
-	return out
+	// context.Background is never canceled, so the shared engine's
+	// cancellation probes compile down to nothing on this path.
+	return aggregateParallelInner(context.Background(), v, s, kind, workers)
 }
 
 // parallelMinEntities is the measured crossover below which

@@ -177,22 +177,42 @@ func (e *Experiment) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// RunMeta describes the environment a JSON run executed in. When set via
+// SetRunMeta, every WriteJSON result line carries it, so archived outputs
+// remain self-describing when lines are split apart or concatenated
+// across machines and runs.
+type RunMeta struct {
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Timestamp  string  `json:"timestamp"` // RFC 3339, UTC
+	Git        string  `json:"git,omitempty"`
+	Seed       int64   `json:"seed"`
+	Scale      float64 `json:"scale"`
+}
+
+var runMeta *RunMeta
+
+// SetRunMeta attaches m to every subsequent WriteJSON line; nil detaches.
+func SetRunMeta(m *RunMeta) { runMeta = m }
+
 // WriteJSON renders the experiment as one JSON object (followed by a
 // newline, so concatenated experiments form a JSON-lines stream).
 func (e *Experiment) WriteJSON(w io.Writer) error {
 	return writeJSONLine(w, struct {
-		Kind string `json:"kind"`
+		Kind string   `json:"kind"`
+		Meta *RunMeta `json:"meta,omitempty"`
 		*Experiment
-	}{"experiment", e})
+	}{"experiment", runMeta, e})
 }
 
 // WriteJSON renders the table as one JSON object under the same framing as
 // Experiment.WriteJSON.
 func (t *Table) WriteJSON(w io.Writer) error {
 	return writeJSONLine(w, struct {
-		Kind string `json:"kind"`
+		Kind string   `json:"kind"`
+		Meta *RunMeta `json:"meta,omitempty"`
 		*Table
-	}{"table", t})
+	}{"table", runMeta, t})
 }
 
 func writeJSONLine(w io.Writer, v any) error {

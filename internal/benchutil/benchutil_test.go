@@ -2,6 +2,7 @@ package benchutil
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -176,6 +177,42 @@ func TestFigExplorationOnDBLP(t *testing.T) {
 			if r[2] > r[3] && len(r[2]) >= len(r[3]) {
 				t.Errorf("spec %d: pruned evals %s > naive %s", i, r[2], r[3])
 			}
+		}
+	}
+}
+
+func TestWriteJSONRunMeta(t *testing.T) {
+	e := &Experiment{ID: "x", Title: "demo", XLabel: "t", Series: []string{"a"}}
+	e.Add("t0", 1)
+	tb := &Table{ID: "t3", Title: "stats", Header: []string{"tp"}}
+	tb.Add("2000")
+
+	var buf bytes.Buffer
+	if err := e.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"meta"`) {
+		t.Errorf("meta emitted without SetRunMeta:\n%s", buf.String())
+	}
+
+	SetRunMeta(&RunMeta{GoVersion: "go1.22", GOMAXPROCS: 8,
+		Timestamp: "2026-08-06T00:00:00Z", Git: "abc123", Seed: 1, Scale: 0.5})
+	defer SetRunMeta(nil)
+	for _, p := range []Printable{e, tb} {
+		buf.Reset()
+		if err := p.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var got struct {
+			Kind string   `json:"kind"`
+			Meta *RunMeta `json:"meta"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+			t.Fatalf("bad JSON line %q: %v", buf.String(), err)
+		}
+		if got.Meta == nil || got.Meta.GoVersion != "go1.22" || got.Meta.GOMAXPROCS != 8 ||
+			got.Meta.Git != "abc123" || got.Meta.Scale != 0.5 {
+			t.Errorf("%s meta = %+v", got.Kind, got.Meta)
 		}
 	}
 }

@@ -1,0 +1,66 @@
+package explore
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/evolution"
+)
+
+// TestExploreCtxMatchesExplore checks that a live context is transparent:
+// ExploreCtx returns exactly what Explore returns, on both the fast path
+// and the seed-based fallback.
+func TestExploreCtxMatchesExplore(t *testing.T) {
+	for _, noFast := range []bool{false, true} {
+		ex := fixtureExplorer(t)
+		ex.NoFastPath = noFast
+		want := ex.Explore(evolution.Stability, UnionSemantics, ExtendNew, 2)
+		got, err := ex.ExploreCtx(context.Background(), evolution.Stability, UnionSemantics, ExtendNew, 2)
+		if err != nil {
+			t.Fatalf("noFast=%v: %v", noFast, err)
+		}
+		assertPairs(t, got, want...)
+	}
+}
+
+// TestExploreCtxCanceled checks the early exit: a canceled context yields
+// (nil, ctx.Err()) without running the traversal, and the explorer remains
+// usable afterwards.
+func TestExploreCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, noFast := range []bool{false, true} {
+		ex := fixtureExplorer(t)
+		ex.NoFastPath = noFast
+		pairs, err := ex.ExploreCtx(ctx, evolution.Growth, UnionSemantics, ExtendNew, 1)
+		if err != context.Canceled {
+			t.Fatalf("noFast=%v: got (%v, %v), want context.Canceled", noFast, pairs, err)
+		}
+		if pairs != nil {
+			t.Fatalf("noFast=%v: canceled run returned pairs %v", noFast, pairs)
+		}
+		// The explorer is not poisoned by the aborted run.
+		got, err := ex.ExploreCtx(context.Background(), evolution.Growth, UnionSemantics, ExtendNew, 1)
+		if err != nil {
+			t.Fatalf("noFast=%v: follow-up run: %v", noFast, err)
+		}
+		if len(got) == 0 {
+			t.Fatalf("noFast=%v: follow-up run returned no pairs", noFast)
+		}
+	}
+}
+
+// TestTotalEvaluationsCounter checks the serving-layer observability hook:
+// every explorer evaluation also moves the package-level counter.
+func TestTotalEvaluationsCounter(t *testing.T) {
+	ex := fixtureExplorer(t)
+	before := TotalEvaluations.Value()
+	ex.Explore(evolution.Stability, UnionSemantics, ExtendNew, 2)
+	delta := TotalEvaluations.Value() - before
+	if delta != int64(ex.Evaluations) {
+		t.Fatalf("TotalEvaluations moved by %d, explorer recorded %d", delta, ex.Evaluations)
+	}
+	if delta == 0 {
+		t.Fatal("no evaluations recorded")
+	}
+}

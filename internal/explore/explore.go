@@ -34,14 +34,22 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/agg"
 	"repro/internal/core"
 	"repro/internal/evolution"
+	"repro/internal/metrics"
 	"repro/internal/ops"
 	"repro/internal/timeline"
 )
+
+// TotalEvaluations counts candidate-pair evaluations across every Explorer
+// in the process (memo hits excluded, matching the Evaluations field). The
+// serving layer registers it so exploration cost is visible per scrape
+// without touching the per-run counters.
+var TotalEvaluations metrics.Counter
 
 // Event aliases the evolution event classes: stability, growth, shrinkage.
 type Event = evolution.Class
@@ -171,6 +179,35 @@ type Explorer struct {
 	// pointIdx caches the per-time-point existence index backing the fast
 	// path's incremental views; built lazily on first use.
 	pointIdx *ops.PointIndex
+
+	// ctx is the cancellation context of the current ExploreCtx run (nil
+	// outside one). Traversal loops poll it between candidate evaluations
+	// so deadline-expired requests stop burning CPU; it is set before any
+	// worker goroutine starts and cleared after they all join.
+	ctx context.Context
+}
+
+// canceled reports whether the current run's context has expired.
+func (ex *Explorer) canceled() bool {
+	return ex.ctx != nil && ex.ctx.Err() != nil
+}
+
+// ExploreCtx is Explore with cooperative cancellation: the traversal polls
+// ctx between candidate evaluations (both the seed engine and the fast
+// path's depth waves) and abandons the run once the deadline expires,
+// returning ctx.Err() instead of a pair set. A nil error guarantees the
+// same pairs Explore would report.
+func (ex *Explorer) ExploreCtx(ctx context.Context, event Event, sem Semantics, ext Extend, k int64) ([]Pair, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ex.ctx = ctx
+	defer func() { ex.ctx = nil }()
+	pairs := ex.Explore(event, sem, ext, k)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return pairs, nil
 }
 
 // eval computes result(G) for the aggregate graph of the event between the
@@ -182,6 +219,7 @@ func (ex *Explorer) eval(event Event, old, new ops.Sel) int64 {
 		}
 	}
 	ex.Evaluations++
+	TotalEvaluations.Inc()
 	r := ex.evalCompute(event, old, new)
 	if ex.Memo != nil {
 		ex.Memo.store(event, old, new, r)
@@ -323,6 +361,9 @@ func (ex *Explorer) uExplore(event Event, sem Semantics, ext Extend, k int64) []
 	n := ex.Graph.Timeline().Len()
 	for i := 0; i < n-1; i++ {
 		for extra := 0; ; extra++ {
+			if ex.canceled() {
+				return nil
+			}
 			old, new, ok := ex.pairAt(i, ext, extra)
 			if !ok {
 				break
@@ -346,6 +387,9 @@ func (ex *Explorer) iExplore(event Event, sem Semantics, ext Extend, k int64) []
 	for i := 0; i < n-1; i++ {
 		var best *Pair
 		for extra := 0; ; extra++ {
+			if ex.canceled() {
+				return nil
+			}
 			old, new, ok := ex.pairAt(i, ext, extra)
 			if !ok {
 				break
@@ -369,6 +413,9 @@ func (ex *Explorer) checkBase(event Event, sem Semantics, ext Extend, k int64) [
 	var out []Pair
 	n := ex.Graph.Timeline().Len()
 	for i := 0; i < n-1; i++ {
+		if ex.canceled() {
+			return nil
+		}
 		old, new, _ := ex.pairAt(i, ext, 0)
 		if r := ex.eval(event, sel(old, sem), sel(new, sem)); r >= k {
 			out = append(out, Pair{Old: old, New: new, Result: r})
@@ -385,6 +432,9 @@ func (ex *Explorer) checkLongest(event Event, sem Semantics, ext Extend, k int64
 	tl := ex.Graph.Timeline()
 	n := tl.Len()
 	for i := 0; i < n-1; i++ {
+		if ex.canceled() {
+			return nil
+		}
 		var old, new timeline.Interval
 		if ext == ExtendOld {
 			old, new = tl.Range(0, timeline.Time(i)), tl.Point(timeline.Time(i+1))

@@ -194,8 +194,12 @@ func (fr *fastRun) run(tasks []*refState) {
 	if w <= 1 {
 		pv := fr.pvs[0]
 		for _, rs := range tasks {
+			if fr.ex.canceled() {
+				return
+			}
 			if fr.process(rs, pv) {
 				fr.ex.Evaluations++
+				TotalEvaluations.Inc()
 			}
 		}
 		return
@@ -207,6 +211,9 @@ func (fr *fastRun) run(tasks []*refState) {
 		go func(pv *ops.PairView) {
 			defer wg.Done()
 			for {
+				if fr.ex.canceled() {
+					return
+				}
 				t := int(atomic.AddInt64(&next, 1)) - 1
 				if t >= len(tasks) {
 					return
@@ -219,6 +226,7 @@ func (fr *fastRun) run(tasks []*refState) {
 	}
 	wg.Wait()
 	fr.ex.Evaluations += int(computed)
+	TotalEvaluations.Add(computed)
 }
 
 // collect assembles the output in reference-point order — every traversal
@@ -270,6 +278,9 @@ func (fr *fastRun) uExplore(k int64) []Pair {
 			break
 		}
 		fr.run(tasks)
+		if fr.ex.canceled() {
+			return nil
+		}
 		for _, rs := range tasks {
 			if rs.r >= k {
 				results[rs.i] = fr.pair(rs)
@@ -290,6 +301,9 @@ func (fr *fastRun) iExplore(k int64) []Pair {
 			break
 		}
 		fr.run(tasks)
+		if fr.ex.canceled() {
+			return nil
+		}
 		for _, rs := range tasks {
 			if rs.r < k {
 				rs.active = false
@@ -307,6 +321,9 @@ func (fr *fastRun) checkBase(k int64) []Pair {
 	results := make([]*Pair, len(fr.refs))
 	tasks := fr.atDepth(0)
 	fr.run(tasks)
+	if fr.ex.canceled() {
+		return nil
+	}
 	for _, rs := range tasks {
 		if rs.r >= k {
 			results[rs.i] = fr.pair(rs)
@@ -326,6 +343,9 @@ func (fr *fastRun) checkLongest(k int64) []Pair {
 		tasks = append(tasks, rs)
 	}
 	fr.run(tasks)
+	if fr.ex.canceled() {
+		return nil
+	}
 	for _, rs := range tasks {
 		if rs.r >= k {
 			results[rs.i] = fr.pair(rs)

@@ -1,0 +1,353 @@
+// Package metrics implements the observability layer of the serving
+// subsystem: lock-free atomic counters, fixed-bucket latency histograms
+// and a registry that renders everything in the Prometheus text exposition
+// format (version 0.0.4).
+//
+// The package has no dependencies, so the engine's hot paths — kernel
+// selection in agg, candidate evaluation in explore — can carry their own
+// counters without pulling serving code into the library. A server (or a
+// test) registers those counters, plus pull-style CounterFunc/GaugeFunc
+// collectors over existing stats snapshots (materialize.Catalog.Stats,
+// lru.Cache.Stats), into one Registry and serves it at GET /metrics.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use, so package-level counters in hot paths need no init.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative n panics — counters only go up.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("metrics: counter decrement")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic value that can go up and down (in-flight requests,
+// queue depth). The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets are the default latency buckets in seconds: 100µs to ~16s in
+// powers of four, a range that covers sub-millisecond cache hits through
+// multi-second scratch aggregations on the paper-scale datasets.
+var DefBuckets = []float64{0.0001, 0.0004, 0.0016, 0.0064, 0.0256, 0.1024, 0.4096, 1.6384, 6.5536, 16}
+
+// Histogram is a fixed-bucket histogram of float64 observations (latency
+// seconds by convention). Observations are lock-free; a snapshot read may
+// be torn across concurrent observations but every individual observation
+// is eventually counted exactly once — the standard Prometheus contract.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf bucket is implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds;
+// nil selects DefBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds not ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Label is one constant key="value" pair attached to a series at
+// registration time.
+type Label struct {
+	Key, Value string
+}
+
+// kind is the Prometheus metric type of a family.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one registered time series.
+type series struct {
+	labels []Label
+	// exactly one of these is set
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name string
+	help string
+	kind kind
+	rows []*series
+}
+
+// Registry holds registered metrics and renders them. Registration is
+// expected at setup time; rendering and metric updates may run
+// concurrently with it.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// register adds one series under name, creating or extending its family.
+func (r *Registry) register(name, help string, k kind, s *series) {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	} else if f.kind != k {
+		panic(fmt.Sprintf("metrics: %s registered as both %s and %s", name, f.kind, k))
+	}
+	key := labelKey(s.labels)
+	for _, prev := range f.rows {
+		if labelKey(prev.labels) == key {
+			panic(fmt.Sprintf("metrics: duplicate series %s{%s}", name, key))
+		}
+	}
+	f.rows = append(f.rows, s)
+}
+
+// Counter registers and returns a new counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.RegisterCounter(name, help, c, labels...)
+	return c
+}
+
+// RegisterCounter adds an existing counter (e.g. a hot-path package-level
+// one) as a series of name.
+func (r *Registry) RegisterCounter(name, help string, c *Counter, labels ...Label) {
+	r.register(name, help, kindCounter, &series{labels: labels, counter: c})
+}
+
+// Gauge registers and returns a new gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, kindGauge, &series{labels: labels, gauge: g})
+	return g
+}
+
+// Histogram registers and returns a new histogram with the given bounds
+// (nil selects DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(name, help, kindHistogram, &series{labels: labels, hist: h})
+	return h
+}
+
+// CounterFunc registers a pull-style counter series whose value is read
+// from fn at exposition time — the bridge to existing stats snapshots
+// (catalog sources, LRU hit/miss) without double bookkeeping. fn must be
+// monotonically non-decreasing.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, kindCounter, &series{labels: labels, fn: fn})
+}
+
+// GaugeFunc registers a pull-style gauge series read from fn at exposition
+// time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, kindGauge, &series{labels: labels, fn: fn})
+}
+
+// labelKey renders labels canonically for duplicate detection and output.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+func writeSample(w io.Writer, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
+	} else {
+		fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatFloat(v))
+	}
+}
+
+// WritePrometheus renders every registered metric in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		fams = append(fams, &family{name: f.name, help: f.help, kind: f.kind,
+			rows: append([]*series(nil), f.rows...)})
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.rows {
+			lk := labelKey(s.labels)
+			switch {
+			case s.counter != nil:
+				writeSample(w, f.name, lk, float64(s.counter.Value()))
+			case s.gauge != nil:
+				writeSample(w, f.name, lk, float64(s.gauge.Value()))
+			case s.fn != nil:
+				writeSample(w, f.name, lk, s.fn())
+			case s.hist != nil:
+				writeHistogram(w, f.name, s.labels, s.hist)
+			}
+		}
+	}
+}
+
+// writeHistogram renders the cumulative _bucket/_sum/_count triplet.
+func writeHistogram(w io.Writer, name string, labels []Label, h *Histogram) {
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		le := append(append([]Label(nil), labels...), Label{"le", formatFloat(b)})
+		writeSample(w, name+"_bucket", labelKey(le), float64(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	le := append(append([]Label(nil), labels...), Label{"le", "+Inf"})
+	writeSample(w, name+"_bucket", labelKey(le), float64(cum))
+	lk := labelKey(labels)
+	writeSample(w, name+"_sum", lk, h.Sum())
+	writeSample(w, name+"_count", lk, float64(cum))
+}

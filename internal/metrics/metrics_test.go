@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	var g Gauge
+	g.Inc()
+	g.Add(3)
+	g.Dec()
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %d, want 3", g.Value())
+	}
+	g.Set(-7)
+	if g.Value() != -7 {
+		t.Fatalf("gauge = %d, want -7", g.Value())
+	}
+	c.Add(-1)
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-106) > 1e-9 {
+		t.Fatalf("sum = %g, want 106", h.Sum())
+	}
+	// Bucket occupancy: le=1 → {0.5, 1}, le=2 → {1.5}, le=4 → {3}, +Inf → {100}.
+	want := []int64{2, 1, 1, 1}
+	for i, n := range want {
+		if got := h.counts[i].Load(); got != n {
+			t.Fatalf("bucket %d = %d, want %d", i, got, n)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+	if math.Abs(h.Sum()-goroutines*per*0.001) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", h.Sum(), goroutines*per*0.001)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("srv_requests_total", "Requests served.", Label{"endpoint", "aggregate"})
+	c.Add(3)
+	r.Counter("srv_requests_total", "Requests served.", Label{"endpoint", "explore"}).Inc()
+	g := r.Gauge("srv_inflight", "In-flight requests.")
+	g.Set(2)
+	r.GaugeFunc("srv_cache_bytes", "Resident bytes.", func() float64 { return 1024 })
+	r.CounterFunc("srv_hits_total", "Cache hits.", func() float64 { return 9 })
+	h := r.Histogram("srv_latency_seconds", "Request latency.", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP srv_requests_total Requests served.",
+		"# TYPE srv_requests_total counter",
+		`srv_requests_total{endpoint="aggregate"} 3`,
+		`srv_requests_total{endpoint="explore"} 1`,
+		"# TYPE srv_inflight gauge",
+		"srv_inflight 2",
+		"srv_cache_bytes 1024",
+		"srv_hits_total 9",
+		"# TYPE srv_latency_seconds histogram",
+		`srv_latency_seconds_bucket{le="0.01"} 1`,
+		`srv_latency_seconds_bucket{le="0.1"} 2`,
+		`srv_latency_seconds_bucket{le="+Inf"} 3`,
+		"srv_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE emitted once per family even with two series.
+	if strings.Count(out, "# TYPE srv_requests_total counter") != 1 {
+		t.Fatalf("family header repeated:\n%s", out)
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "")
+	for name, fn := range map[string]func(){
+		"invalid name":  func() { r.Counter("bad name", "") },
+		"kind mismatch": func() { r.Gauge("ok_total", "") },
+		"duplicate":     func() { r.Counter("ok_total", "") },
+		"bad histogram": func() { NewHistogram([]float64{2, 1}) },
+		"leading digit": func() { r.Counter("0abc", "") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	for v, want := range map[float64]string{
+		3:            "3",
+		0.25:         "0.25",
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		1e18:         "1e+18",
+	} {
+		if got := formatFloat(v); got != want {
+			t.Fatalf("formatFloat(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

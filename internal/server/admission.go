@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrOverloaded is returned by acquire when the semaphore is saturated and
+// the wait queue is full; the HTTP layer translates it to 429 with a
+// Retry-After hint.
+var ErrOverloaded = errors.New("server: overloaded")
+
+// admission is a weighted semaphore with a bounded FIFO wait queue. Cheap
+// requests (weight 1) and expensive ones (weight > 1) draw from the same
+// capacity, so a burst of heavy explorations cannot starve the process of
+// memory and CPU; once capacity is exhausted up to maxQueue requests wait
+// (respecting their deadlines) and everything beyond that is shed
+// immediately instead of building an unbounded backlog.
+type admission struct {
+	mu       sync.Mutex
+	capacity int64
+	inflight int64
+	maxQueue int
+	waiters  []*waiter
+}
+
+type waiter struct {
+	weight int64
+	ready  chan struct{} // closed by release when the waiter is admitted
+}
+
+// newAdmission returns a semaphore with the given capacity and wait-queue
+// bound. capacity < 1 is raised to 1 so every request can eventually run.
+func newAdmission(capacity int64, maxQueue int) *admission {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{capacity: capacity, maxQueue: maxQueue}
+}
+
+// acquire blocks until weight units are granted, the context expires, or
+// the queue overflows. Weights above capacity are clamped so oversized
+// requests are admissible (alone) rather than deadlocked.
+func (a *admission) acquire(ctx context.Context, weight int64) error {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > a.capacity {
+		weight = a.capacity
+	}
+	a.mu.Lock()
+	// Fast path: capacity available and nobody queued ahead of us.
+	if len(a.waiters) == 0 && a.inflight+weight <= a.capacity {
+		a.inflight += weight
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.waiters) >= a.maxQueue {
+		a.mu.Unlock()
+		return ErrOverloaded
+	}
+	w := &waiter{weight: weight, ready: make(chan struct{})}
+	a.waiters = append(a.waiters, w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		for i, q := range a.waiters {
+			if q == w {
+				a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+				a.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		// Not queued anymore: release already granted us between the
+		// ctx firing and the lock. Give the units back.
+		a.mu.Unlock()
+		a.release(weight)
+		return ctx.Err()
+	}
+}
+
+// release returns weight units and admits queued waiters in FIFO order
+// while they fit.
+func (a *admission) release(weight int64) {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > a.capacity {
+		weight = a.capacity
+	}
+	a.mu.Lock()
+	a.inflight -= weight
+	if a.inflight < 0 {
+		a.inflight = 0
+	}
+	for len(a.waiters) > 0 {
+		w := a.waiters[0]
+		if a.inflight+w.weight > a.capacity {
+			break
+		}
+		a.inflight += w.weight
+		a.waiters = a.waiters[1:]
+		close(w.ready)
+	}
+	a.mu.Unlock()
+}
+
+// queued returns the current wait-queue length (for metrics).
+func (a *admission) queued() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.waiters)
+}
+
+// used returns the in-flight weight (for metrics).
+func (a *admission) used() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := newAdmission(4, 2)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if err := a.acquire(ctx, 1); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if got := a.used(); got != 4 {
+		t.Fatalf("used = %d, want 4", got)
+	}
+	a.release(1)
+	if got := a.used(); got != 3 {
+		t.Fatalf("used after release = %d, want 3", got)
+	}
+}
+
+func TestAdmissionOverflowSheds(t *testing.T) {
+	a := newAdmission(1, 1)
+	ctx := context.Background()
+	if err := a.acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the queue.
+	done := make(chan error, 1)
+	go func() {
+		done <- a.acquire(ctx, 1)
+	}()
+	waitForQueue(t, a, 1)
+	// The next request overflows.
+	if err := a.acquire(ctx, 1); err != ErrOverloaded {
+		t.Fatalf("overflow acquire: got %v, want ErrOverloaded", err)
+	}
+	a.release(1)
+	if err := <-done; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	a.release(1)
+}
+
+func TestAdmissionQueuedDeadline(t *testing.T) {
+	a := newAdmission(1, 4)
+	if err := a.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := a.acquire(ctx, 1); err != context.DeadlineExceeded {
+		t.Fatalf("queued acquire: got %v, want DeadlineExceeded", err)
+	}
+	if got := a.queued(); got != 0 {
+		t.Fatalf("queue not cleaned up: %d waiters", got)
+	}
+	// The holder's release must not be consumed by the dead waiter.
+	a.release(1)
+	if err := a.acquire(context.Background(), 1); err != nil {
+		t.Fatalf("acquire after cleanup: %v", err)
+	}
+	a.release(1)
+}
+
+func TestAdmissionFIFO(t *testing.T) {
+	a := newAdmission(1, 8)
+	if err := a.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	order := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := a.acquire(context.Background(), 1); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			a.release(1)
+		}(i)
+		waitForQueue(t, a, i+1)
+	}
+	a.release(1)
+	wg.Wait()
+	close(order)
+	prev := -1
+	for i := range order {
+		if i != prev+1 {
+			t.Fatalf("waiters admitted out of FIFO order: got %d after %d", i, prev)
+		}
+		prev = i
+	}
+}
+
+func TestAdmissionWeightClamp(t *testing.T) {
+	a := newAdmission(2, 0)
+	// A request heavier than capacity is clamped, not deadlocked.
+	if err := a.acquire(context.Background(), 10); err != nil {
+		t.Fatalf("oversized acquire: %v", err)
+	}
+	if got := a.used(); got != 2 {
+		t.Fatalf("used = %d, want clamped 2", got)
+	}
+	a.release(10)
+	if got := a.used(); got != 0 {
+		t.Fatalf("used after release = %d, want 0", got)
+	}
+}
+
+// waitForQueue polls until the wait queue reaches n (the acquire goroutine
+// enqueues asynchronously).
+func waitForQueue(t *testing.T, a *admission, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.queued() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d (at %d)", n, a.queued())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,442 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/evolution"
+	"repro/internal/explore"
+	"repro/internal/materialize"
+	"repro/internal/ops"
+	"repro/internal/stream"
+	"repro/internal/tgql"
+	"repro/internal/timeline"
+)
+
+// errNotReady is returned while a stream-mode server has no data yet.
+var errNotReady = errors.New("server: no time points ingested yet")
+
+// maxBodyBytes bounds request bodies (ingest snapshots included).
+const maxBodyBytes = 64 << 20
+
+// decodeJSON strictly decodes the request body into v.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// IntervalSpec selects a set of time points by label: either a contiguous
+// range {"from": "t0", "to": "t2"} (to defaults to from, i.e. one point)
+// or an explicit point set {"points": ["t0", "t2"]}.
+type IntervalSpec struct {
+	From   string   `json:"from,omitempty"`
+	To     string   `json:"to,omitempty"`
+	Points []string `json:"points,omitempty"`
+}
+
+// interval resolves the spec on tl.
+func (sp IntervalSpec) interval(tl *timeline.Timeline) (timeline.Interval, error) {
+	if len(sp.Points) > 0 {
+		if sp.From != "" || sp.To != "" {
+			return timeline.Interval{}, fmt.Errorf("interval: points and from/to are mutually exclusive")
+		}
+		ts := make([]timeline.Time, len(sp.Points))
+		for i, l := range sp.Points {
+			t, ok := tl.TimeOf(l)
+			if !ok {
+				return timeline.Interval{}, fmt.Errorf("interval: unknown time point %q", l)
+			}
+			ts[i] = t
+		}
+		return tl.Of(ts...), nil
+	}
+	if sp.From == "" {
+		return timeline.Interval{}, fmt.Errorf("interval: from or points required")
+	}
+	from, ok := tl.TimeOf(sp.From)
+	if !ok {
+		return timeline.Interval{}, fmt.Errorf("interval: unknown time point %q", sp.From)
+	}
+	if sp.To == "" {
+		return tl.Point(from), nil
+	}
+	to, ok := tl.TimeOf(sp.To)
+	if !ok {
+		return timeline.Interval{}, fmt.Errorf("interval: unknown time point %q", sp.To)
+	}
+	if to < from {
+		return timeline.Interval{}, fmt.Errorf("interval: %q is before %q", sp.To, sp.From)
+	}
+	return tl.Range(from, to), nil
+}
+
+// parseKind maps the wire kind to agg.Kind; empty defaults to DIST.
+func parseKind(s string) (agg.Kind, error) {
+	switch s {
+	case "", "dist", "distinct":
+		return agg.Distinct, nil
+	case "all":
+		return agg.All, nil
+	default:
+		return 0, fmt.Errorf("unknown kind %q (want dist or all)", s)
+	}
+}
+
+// attrIDs resolves attribute names on g.
+func attrIDs(g *core.Graph, names []string) ([]core.AttrID, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("attrs required")
+	}
+	ids := make([]core.AttrID, len(names))
+	for i, n := range names {
+		a, ok := g.AttrByName(n)
+		if !ok {
+			return nil, fmt.Errorf("unknown attribute %q", n)
+		}
+		ids[i] = a
+	}
+	return ids, nil
+}
+
+// AggregateRequest asks for the aggregate graph of a temporal operator
+// applied to one or two intervals.
+type AggregateRequest struct {
+	// Op is one of project, union, intersection, difference.
+	Op        string       `json:"op"`
+	Interval  IntervalSpec `json:"interval"`
+	Interval2 IntervalSpec `json:"interval2,omitempty"`
+	Attrs     []string     `json:"attrs"`
+	// Kind is dist (default) or all.
+	Kind string `json:"kind,omitempty"`
+	// Workers bounds the parallel aggregation; 0 selects GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+}
+
+// AggregateResponse carries the aggregate graph and how it was derived.
+type AggregateResponse struct {
+	// Source is the materialization catalog's derivation (scratch, cached,
+	// t-distributive, d-distributive).
+	Source    string          `json:"source"`
+	ElapsedMs float64         `json:"elapsed_ms"`
+	Graph     json.RawMessage `json:"graph"`
+}
+
+func (s *Server) handleAggregate(ctx context.Context, w http.ResponseWriter, r *http.Request) (int, error) {
+	var req AggregateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	st, err := s.current()
+	if err != nil {
+		return http.StatusServiceUnavailable, err
+	}
+	tl := st.g.Timeline()
+	iv1, err := req.Interval.interval(tl)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	kind, err := parseKind(req.Kind)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	ids, err := attrIDs(st.g, req.Attrs)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+
+	binary := req.Op != "project"
+	var iv2 timeline.Interval
+	if binary {
+		if iv2, err = req.Interval2.interval(tl); err != nil {
+			return http.StatusBadRequest, err
+		}
+	} else if req.Interval2.From != "" || len(req.Interval2.Points) > 0 {
+		return http.StatusBadRequest, fmt.Errorf("op %q takes a single interval", req.Op)
+	}
+
+	start := time.Now()
+	var (
+		ag  *agg.Graph
+		src = materialize.Scratch
+	)
+	if req.Op == "union" && kind == agg.All {
+		// Union + ALL is T-distributive (§4.3): answer through the
+		// materialization catalog (cache → composed store → scratch).
+		ag, src, err = st.cat.UnionAll(iv1.Union(iv2), ids...)
+		if err != nil {
+			return http.StatusBadRequest, err
+		}
+	} else {
+		var v *ops.View
+		switch req.Op {
+		case "project":
+			v = ops.Project(st.g, iv1)
+		case "union":
+			v = ops.Union(st.g, iv1, iv2)
+		case "intersection":
+			v = ops.Intersection(st.g, iv1, iv2)
+		case "difference":
+			v = ops.Difference(st.g, iv1, iv2)
+		default:
+			return http.StatusBadRequest, fmt.Errorf("unknown op %q (want project, union, intersection or difference)", req.Op)
+		}
+		sch, err := agg.NewSchema(st.g, ids...)
+		if err != nil {
+			return http.StatusBadRequest, err
+		}
+		if ag, err = agg.AggregateParallelCtx(ctx, v, sch, kind, req.Workers); err != nil {
+			return statusForCtx(err), err
+		}
+	}
+	raw, err := json.Marshal(ag)
+	if err != nil {
+		return http.StatusInternalServerError, err
+	}
+	return writeJSON(w, AggregateResponse{
+		Source:    src.String(),
+		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+		Graph:     raw,
+	})
+}
+
+// ExploreRequest asks for minimal/maximal interval pairs with at least K
+// events (§3 exploration; Table 1 monotone cases use the same engine).
+type ExploreRequest struct {
+	// Event is stability, growth or shrinkage.
+	Event string `json:"event"`
+	// Semantics is union (minimal pairs) or intersection (maximal pairs).
+	Semantics string `json:"semantics"`
+	// Extend is old or new — which side of the pair grows.
+	Extend string   `json:"extend"`
+	K      int64    `json:"k"`
+	Attrs  []string `json:"attrs"`
+	// Kind is dist (default) or all.
+	Kind string `json:"kind,omitempty"`
+	// Result selects the measured quantity: edges (default) or nodes, or
+	// one aggregate entity via NodeTuple / EdgeFrom+EdgeTo.
+	Result    string   `json:"result,omitempty"`
+	NodeTuple []string `json:"node_tuple,omitempty"`
+	EdgeFrom  []string `json:"edge_from,omitempty"`
+	EdgeTo    []string `json:"edge_to,omitempty"`
+	// Workers bounds the fast path's parallel evaluator; 0 evaluates
+	// serially, negative selects GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+}
+
+// ExplorePair is one reported interval pair.
+type ExplorePair struct {
+	Old    string `json:"old"`
+	New    string `json:"new"`
+	Result int64  `json:"result"`
+}
+
+// ExploreResponse lists the pairs found for threshold K together with the
+// number of candidate evaluations the traversal performed.
+type ExploreResponse struct {
+	K           int64         `json:"k"`
+	Pairs       []ExplorePair `json:"pairs"`
+	Evaluations int           `json:"evaluations"`
+	ElapsedMs   float64       `json:"elapsed_ms"`
+}
+
+func (s *Server) handleExplore(ctx context.Context, w http.ResponseWriter, r *http.Request) (int, error) {
+	var req ExploreRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	st, err := s.current()
+	if err != nil {
+		return http.StatusServiceUnavailable, err
+	}
+	var event explore.Event
+	switch req.Event {
+	case "stability":
+		event = evolution.Stability
+	case "growth":
+		event = evolution.Growth
+	case "shrinkage":
+		event = evolution.Shrinkage
+	default:
+		return http.StatusBadRequest, fmt.Errorf("unknown event %q (want stability, growth or shrinkage)", req.Event)
+	}
+	var sem explore.Semantics
+	switch req.Semantics {
+	case "", "union":
+		sem = explore.UnionSemantics
+	case "intersection":
+		sem = explore.IntersectionSemantics
+	default:
+		return http.StatusBadRequest, fmt.Errorf("unknown semantics %q (want union or intersection)", req.Semantics)
+	}
+	var ext explore.Extend
+	switch req.Extend {
+	case "", "new":
+		ext = explore.ExtendNew
+	case "old":
+		ext = explore.ExtendOld
+	default:
+		return http.StatusBadRequest, fmt.Errorf("unknown extend %q (want old or new)", req.Extend)
+	}
+	if req.K < 1 {
+		return http.StatusBadRequest, fmt.Errorf("k must be >= 1, got %d", req.K)
+	}
+	kind, err := parseKind(req.Kind)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	ids, err := attrIDs(st.g, req.Attrs)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	sch, err := agg.NewSchema(st.g, ids...)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	var result explore.ResultFunc
+	switch {
+	case len(req.NodeTuple) > 0:
+		if result, err = explore.NodeTuple(sch, req.NodeTuple...); err != nil {
+			return http.StatusBadRequest, err
+		}
+	case len(req.EdgeFrom) > 0 || len(req.EdgeTo) > 0:
+		if result, err = explore.EdgeTuple(sch, req.EdgeFrom, req.EdgeTo); err != nil {
+			return http.StatusBadRequest, err
+		}
+	case req.Result == "" || req.Result == "edges":
+		result = explore.TotalEdges
+	case req.Result == "nodes":
+		result = explore.TotalNodes
+	default:
+		return http.StatusBadRequest, fmt.Errorf("unknown result %q (want edges or nodes)", req.Result)
+	}
+
+	ex := &explore.Explorer{Graph: st.g, Schema: sch, Kind: kind, Result: result, Workers: req.Workers}
+	start := time.Now()
+	pairs, err := ex.ExploreCtx(ctx, event, sem, ext, req.K)
+	if err != nil {
+		return statusForCtx(err), err
+	}
+	resp := ExploreResponse{
+		K:           req.K,
+		Pairs:       make([]ExplorePair, len(pairs)),
+		Evaluations: ex.Evaluations,
+		ElapsedMs:   float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for i, p := range pairs {
+		resp.Pairs[i] = ExplorePair{Old: p.Old.String(), New: p.New.String(), Result: p.Result}
+	}
+	return writeJSON(w, resp)
+}
+
+// TGQLRequest runs one TGQL statement.
+type TGQLRequest struct {
+	Query string `json:"query"`
+}
+
+// TGQLResponse carries the rendered result plus structured payloads when
+// the statement produced them.
+type TGQLResponse struct {
+	Text  string          `json:"text"`
+	Graph json.RawMessage `json:"graph,omitempty"`
+	Pairs []ExplorePair   `json:"pairs,omitempty"`
+	K     int64           `json:"k,omitempty"`
+}
+
+func (s *Server) handleTGQL(ctx context.Context, w http.ResponseWriter, r *http.Request) (int, error) {
+	var req TGQLRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	if req.Query == "" {
+		return http.StatusBadRequest, fmt.Errorf("query required")
+	}
+	st, err := s.current()
+	if err != nil {
+		return http.StatusServiceUnavailable, err
+	}
+	if err := ctx.Err(); err != nil {
+		return statusForCtx(err), err
+	}
+	res, err := tgql.Exec(st.g, req.Query)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	resp := TGQLResponse{Text: res.String()}
+	if res.Agg != nil {
+		raw, mErr := json.Marshal(res.Agg)
+		if mErr != nil {
+			return http.StatusInternalServerError, mErr
+		}
+		resp.Graph = raw
+	}
+	if res.Pairs != nil {
+		resp.K = res.K
+		resp.Pairs = make([]ExplorePair, len(res.Pairs))
+		for i, p := range res.Pairs {
+			resp.Pairs[i] = ExplorePair{Old: p.Old.String(), New: p.New.String(), Result: p.Result}
+		}
+	}
+	return writeJSON(w, resp)
+}
+
+// IngestNode is the wire form of one node in an ingested snapshot.
+type IngestNode struct {
+	Label   string            `json:"label"`
+	Static  map[string]string `json:"static,omitempty"`
+	Varying map[string]string `json:"varying,omitempty"`
+}
+
+// IngestEdge is one directed interaction in an ingested snapshot.
+type IngestEdge struct {
+	U string `json:"u"`
+	V string `json:"v"`
+}
+
+// IngestRequest appends one time point to a stream-mode server.
+type IngestRequest struct {
+	Label string       `json:"label"`
+	Nodes []IngestNode `json:"nodes"`
+	Edges []IngestEdge `json:"edges"`
+}
+
+// IngestResponse reports the series length after the append.
+type IngestResponse struct {
+	Points int `json:"points"`
+}
+
+func (s *Server) handleIngest(ctx context.Context, w http.ResponseWriter, r *http.Request) (int, error) {
+	if s.series == nil {
+		return http.StatusConflict, fmt.Errorf("server runs in static mode; ingestion is disabled")
+	}
+	var req IngestRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	if req.Label == "" {
+		return http.StatusBadRequest, fmt.Errorf("label required")
+	}
+	snap := stream.Snapshot{
+		Nodes: make([]stream.NodeRecord, len(req.Nodes)),
+		Edges: make([]stream.EdgeRecord, len(req.Edges)),
+	}
+	for i, n := range req.Nodes {
+		snap.Nodes[i] = stream.NodeRecord{Label: n.Label, Static: n.Static, Varying: n.Varying}
+	}
+	for i, e := range req.Edges {
+		snap.Edges[i] = stream.EdgeRecord{U: e.U, V: e.V}
+	}
+	if err := s.series.Append(req.Label, snap); err != nil {
+		return http.StatusBadRequest, err
+	}
+	return writeJSON(w, IngestResponse{Points: s.series.Len()})
+}

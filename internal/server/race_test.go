@@ -1,0 +1,106 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// TestConcurrentClients hammers a stream-mode server with parallel
+// aggregate, explore, tgql and metrics traffic while another goroutine
+// keeps ingesting new time points — the -race exercise for the serving
+// path end to end (admission, state rebuilds, series locking, catalog).
+func TestConcurrentClients(t *testing.T) {
+	series := stream.New(
+		core.AttrSpec{Name: "gender", Kind: core.Static},
+		core.AttrSpec{Name: "publications", Kind: core.TimeVarying},
+	)
+	s, err := New(Config{Series: series, Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	snap := func(i int) IngestRequest {
+		return IngestRequest{
+			Label: fmt.Sprintf("t%d", i),
+			Nodes: []IngestNode{
+				{Label: "u1", Static: map[string]string{"gender": "m"}, Varying: map[string]string{"publications": "1"}},
+				{Label: "u2", Static: map[string]string{"gender": "f"}, Varying: map[string]string{"publications": "2"}},
+				{Label: fmt.Sprintf("u%d", 3+i%3), Static: map[string]string{"gender": "f"}, Varying: map[string]string{"publications": "1"}},
+			},
+			Edges: []IngestEdge{{U: "u1", V: "u2"}},
+		}
+	}
+	// Seed two points so queries have something to chew on from the start.
+	for i := 0; i < 2; i++ {
+		if code, data := postJSON(t, ts.URL+"/v1/ingest", snap(i)); code != 200 {
+			t.Fatalf("seed ingest %d: %d: %s", i, code, data)
+		}
+	}
+
+	const extraPoints = 12
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // writer: one ingest stream
+		defer wg.Done()
+		defer close(done)
+		for i := 2; i < 2+extraPoints; i++ {
+			if code, data := postJSON(t, ts.URL+"/v1/ingest", snap(i)); code != 200 {
+				t.Errorf("ingest %d: %d: %s", i, code, data)
+				return
+			}
+		}
+	}()
+
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					if i > 0 {
+						return
+					}
+				default:
+				}
+				var code int
+				var data []byte
+				switch (c + i) % 4 {
+				case 0:
+					code, data = postJSON(t, ts.URL+"/v1/aggregate", AggregateRequest{
+						Op: "union", Interval: IntervalSpec{From: "t0"}, Interval2: IntervalSpec{From: "t1"},
+						Attrs: []string{"gender"}, Kind: "all"})
+				case 1:
+					code, data = postJSON(t, ts.URL+"/v1/explore", ExploreRequest{
+						Event: "stability", K: 1, Attrs: []string{"gender"}})
+				case 2:
+					code, data = postJSON(t, ts.URL+"/v1/tgql", TGQLRequest{Query: "STATS"})
+				default:
+					code, data = get(t, ts.URL+"/metrics")
+				}
+				// 429 is legitimate under overload; anything else must be 200.
+				if code != 200 && code != 429 {
+					t.Errorf("client %d request %d: %d: %s", c, i, code, data)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if got := series.Len(); got != 2+extraPoints {
+		t.Fatalf("series ended at %d points, want %d", got, 2+extraPoints)
+	}
+	if code, _ := get(t, ts.URL+"/readyz"); code != 200 {
+		t.Fatalf("readyz after hammer = %d", code)
+	}
+}

@@ -1,0 +1,477 @@
+// Package server implements graphtempod's HTTP serving layer: a JSON API
+// over the GraphTempo engine (aggregate / explore / TGQL / live ingestion)
+// with the production behaviors a long-running query daemon needs —
+// per-request deadlines propagated as context.Context into the engine's
+// loops, bounded admission (weighted semaphore plus a small wait queue;
+// overflow is shed with 429), panic isolation, structured access logs and
+// Prometheus metrics.
+//
+// The server runs in one of two modes. Static mode serves a fixed graph
+// given at construction. Stream mode serves a stream.Series that grows via
+// POST /v1/ingest; the full graph and its materialization catalog are
+// rebuilt lazily when a query observes new time points, so queries always
+// see a consistent (graph, catalog) pair.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/materialize"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// Config configures a Server. Exactly one of Graph (static mode) and
+// Series (stream mode) must be set.
+type Config struct {
+	// Graph is the dataset served in static mode.
+	Graph *core.Graph
+	// Series is the live ingestion series served in stream mode.
+	Series *stream.Series
+
+	// MaxInflight is the admission semaphore capacity in weight units
+	// (aggregate/ingest cost 1, explore/tgql cost 2). <= 0 selects
+	// 2×GOMAXPROCS.
+	MaxInflight int64
+	// MaxQueue is the number of requests allowed to wait for admission
+	// before overflow is shed with 429. < 0 selects 2×MaxInflight; 0 is
+	// honored (shed immediately at capacity).
+	MaxQueue int
+	// RequestTimeout bounds each request's context deadline. Clients may
+	// request a shorter deadline via the X-Deadline-Ms header; longer is
+	// clamped. <= 0 selects 30s.
+	RequestTimeout time.Duration
+	// CacheBytes sizes the materialization catalog's serving cache
+	// (<= 0 selects the catalog default).
+	CacheBytes int64
+	// Logger receives structured access and lifecycle logs; nil selects
+	// slog.Default().
+	Logger *slog.Logger
+}
+
+// endpointWeight is the admission cost of each API endpoint: exploration
+// and TGQL may fan out into many candidate evaluations, so they consume
+// twice the capacity of a single aggregation.
+var endpointWeight = map[string]int64{
+	"aggregate": 1,
+	"explore":   2,
+	"tgql":      2,
+	"ingest":    1,
+}
+
+// state is one consistent serving snapshot: the graph, its catalog, and
+// the series generation (number of ingested points) it was built from.
+type state struct {
+	g   *core.Graph
+	cat *materialize.Catalog
+	gen int
+}
+
+// Server is the graphtempod request handler. Create with New, mount
+// Handler on an http.Server, call BeginDrain on shutdown.
+type Server struct {
+	cfg    Config
+	log    *slog.Logger
+	adm    *admission
+	mux    *http.ServeMux
+	reg    *metrics.Registry
+	series *stream.Series
+
+	cur       atomic.Pointer[state]
+	rebuildMu sync.Mutex
+	retired   materialize.Stats // counters of catalogs replaced by rebuilds
+
+	draining atomic.Bool
+
+	// metrics
+	panics     metrics.Counter
+	reqMu      sync.Mutex
+	reqCount   map[string]*metrics.Counter // endpoint\x00code
+	latency    map[string]*metrics.Histogram
+	shed       map[string]*metrics.Counter
+	started    time.Time
+	nowSeconds func() time.Time // injectable for tests; nil = time.Now
+}
+
+// New validates cfg, builds the initial serving state (static mode
+// materializes immediately; stream mode lazily on first query) and wires
+// routes and metrics.
+func New(cfg Config) (*Server, error) {
+	if (cfg.Graph == nil) == (cfg.Series == nil) {
+		return nil, fmt.Errorf("server: exactly one of Graph and Series must be set")
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = int64(2 * runtime.GOMAXPROCS(0))
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = int(2 * cfg.MaxInflight)
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+	s := &Server{
+		cfg:      cfg,
+		log:      log,
+		adm:      newAdmission(cfg.MaxInflight, cfg.MaxQueue),
+		mux:      http.NewServeMux(),
+		reg:      metrics.NewRegistry(),
+		series:   cfg.Series,
+		reqCount: make(map[string]*metrics.Counter),
+		latency:  make(map[string]*metrics.Histogram),
+		shed:     make(map[string]*metrics.Counter),
+		started:  time.Now(),
+	}
+	if cfg.Graph != nil {
+		s.cur.Store(&state{g: cfg.Graph, cat: s.newCatalog(cfg.Graph), gen: -1})
+	}
+	s.registerMetrics()
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) newCatalog(g *core.Graph) *materialize.Catalog {
+	return materialize.NewCatalogWith(g, materialize.CatalogConfig{MaxBytes: s.cfg.CacheBytes})
+}
+
+// Handler returns the root handler (routes + middleware).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the server's metrics registry (for tests and for
+// embedding the server under an existing registry-aware exporter).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// BeginDrain flips the server into draining mode: /readyz starts failing
+// so load balancers stop sending new work, while in-flight requests run to
+// completion under the http.Server.Shutdown the caller performs next.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.log.Info("drain started", "inflight", s.adm.used())
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// current returns the serving state, rebuilding it in stream mode when
+// ingestion has advanced past the snapshot's generation. It returns an
+// error (mapped to 503) while no data has been ingested yet.
+func (s *Server) current() (*state, error) {
+	st := s.cur.Load()
+	if s.series == nil {
+		return st, nil
+	}
+	gen := s.series.Len()
+	if gen == 0 {
+		return nil, errNotReady
+	}
+	if st != nil && st.gen == gen {
+		return st, nil
+	}
+	s.rebuildMu.Lock()
+	defer s.rebuildMu.Unlock()
+	if st = s.cur.Load(); st != nil && st.gen == s.series.Len() {
+		return st, nil
+	}
+	gen = s.series.Len()
+	g, err := s.series.Graph()
+	if err != nil {
+		return nil, err
+	}
+	if old := s.cur.Load(); old != nil {
+		// Fold the retiring catalog's counters into the cumulative base so
+		// /metrics stays monotonic across rebuilds.
+		os := old.cat.Stats()
+		s.retired.Scratch += os.Scratch
+		s.retired.Cached += os.Cached
+		s.retired.TDistributive += os.TDistributive
+		s.retired.DDistributive += os.DDistributive
+		s.retired.CacheEvictions += os.CacheEvictions
+		s.retired.CacheDeduped += os.CacheDeduped
+	}
+	st = &state{g: g, cat: s.newCatalog(g), gen: gen}
+	s.cur.Store(st)
+	s.log.Info("serving state rebuilt", "points", gen, "nodes", g.NumNodes(), "edges", g.NumEdges())
+	return st, nil
+}
+
+// catalogStats returns the cumulative catalog counters: the live catalog
+// plus every retired one.
+func (s *Server) catalogStats() materialize.Stats {
+	s.rebuildMu.Lock()
+	base := s.retired
+	s.rebuildMu.Unlock()
+	if st := s.cur.Load(); st != nil {
+		cs := st.cat.Stats()
+		base.Scratch += cs.Scratch
+		base.Cached += cs.Cached
+		base.TDistributive += cs.TDistributive
+		base.DDistributive += cs.DDistributive
+		base.CacheEvictions += cs.CacheEvictions
+		base.CacheDeduped += cs.CacheDeduped
+		base.CacheEntries = cs.CacheEntries
+		base.CacheBytes = cs.CacheBytes
+		base.Stores = cs.Stores
+	}
+	return base
+}
+
+// registerMetrics wires the serving metrics taxonomy:
+//
+//	graphtempod_requests_total{endpoint,code}   counter
+//	graphtempod_request_seconds{endpoint}       histogram
+//	graphtempod_shed_total{endpoint}            counter (429 overflow)
+//	graphtempod_inflight                        gauge (admitted weight)
+//	graphtempod_admission_queue                 gauge
+//	graphtempod_panics_total                    counter
+//	graphtempod_catalog_answers_total{source}   counter (hit/miss by source)
+//	graphtempod_catalog_cache_{entries,bytes}   gauges
+//	graphtempod_explorer_evaluations_total      counter (engine hot path)
+//	graphtempod_kernel_selections_total{kernel} counter (engine hot path)
+//	graphtempod_ingested_points                 gauge (stream mode)
+//	graphtempod_uptime_seconds                  gauge
+func (s *Server) registerMetrics() {
+	r := s.reg
+	r.GaugeFunc("graphtempod_inflight", "Admitted request weight currently executing.",
+		func() float64 { return float64(s.adm.used()) })
+	r.GaugeFunc("graphtempod_admission_queue", "Requests waiting for admission.",
+		func() float64 { return float64(s.adm.queued()) })
+	r.RegisterCounter("graphtempod_panics_total", "Handler panics recovered.", &s.panics)
+	for _, src := range []struct {
+		name string
+		fn   func(materialize.Stats) int64
+	}{
+		{"scratch", func(st materialize.Stats) int64 { return st.Scratch }},
+		{"cached", func(st materialize.Stats) int64 { return st.Cached }},
+		{"t-distributive", func(st materialize.Stats) int64 { return st.TDistributive }},
+		{"d-distributive", func(st materialize.Stats) int64 { return st.DDistributive }},
+	} {
+		fn := src.fn
+		r.CounterFunc("graphtempod_catalog_answers_total",
+			"Catalog answers by derivation source (cached = cache hit, others = miss path).",
+			func() float64 { return float64(fn(s.catalogStats())) },
+			metrics.Label{Key: "source", Value: src.name})
+	}
+	r.GaugeFunc("graphtempod_catalog_cache_entries", "Cached aggregate results.",
+		func() float64 { return float64(s.catalogStats().CacheEntries) })
+	r.GaugeFunc("graphtempod_catalog_cache_bytes", "Approximate bytes of cached results.",
+		func() float64 { return float64(s.catalogStats().CacheBytes) })
+	r.CounterFunc("graphtempod_catalog_cache_evictions_total", "Results evicted from the serving cache.",
+		func() float64 { return float64(s.catalogStats().CacheEvictions) })
+	r.RegisterCounter("graphtempod_explorer_evaluations_total",
+		"Exploration candidate evaluations across all requests.", &explore.TotalEvaluations)
+	r.RegisterCounter("graphtempod_kernel_selections_total",
+		"Aggregation kernel selections.", &agg.KernelSelections.Dense,
+		metrics.Label{Key: "kernel", Value: "dense"})
+	r.RegisterCounter("graphtempod_kernel_selections_total", "",
+		&agg.KernelSelections.Static, metrics.Label{Key: "kernel", Value: "static"})
+	r.RegisterCounter("graphtempod_kernel_selections_total", "",
+		&agg.KernelSelections.Varying, metrics.Label{Key: "kernel", Value: "varying"})
+	if s.series != nil {
+		r.GaugeFunc("graphtempod_ingested_points", "Time points ingested.",
+			func() float64 { return float64(s.series.Len()) })
+	}
+	r.GaugeFunc("graphtempod_uptime_seconds", "Seconds since server start.",
+		func() float64 { return time.Since(s.started).Seconds() })
+}
+
+// reqCounter returns (registering on first use) the requests_total series
+// for an endpoint/status pair.
+func (s *Server) reqCounter(endpoint string, code int) *metrics.Counter {
+	key := endpoint + "\x00" + strconv.Itoa(code)
+	s.reqMu.Lock()
+	defer s.reqMu.Unlock()
+	c, ok := s.reqCount[key]
+	if !ok {
+		c = s.reg.Counter("graphtempod_requests_total", "Requests by endpoint and status code.",
+			metrics.Label{Key: "endpoint", Value: endpoint},
+			metrics.Label{Key: "code", Value: strconv.Itoa(code)})
+		s.reqCount[key] = c
+	}
+	return c
+}
+
+func (s *Server) latencyHist(endpoint string) *metrics.Histogram {
+	s.reqMu.Lock()
+	defer s.reqMu.Unlock()
+	h, ok := s.latency[endpoint]
+	if !ok {
+		h = s.reg.Histogram("graphtempod_request_seconds", "Request latency in seconds.", nil,
+			metrics.Label{Key: "endpoint", Value: endpoint})
+		s.latency[endpoint] = h
+	}
+	return h
+}
+
+func (s *Server) shedCounter(endpoint string) *metrics.Counter {
+	s.reqMu.Lock()
+	defer s.reqMu.Unlock()
+	c, ok := s.shed[endpoint]
+	if !ok {
+		c = s.reg.Counter("graphtempod_shed_total", "Requests shed with 429 by admission control.",
+			metrics.Label{Key: "endpoint", Value: endpoint})
+		s.shed[endpoint] = c
+	}
+	return c
+}
+
+// routes mounts every endpoint with its middleware chain.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		if _, err := s.current(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w)
+	})
+	s.mux.Handle("POST /v1/aggregate", s.api("aggregate", s.handleAggregate))
+	s.mux.Handle("POST /v1/explore", s.api("explore", s.handleExplore))
+	s.mux.Handle("POST /v1/tgql", s.api("tgql", s.handleTGQL))
+	s.mux.Handle("POST /v1/ingest", s.api("ingest", s.handleIngest))
+}
+
+// statusWriter captures the status code and byte count for logs/metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// apiHandler is an endpoint implementation: it returns (status, error);
+// on error the middleware writes the JSON error envelope.
+type apiHandler func(ctx context.Context, w http.ResponseWriter, r *http.Request) (int, error)
+
+// api wraps an endpoint in the full middleware chain:
+// recover → access log + metrics → deadline → admission → handler.
+func (s *Server) api(endpoint string, h apiHandler) http.Handler {
+	weight := endpointWeight[endpoint]
+	hist := s.latencyHist(endpoint)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Inc()
+				buf := make([]byte, 8<<10)
+				buf = buf[:runtime.Stack(buf, false)]
+				s.log.Error("handler panic", "endpoint", endpoint, "panic", rec, "stack", string(buf))
+				if sw.status == 0 {
+					writeError(sw, http.StatusInternalServerError, fmt.Errorf("internal error"))
+				}
+			}
+			elapsed := time.Since(start)
+			hist.Observe(elapsed.Seconds())
+			s.reqCounter(endpoint, sw.status).Inc()
+			s.log.Info("request",
+				"endpoint", endpoint, "method", r.Method, "path", r.URL.Path,
+				"status", sw.status, "ms", float64(elapsed.Microseconds())/1000,
+				"bytes", sw.bytes, "remote", r.RemoteAddr)
+		}()
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.deadlineFor(r))
+		defer cancel()
+
+		if err := s.adm.acquire(ctx, weight); err != nil {
+			if err == ErrOverloaded {
+				s.shedCounter(endpoint).Inc()
+				sw.Header().Set("Retry-After", "1")
+				writeError(sw, http.StatusTooManyRequests, err)
+				return
+			}
+			writeError(sw, statusForCtx(err), err)
+			return
+		}
+		defer s.adm.release(weight)
+
+		if status, err := h(ctx, sw, r); err != nil {
+			writeError(sw, status, err)
+		}
+	})
+}
+
+// deadlineFor resolves the request deadline: the server cap, lowered by a
+// client-supplied X-Deadline-Ms header when present and valid.
+func (s *Server) deadlineFor(r *http.Request) time.Duration {
+	d := s.cfg.RequestTimeout
+	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms > 0 {
+			if cd := time.Duration(ms) * time.Millisecond; cd < d {
+				d = cd
+			}
+		}
+	}
+	return d
+}
+
+// statusForCtx maps a context error to the HTTP status reported for a
+// request abandoned on deadline or client disconnect.
+func statusForCtx(err error) int {
+	if err == context.DeadlineExceeded {
+		return http.StatusGatewayTimeout
+	}
+	return 499 // client closed request (nginx convention)
+}
+
+// errorBody is the JSON error envelope of every non-2xx API response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) (int, error) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return http.StatusInternalServerError, nil // headers already sent
+	}
+	return http.StatusOK, nil
+}

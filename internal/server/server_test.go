@@ -1,0 +1,522 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/evolution"
+	"repro/internal/explore"
+	"repro/internal/ops"
+	"repro/internal/stream"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// newStaticServer serves the paper's running example in static mode.
+func newStaticServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(Config{Graph: core.PaperExample(), Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// postJSON posts body as JSON and returns the status and response bytes.
+func postJSON(t *testing.T, url string, body any, header ...string) (int, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for i := 0; i+1 < len(header); i += 2 {
+		req.Header.Set(header[i], header[i+1])
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func TestHealthAndReady(t *testing.T) {
+	s, ts := newStaticServer(t)
+	if code, _ := get(t, ts.URL+"/healthz"); code != 200 {
+		t.Fatalf("healthz = %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/readyz"); code != 200 {
+		t.Fatalf("readyz = %d", code)
+	}
+	s.BeginDrain()
+	if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz = %d, want 503", code)
+	}
+	// healthz keeps answering during the drain (the process is alive).
+	if code, _ := get(t, ts.URL+"/healthz"); code != 200 {
+		t.Fatalf("draining healthz = %d", code)
+	}
+}
+
+// TestAggregateMatchesFacade is the acceptance criterion: the server's
+// aggregate graphs byte-match the library facade on the running example,
+// on both the catalog path (union+ALL) and the scratch path.
+func TestAggregateMatchesFacade(t *testing.T) {
+	_, ts := newStaticServer(t)
+	g := core.PaperExample()
+	tl := g.Timeline()
+	sch, err := agg.ByName(g, "gender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		req  AggregateRequest
+		want *agg.Graph
+	}{
+		{"union-all", AggregateRequest{Op: "union", Interval: IntervalSpec{From: "t0"}, Interval2: IntervalSpec{From: "t1"}, Attrs: []string{"gender"}, Kind: "all"},
+			agg.Aggregate(ops.Union(g, tl.Point(0), tl.Point(1)), sch, agg.All)},
+		{"union-dist", AggregateRequest{Op: "union", Interval: IntervalSpec{From: "t0"}, Interval2: IntervalSpec{From: "t1"}, Attrs: []string{"gender"}, Kind: "dist"},
+			agg.Aggregate(ops.Union(g, tl.Point(0), tl.Point(1)), sch, agg.Distinct)},
+		{"project-range", AggregateRequest{Op: "project", Interval: IntervalSpec{From: "t0", To: "t1"}, Attrs: []string{"gender"}},
+			agg.Aggregate(ops.Project(g, tl.Range(0, 1)), sch, agg.Distinct)},
+		{"intersection", AggregateRequest{Op: "intersection", Interval: IntervalSpec{From: "t0"}, Interval2: IntervalSpec{From: "t2"}, Attrs: []string{"gender"}},
+			agg.Aggregate(ops.Intersection(g, tl.Point(0), tl.Point(2)), sch, agg.Distinct)},
+		{"difference", AggregateRequest{Op: "difference", Interval: IntervalSpec{From: "t1"}, Interval2: IntervalSpec{From: "t0"}, Attrs: []string{"gender"}},
+			agg.Aggregate(ops.Difference(g, tl.Point(1), tl.Point(0)), sch, agg.Distinct)},
+	}
+	for _, tc := range cases {
+		code, data := postJSON(t, ts.URL+"/v1/aggregate", tc.req)
+		if code != 200 {
+			t.Fatalf("%s: status %d: %s", tc.name, code, data)
+		}
+		var resp AggregateResponse
+		if err := json.Unmarshal(data, &resp); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want, err := json.Marshal(tc.want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(resp.Graph, want) {
+			t.Fatalf("%s: server graph %s\nfacade %s", tc.name, resp.Graph, want)
+		}
+	}
+}
+
+// TestAggregateCatalogSources checks that repeating a union+ALL request is
+// answered from the cache and that materializing flips the source to
+// t-distributive composition.
+func TestAggregateCatalogSources(t *testing.T) {
+	s, ts := newStaticServer(t)
+	req := AggregateRequest{Op: "union", Interval: IntervalSpec{From: "t0"}, Interval2: IntervalSpec{From: "t1"}, Attrs: []string{"gender"}, Kind: "all"}
+	src := func() string {
+		code, data := postJSON(t, ts.URL+"/v1/aggregate", req)
+		if code != 200 {
+			t.Fatalf("status %d: %s", code, data)
+		}
+		var resp AggregateResponse
+		if err := json.Unmarshal(data, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Source
+	}
+	if got := src(); got != "scratch" {
+		t.Fatalf("first answer source = %q, want scratch", got)
+	}
+	if got := src(); got != "cached" {
+		t.Fatalf("second answer source = %q, want cached", got)
+	}
+	// Materialize the per-point store, then a fresh interval composes.
+	gid, _ := s.cur.Load().g.AttrByName("gender")
+	if _, err := s.cur.Load().cat.Materialize(gid); err != nil {
+		t.Fatal(err)
+	}
+	req.Interval2 = IntervalSpec{From: "t2"}
+	if got := src(); got != "t-distributive" {
+		t.Fatalf("post-materialization source = %q, want t-distributive", got)
+	}
+}
+
+func TestExploreMatchesEngine(t *testing.T) {
+	_, ts := newStaticServer(t)
+	g := core.PaperExample()
+	sch, err := agg.ByName(g, "gender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &explore.Explorer{Graph: g, Schema: sch, Kind: agg.Distinct, Result: explore.TotalEdges}
+	want := ex.Explore(evolution.Stability, explore.UnionSemantics, explore.ExtendNew, 2)
+
+	code, data := postJSON(t, ts.URL+"/v1/explore", ExploreRequest{
+		Event: "stability", Semantics: "union", Extend: "new", K: 2, Attrs: []string{"gender"},
+	})
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	var resp ExploreResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Pairs) != len(want) {
+		t.Fatalf("got %d pairs, want %d: %s", len(resp.Pairs), len(want), data)
+	}
+	for i, p := range want {
+		if resp.Pairs[i].Old != p.Old.String() || resp.Pairs[i].New != p.New.String() || resp.Pairs[i].Result != p.Result {
+			t.Fatalf("pair %d = %+v, want %v", i, resp.Pairs[i], p)
+		}
+	}
+	if resp.Evaluations == 0 {
+		t.Fatal("no evaluations reported")
+	}
+}
+
+func TestTGQLEndpoint(t *testing.T) {
+	_, ts := newStaticServer(t)
+	g := core.PaperExample()
+	code, data := postJSON(t, ts.URL+"/v1/tgql", TGQLRequest{Query: "AGG DIST gender ON UNION(t0, t1)"})
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	var resp TGQLResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	sch, _ := agg.ByName(g, "gender")
+	want, _ := json.Marshal(agg.Aggregate(ops.Union(g, g.Timeline().Point(0), g.Timeline().Point(1)), sch, agg.Distinct))
+	if !bytes.Equal(resp.Graph, want) {
+		t.Fatalf("tgql graph %s, want %s", resp.Graph, want)
+	}
+	if resp.Text == "" {
+		t.Fatal("empty rendered text")
+	}
+
+	// Parse errors map to 400 with the error envelope.
+	code, data = postJSON(t, ts.URL+"/v1/tgql", TGQLRequest{Query: "AGG NONSENSE"})
+	if code != http.StatusBadRequest {
+		t.Fatalf("parse error status = %d: %s", code, data)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Error == "" {
+		t.Fatalf("malformed error envelope: %s", data)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newStaticServer(t)
+	cases := []struct {
+		name string
+		body any
+	}{
+		{"unknown-op", AggregateRequest{Op: "median", Interval: IntervalSpec{From: "t0"}, Interval2: IntervalSpec{From: "t1"}, Attrs: []string{"gender"}}},
+		{"unknown-attr", AggregateRequest{Op: "union", Interval: IntervalSpec{From: "t0"}, Interval2: IntervalSpec{From: "t1"}, Attrs: []string{"salary"}}},
+		{"unknown-point", AggregateRequest{Op: "union", Interval: IntervalSpec{From: "t9"}, Interval2: IntervalSpec{From: "t1"}, Attrs: []string{"gender"}}},
+		{"bad-kind", AggregateRequest{Op: "union", Interval: IntervalSpec{From: "t0"}, Interval2: IntervalSpec{From: "t1"}, Attrs: []string{"gender"}, Kind: "most"}},
+		{"missing-interval", AggregateRequest{Op: "union", Attrs: []string{"gender"}}},
+		{"bad-k", ExploreRequest{Event: "stability", K: 0, Attrs: []string{"gender"}}},
+		{"bad-event", ExploreRequest{Event: "implosion", K: 1, Attrs: []string{"gender"}}},
+	}
+	for _, tc := range cases {
+		url := ts.URL + "/v1/aggregate"
+		if _, isExplore := tc.body.(ExploreRequest); isExplore {
+			url = ts.URL + "/v1/explore"
+		}
+		code, data := postJSON(t, url, tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", tc.name, code, data)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(data, &eb); err != nil || eb.Error == "" {
+			t.Errorf("%s: malformed error envelope: %s", tc.name, data)
+		}
+	}
+}
+
+func TestIngestStaticModeConflicts(t *testing.T) {
+	_, ts := newStaticServer(t)
+	code, data := postJSON(t, ts.URL+"/v1/ingest", IngestRequest{Label: "t3"})
+	if code != http.StatusConflict {
+		t.Fatalf("static ingest = %d, want 409: %s", code, data)
+	}
+}
+
+// TestStreamModeLifecycle drives a stream-mode server from empty through
+// ingestion: readyz flips to ready, queries see each new point, and the
+// served aggregate byte-matches the facade on the materialized series.
+func TestStreamModeLifecycle(t *testing.T) {
+	series := stream.New(
+		core.AttrSpec{Name: "gender", Kind: core.Static},
+		core.AttrSpec{Name: "publications", Kind: core.TimeVarying},
+	)
+	s, err := New(Config{Series: series, Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("empty readyz = %d, want 503", code)
+	}
+	code, data := postJSON(t, ts.URL+"/v1/aggregate", AggregateRequest{Op: "project", Interval: IntervalSpec{From: "t0"}, Attrs: []string{"gender"}})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("empty aggregate = %d, want 503: %s", code, data)
+	}
+
+	snaps := []IngestRequest{
+		{Label: "t0",
+			Nodes: []IngestNode{
+				{Label: "u1", Static: map[string]string{"gender": "m"}, Varying: map[string]string{"publications": "3"}},
+				{Label: "u2", Static: map[string]string{"gender": "f"}, Varying: map[string]string{"publications": "1"}},
+			},
+			Edges: []IngestEdge{{U: "u1", V: "u2"}}},
+		{Label: "t1",
+			Nodes: []IngestNode{
+				{Label: "u1", Static: map[string]string{"gender": "m"}, Varying: map[string]string{"publications": "1"}},
+				{Label: "u2", Static: map[string]string{"gender": "f"}, Varying: map[string]string{"publications": "1"}},
+				{Label: "u3", Static: map[string]string{"gender": "f"}, Varying: map[string]string{"publications": "2"}},
+			},
+			Edges: []IngestEdge{{U: "u1", V: "u2"}, {U: "u2", V: "u3"}}},
+	}
+	for i, snap := range snaps {
+		code, data := postJSON(t, ts.URL+"/v1/ingest", snap)
+		if code != 200 {
+			t.Fatalf("ingest %s: %d: %s", snap.Label, code, data)
+		}
+		var ir IngestResponse
+		if err := json.Unmarshal(data, &ir); err != nil {
+			t.Fatal(err)
+		}
+		if ir.Points != i+1 {
+			t.Fatalf("ingest %s: points = %d, want %d", snap.Label, ir.Points, i+1)
+		}
+	}
+	if code, _ := get(t, ts.URL+"/readyz"); code != 200 {
+		t.Fatalf("readyz after ingest = %d", code)
+	}
+
+	code, data = postJSON(t, ts.URL+"/v1/aggregate", AggregateRequest{
+		Op: "union", Interval: IntervalSpec{From: "t0"}, Interval2: IntervalSpec{From: "t1"},
+		Attrs: []string{"gender"}, Kind: "all",
+	})
+	if code != 200 {
+		t.Fatalf("stream aggregate = %d: %s", code, data)
+	}
+	var resp AggregateResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	g, err := series.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, _ := agg.ByName(g, "gender")
+	want, _ := json.Marshal(agg.Aggregate(ops.Union(g, g.Timeline().Point(0), g.Timeline().Point(1)), sch, agg.All))
+	if !bytes.Equal(resp.Graph, want) {
+		t.Fatalf("stream graph %s, want %s", resp.Graph, want)
+	}
+
+	// Duplicate label is a client error.
+	if code, _ := postJSON(t, ts.URL+"/v1/ingest", snaps[0]); code != http.StatusBadRequest {
+		t.Fatalf("duplicate ingest = %d, want 400", code)
+	}
+}
+
+// TestOverloadSheds fills the admission semaphore and checks that the
+// excess request is shed with 429 + Retry-After, and that a queued request
+// whose deadline expires maps to 504.
+func TestOverloadSheds(t *testing.T) {
+	s, err := New(Config{Graph: core.PaperExample(), MaxInflight: 1, MaxQueue: 1, Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Occupy the whole capacity from the outside.
+	if err := s.adm.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	req := AggregateRequest{Op: "union", Interval: IntervalSpec{From: "t0"}, Interval2: IntervalSpec{From: "t1"}, Attrs: []string{"gender"}}
+
+	// First request fills the queue and times out at its deadline → 504.
+	type result struct {
+		code int
+		data []byte
+	}
+	queued := make(chan result, 1)
+	go func() {
+		code, data := postJSON(t, ts.URL+"/v1/aggregate", req, "X-Deadline-Ms", "300")
+		queued <- result{code, data}
+	}()
+	waitForQueue(t, s.adm, 1)
+
+	// Second request overflows the queue → 429 with Retry-After.
+	buf, _ := json.Marshal(req)
+	hr, err := http.Post(ts.URL+"/v1/aggregate", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hr.Body)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status = %d, want 429", hr.StatusCode)
+	}
+	if hr.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	if r := <-queued; r.code != http.StatusGatewayTimeout {
+		t.Fatalf("queued deadline status = %d, want 504: %s", r.code, r.data)
+	}
+
+	// Capacity released: requests flow again.
+	s.adm.release(1)
+	if code, data := postJSON(t, ts.URL+"/v1/aggregate", req); code != 200 {
+		t.Fatalf("after release: %d: %s", code, data)
+	}
+
+	// The shed and 504 are visible in the metrics.
+	_, metricsBody := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`graphtempod_shed_total{endpoint="aggregate"} 1`,
+		`graphtempod_requests_total{code="429",endpoint="aggregate"} 1`,
+		`graphtempod_requests_total{code="504",endpoint="aggregate"} 1`,
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestDeadlinePropagation checks that an already-expired client deadline
+// aborts the engine call and maps to 504.
+func TestDeadlinePropagation(t *testing.T) {
+	s, err := New(Config{Graph: core.PaperExample(), RequestTimeout: time.Nanosecond, Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	code, data := postJSON(t, ts.URL+"/v1/aggregate", AggregateRequest{
+		Op: "union", Interval: IntervalSpec{From: "t0"}, Interval2: IntervalSpec{From: "t1"}, Attrs: []string{"gender"}, Kind: "dist",
+	})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline status = %d, want 504: %s", code, data)
+	}
+}
+
+// TestPanicIsolation checks the recovery middleware: a panicking handler
+// yields a 500 JSON envelope and moves the panic counter, without killing
+// the server.
+func TestPanicIsolation(t *testing.T) {
+	s, err := New(Config{Graph: core.PaperExample(), Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.api("aggregate", func(ctx context.Context, w http.ResponseWriter, r *http.Request) (int, error) {
+		panic("boom")
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/aggregate", strings.NewReader("{}")))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panic status = %d, want 500", rec.Code)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Error == "" {
+		t.Fatalf("malformed panic envelope: %s", rec.Body.Bytes())
+	}
+	if got := s.panics.Value(); got != 1 {
+		t.Fatalf("panics counter = %d, want 1", got)
+	}
+}
+
+// TestMetricsExposition drives every endpoint once and asserts the
+// taxonomy's key series are present and moving.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newStaticServer(t)
+	postJSON(t, ts.URL+"/v1/aggregate", AggregateRequest{Op: "union", Interval: IntervalSpec{From: "t0"}, Interval2: IntervalSpec{From: "t1"}, Attrs: []string{"gender"}, Kind: "all"})
+	postJSON(t, ts.URL+"/v1/explore", ExploreRequest{Event: "stability", K: 2, Attrs: []string{"gender"}})
+	postJSON(t, ts.URL+"/v1/tgql", TGQLRequest{Query: "STATS"})
+
+	code, body := get(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`graphtempod_requests_total{code="200",endpoint="aggregate"} 1`,
+		`graphtempod_requests_total{code="200",endpoint="explore"} 1`,
+		`graphtempod_requests_total{code="200",endpoint="tgql"} 1`,
+		"# TYPE graphtempod_request_seconds histogram",
+		`graphtempod_request_seconds_count{endpoint="aggregate"} 1`,
+		"# TYPE graphtempod_catalog_answers_total counter",
+		"# TYPE graphtempod_inflight gauge",
+		"graphtempod_panics_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// The union+ALL request was answered by the catalog: one non-zero
+	// source counter must be present.
+	if !strings.Contains(text, `graphtempod_catalog_answers_total{source="scratch"} 1`) {
+		t.Errorf("catalog scratch answer not counted:\n%s", grepMetrics(text, "catalog_answers"))
+	}
+	// The explore request moved the engine's evaluation counter.
+	if strings.Contains(text, "graphtempod_explorer_evaluations_total 0\n") {
+		t.Error("explorer evaluations not counted")
+	}
+	if !strings.Contains(text, "graphtempod_explorer_evaluations_total") {
+		t.Error("explorer evaluations series missing")
+	}
+}
+
+func grepMetrics(text, substr string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, substr) {
+			fmt.Fprintln(&b, line)
+		}
+	}
+	return b.String()
+}

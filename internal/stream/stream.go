@@ -15,6 +15,7 @@ package stream
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/timeline"
@@ -52,8 +53,12 @@ type aggSpec struct {
 	edges []map[string]int64
 }
 
-// Series accumulates an evolving graph.
+// Series accumulates an evolving graph. It is safe for concurrent use:
+// appends and registrations take the write lock, window queries and
+// materialization the read lock, so a serving layer can ingest while
+// answering queries.
 type Series struct {
+	mu     sync.RWMutex
 	attrs  []core.AttrSpec
 	labels []string
 	snaps  []Snapshot
@@ -69,15 +74,25 @@ func New(attrs ...core.AttrSpec) *Series {
 }
 
 // Len returns the number of time points ingested.
-func (s *Series) Len() int { return len(s.labels) }
+func (s *Series) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.labels)
+}
 
 // Labels returns the ingested time point labels in order.
-func (s *Series) Labels() []string { return append([]string(nil), s.labels...) }
+func (s *Series) Labels() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.labels...)
+}
 
 // RegisterAggregation adds an aggregation (by attribute names) whose
 // per-point ALL aggregates are maintained from the next Append on; already
 // ingested points are back-filled.
 func (s *Series) RegisterAggregation(name string, attrNames ...string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.aggs[name]; dup {
 		return fmt.Errorf("stream: aggregation %q already registered", name)
 	}
@@ -111,6 +126,8 @@ func (s *Series) RegisterAggregation(name string, attrNames ...string) error {
 // the schema (static values may be omitted after the node's first
 // appearance).
 func (s *Series) Append(label string, snap Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, l := range s.labels {
 		if l == label {
 			return fmt.Errorf("stream: duplicate time point label %q", label)
@@ -189,6 +206,8 @@ func tupleOf(n NodeRecord, attrs []string) (string, bool) {
 // [from, to] (inclusive indices) for a registered aggregation, composed
 // from the per-point aggregates by T-distributive summation.
 func (s *Series) WindowUnionAll(name string, from, to int) (map[string]int64, map[string]int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	spec, ok := s.aggs[name]
 	if !ok {
 		return nil, nil, fmt.Errorf("stream: no aggregation named %q", name)
@@ -213,6 +232,16 @@ func (s *Series) WindowUnionAll(name string, from, to int) (map[string]int64, ma
 // every ingested time point. Static attribute conflicts across snapshots
 // surface as an error here; the first seen value is authoritative.
 func (s *Series) Graph() (*core.Graph, error) {
+	s.mu.RLock()
+	if g := s.cached; g != nil {
+		s.mu.RUnlock()
+		return g, nil
+	}
+	s.mu.RUnlock()
+	// Materialize under the write lock; re-check in case another
+	// goroutine built the graph while we waited.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.cached != nil {
 		return s.cached, nil
 	}

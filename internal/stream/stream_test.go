@@ -3,6 +3,7 @@ package stream
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -275,5 +276,85 @@ func TestQuickWindowEqualsEngine(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSeriesConcurrentHammer exercises the Series lock under -race: one
+// goroutine keeps appending fresh time points while others hammer the
+// read paths (Len, Labels, WindowUnionAll, Graph) and a late
+// RegisterAggregation back-fills mid-stream.
+func TestSeriesConcurrentHammer(t *testing.T) {
+	attrs, labels, snaps := paperSnapshots()
+	s := New(attrs...)
+	if err := s.RegisterAggregation("gp", "gender", "publications"); err != nil {
+		t.Fatal(err)
+	}
+	for i, snap := range snaps {
+		if err := s.Append(labels[i], snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const extra = 40
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // writer: keeps the series growing
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < extra; i++ {
+			snap := snaps[i%len(snaps)]
+			if err := s.Append(fmt.Sprintf("x%d", i), snap); err != nil {
+				t.Errorf("append x%d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // late registration back-fills while appends run
+		defer wg.Done()
+		if err := s.RegisterAggregation("g", "gender"); err != nil {
+			t.Errorf("register: %v", err)
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				n := s.Len()
+				if got := len(s.Labels()); got < n {
+					t.Errorf("Labels len %d < earlier Len %d", got, n)
+					return
+				}
+				if n > 0 {
+					nodes, _, err := s.WindowUnionAll("gp", 0, n-1)
+					if err != nil || len(nodes) == 0 {
+						t.Errorf("window [0,%d]: %v (nodes %d)", n-1, err, len(nodes))
+						return
+					}
+				}
+				if _, err := s.Graph(); err != nil {
+					t.Errorf("graph: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got, want := s.Len(), len(labels)+extra; got != want {
+		t.Fatalf("final Len = %d, want %d", got, want)
+	}
+	if _, _, err := s.WindowUnionAll("g", 0, s.Len()-1); err != nil {
+		t.Fatalf("back-filled aggregation: %v", err)
 	}
 }

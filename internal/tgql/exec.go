@@ -101,10 +101,10 @@ func ParseFilter(g *core.Graph, expr string) (agg.Filter, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{toks: toks, in: expr}
 	var cmps []comparison
 	for {
-		attr, err := p.value()
+		attr, attrPos, err := p.valuePos()
 		if err != nil {
 			return nil, err
 		}
@@ -113,11 +113,11 @@ func ParseFilter(g *core.Graph, expr string) (agg.Filter, error) {
 			return nil, p.errorf(opTok, "expected a comparison operator, found %q", opTok.text)
 		}
 		p.take()
-		val, err := p.value()
+		val, valPos, err := p.valuePos()
 		if err != nil {
 			return nil, err
 		}
-		cmps = append(cmps, comparison{Attr: attr, Op: opTok.text, Value: val})
+		cmps = append(cmps, comparison{Attr: attr, Op: opTok.text, Value: val, AttrPos: attrPos, ValuePos: valPos})
 		if !p.keyword("AND") {
 			break
 		}
@@ -125,7 +125,7 @@ func ParseFilter(g *core.Graph, expr string) (agg.Filter, error) {
 	if err := p.atEOF(); err != nil {
 		return nil, err
 	}
-	return compilePredicate(g, cmps)
+	return compilePredicate(g, expr, cmps)
 }
 
 // Exec parses and executes one query against g.
@@ -140,15 +140,15 @@ func Exec(g *core.Graph, query string) (*Result, error) {
 		s := core.ComputeStats(g)
 		res = &Result{Stats: &s}
 	case aggQuery:
-		res, err = execAgg(g, q)
+		res, err = execAgg(g, query, q)
 	case evolveQuery:
-		res, err = execEvolve(g, q)
+		res, err = execEvolve(g, query, q)
 	case exploreQuery:
-		res, err = execExplore(g, q)
+		res, err = execExplore(g, query, q)
 	case topQuery:
-		res, err = execTop(g, q)
+		res, err = execTop(g, query, q)
 	case timelineQuery:
-		res, err = execTimeline(g, q)
+		res, err = execTimeline(g, query, q)
 	case coarsenQuery:
 		spec, specErr := core.UniformGroups(g.Timeline(), q.Width)
 		if specErr != nil {
@@ -169,12 +169,31 @@ func Exec(g *core.Graph, query string) (*Result, error) {
 	return res, nil
 }
 
-func execTimeline(g *core.Graph, q timelineQuery) (*Result, error) {
-	schema, err := agg.ByName(g, q.Attrs...)
+// schemaFor resolves attribute names into an aggregation schema, pointing
+// unknown-attribute errors at the name's position in the query.
+func schemaFor(g *core.Graph, in string, names []string, poss []int) (*agg.Schema, error) {
+	for i, n := range names {
+		if _, ok := g.AttrByName(n); !ok {
+			return nil, posErrf(in, posAt(poss, i), n, "unknown attribute %q", n)
+		}
+	}
+	return agg.ByName(g, names...)
+}
+
+// posAt guards against ASTs built without positions (zero value).
+func posAt(poss []int, i int) int {
+	if i < len(poss) {
+		return poss[i]
+	}
+	return 0
+}
+
+func execTimeline(g *core.Graph, in string, q timelineQuery) (*Result, error) {
+	schema, err := schemaFor(g, in, q.Attrs, q.AttrsPos)
 	if err != nil {
 		return nil, err
 	}
-	filter, err := compilePredicate(g, q.Where)
+	filter, err := compilePredicate(g, in, q.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -182,27 +201,27 @@ func execTimeline(g *core.Graph, q timelineQuery) (*Result, error) {
 	return &Result{Timeline: steps}, nil
 }
 
-func resolveInterval(g *core.Graph, iv intervalExpr) (timeline.Interval, error) {
+func resolveInterval(g *core.Graph, in string, iv intervalExpr) (timeline.Interval, error) {
 	tl := g.Timeline()
 	from, ok := tl.TimeOf(iv.From)
 	if !ok {
-		return timeline.Interval{}, fmt.Errorf("tgql: unknown time point %q", iv.From)
+		return timeline.Interval{}, posErrf(in, iv.FromPos, iv.From, "unknown time point %q", iv.From)
 	}
 	if iv.To == "" {
 		return tl.Point(from), nil
 	}
 	to, ok := tl.TimeOf(iv.To)
 	if !ok {
-		return timeline.Interval{}, fmt.Errorf("tgql: unknown time point %q", iv.To)
+		return timeline.Interval{}, posErrf(in, iv.ToPos, iv.To, "unknown time point %q", iv.To)
 	}
 	if from > to {
-		return timeline.Interval{}, fmt.Errorf("tgql: interval %s..%s runs backwards", iv.From, iv.To)
+		return timeline.Interval{}, posErrf(in, iv.FromPos, iv.From, "interval %s..%s runs backwards", iv.From, iv.To)
 	}
 	return tl.Range(from, to), nil
 }
 
-func resolveView(g *core.Graph, op opExpr) (*ops.View, error) {
-	a, err := resolveInterval(g, op.A)
+func resolveView(g *core.Graph, in string, op opExpr) (*ops.View, error) {
+	a, err := resolveInterval(g, in, op.A)
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +229,7 @@ func resolveView(g *core.Graph, op opExpr) (*ops.View, error) {
 	case "POINT", "PROJECT":
 		return ops.Project(g, a), nil
 	}
-	b, err := resolveInterval(g, op.B)
+	b, err := resolveInterval(g, in, op.B)
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +253,7 @@ func resolveKind(kind string) agg.Kind {
 // compilePredicate turns WHERE comparisons into an appearance filter.
 // Equality and inequality compare strings; ordering operators compare
 // numerically and reject appearances whose value does not parse.
-func compilePredicate(g *core.Graph, cmps []comparison) (agg.Filter, error) {
+func compilePredicate(g *core.Graph, in string, cmps []comparison) (agg.Filter, error) {
 	if len(cmps) == 0 {
 		return nil, nil
 	}
@@ -249,14 +268,14 @@ func compilePredicate(g *core.Graph, cmps []comparison) (agg.Filter, error) {
 	for i, c := range cmps {
 		a, ok := g.AttrByName(c.Attr)
 		if !ok {
-			return nil, fmt.Errorf("tgql: unknown attribute %q in WHERE", c.Attr)
+			return nil, posErrf(in, c.AttrPos, c.Attr, "unknown attribute %q in WHERE", c.Attr)
 		}
 		cc := compiled{attr: a, op: c.Op, str: c.Value}
 		if n, err := strconv.ParseFloat(c.Value, 64); err == nil {
 			cc.num, cc.numeric = n, true
 		}
 		if (c.Op != "=" && c.Op != "!=") && !cc.numeric {
-			return nil, fmt.Errorf("tgql: operator %s needs a numeric value, got %q", c.Op, c.Value)
+			return nil, posErrf(in, c.ValuePos, c.Value, "operator %s needs a numeric value, got %q", c.Op, c.Value)
 		}
 		cs[i] = cc
 	}
@@ -304,16 +323,16 @@ func compilePredicate(g *core.Graph, cmps []comparison) (agg.Filter, error) {
 	}, nil
 }
 
-func execAgg(g *core.Graph, q aggQuery) (*Result, error) {
-	schema, err := agg.ByName(g, q.Attrs...)
+func execAgg(g *core.Graph, in string, q aggQuery) (*Result, error) {
+	schema, err := schemaFor(g, in, q.Attrs, q.AttrsPos)
 	if err != nil {
 		return nil, err
 	}
-	view, err := resolveView(g, q.Op)
+	view, err := resolveView(g, in, q.Op)
 	if err != nil {
 		return nil, err
 	}
-	filter, err := compilePredicate(g, q.Where)
+	filter, err := compilePredicate(g, in, q.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -323,7 +342,7 @@ func execAgg(g *core.Graph, q aggQuery) (*Result, error) {
 		}
 		a, ok := g.AttrByName(q.MAttr)
 		if !ok {
-			return nil, fmt.Errorf("tgql: unknown measured attribute %q", q.MAttr)
+			return nil, posErrf(in, q.MAttrPos, q.MAttr, "unknown measured attribute %q", q.MAttr)
 		}
 		var fn agg.Measure
 		switch q.Measure {
@@ -345,20 +364,20 @@ func execAgg(g *core.Graph, q aggQuery) (*Result, error) {
 	return &Result{Agg: agg.AggregateFiltered(view, schema, resolveKind(q.Kind), filter)}, nil
 }
 
-func execEvolve(g *core.Graph, q evolveQuery) (*Result, error) {
-	schema, err := agg.ByName(g, q.Attrs...)
+func execEvolve(g *core.Graph, in string, q evolveQuery) (*Result, error) {
+	schema, err := schemaFor(g, in, q.Attrs, q.AttrsPos)
 	if err != nil {
 		return nil, err
 	}
-	old, err := resolveInterval(g, q.From)
+	old, err := resolveInterval(g, in, q.From)
 	if err != nil {
 		return nil, err
 	}
-	new, err := resolveInterval(g, q.To)
+	new, err := resolveInterval(g, in, q.To)
 	if err != nil {
 		return nil, err
 	}
-	filter, err := compilePredicate(g, q.Where)
+	filter, err := compilePredicate(g, in, q.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -366,8 +385,8 @@ func execEvolve(g *core.Graph, q evolveQuery) (*Result, error) {
 	return &Result{Evolution: ev}, nil
 }
 
-func execTop(g *core.Graph, q topQuery) (*Result, error) {
-	schema, err := agg.ByName(g, q.Attrs...)
+func execTop(g *core.Graph, in string, q topQuery) (*Result, error) {
+	schema, err := schemaFor(g, in, q.Attrs, q.AttrsPos)
 	if err != nil {
 		return nil, err
 	}
@@ -384,8 +403,8 @@ func execTop(g *core.Graph, q topQuery) (*Result, error) {
 	return &Result{Top: explore.TopEdgeTuples(ex, event, q.N), TopSchema: schema}, nil
 }
 
-func execExplore(g *core.Graph, q exploreQuery) (*Result, error) {
-	schema, err := agg.ByName(g, q.Attrs...)
+func execExplore(g *core.Graph, in string, q exploreQuery) (*Result, error) {
+	schema, err := schemaFor(g, in, q.Attrs, q.AttrsPos)
 	if err != nil {
 		return nil, err
 	}

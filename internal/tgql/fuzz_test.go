@@ -19,6 +19,18 @@ func FuzzExec(f *testing.F) {
 	f.Add("TOP 3 SHRINKAGE BY gender")
 	f.Add("AGG DIST gender ON UNION(t0, '")
 	f.Add("agg dist gender on point t0 where gender != 'f' and publications <= 2")
+	// Failure shapes the HTTP /v1/tgql endpoint sees: multi-line bodies,
+	// unknown points/attributes, bad thresholds, stray operators.
+	f.Add("AGG DIST gender\nON POINT t9")
+	f.Add("AGG DIST nope,\n  gender ON POINT t0")
+	f.Add("EXPLORE STABILITY BY gender K 0")
+	f.Add("EXPLORE STABILITY BY gender EDGE 'zz' -> 'f' K 1")
+	f.Add("AGG DIST gender ON POINT t0 MEASURE AVG(nope)")
+	f.Add("AGG DIST gender ON PROJECT t2..t0")
+	f.Add("AGG DIST gender ON POINT t0 - t1")
+	f.Add("TIMELINE BY gender WHERE publications >= bogus")
+	f.Add("COARSEN 0")
+	f.Add("\n\n  STATS  \n")
 
 	g := core.PaperExample()
 	f.Fuzz(func(t *testing.T, query string) {

@@ -10,6 +10,9 @@ import (
 
 type intervalExpr struct {
 	From, To string // To == "" for a single point
+	// FromPos/ToPos are the byte offsets of the labels in the query, so
+	// resolution errors (unknown time point) can point at them.
+	FromPos, ToPos int
 }
 
 type opExpr struct {
@@ -22,28 +25,34 @@ type comparison struct {
 	Attr  string
 	Op    string // = != < <= > >=
 	Value string
+	// AttrPos/ValuePos locate the operands for execution-time errors.
+	AttrPos, ValuePos int
 }
 
 type aggQuery struct {
-	Kind    string // DIST | ALL
-	Attrs   []string
-	Op      opExpr
-	Where   []comparison
-	Measure string // "" or SUM/AVG/MIN/MAX
-	MAttr   string // measured attribute
+	Kind     string // DIST | ALL
+	Attrs    []string
+	AttrsPos []int
+	Op       opExpr
+	Where    []comparison
+	Measure  string // "" or SUM/AVG/MIN/MAX
+	MAttr    string // measured attribute
+	MAttrPos int
 }
 
 type evolveQuery struct {
-	Kind  string
-	Attrs []string
-	From  intervalExpr
-	To    intervalExpr
-	Where []comparison
+	Kind     string
+	Attrs    []string
+	AttrsPos []int
+	From     intervalExpr
+	To       intervalExpr
+	Where    []comparison
 }
 
 type exploreQuery struct {
 	Event     string // STABILITY | GROWTH | SHRINKAGE
 	Attrs     []string
+	AttrsPos  []int
 	EdgeFrom  []string // nil when not an edge target
 	EdgeTo    []string
 	NodeTuple []string // nil when not a node target
@@ -56,24 +65,28 @@ type exploreQuery struct {
 type statsQuery struct{}
 
 type topQuery struct {
-	N     int
-	Event string
-	Attrs []string
+	N        int
+	Event    string
+	Attrs    []string
+	AttrsPos []int
 }
 
 type timelineQuery struct {
-	Attrs []string
-	Where []comparison
+	Attrs    []string
+	AttrsPos []int
+	Where    []comparison
 }
 
 type coarsenQuery struct {
 	Width int
 }
 
-// parser consumes the token stream.
+// parser consumes the token stream. in is the original query text, kept
+// for line:column rendering in errors.
 type parser struct {
 	toks []token
 	pos  int
+	in   string
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -87,7 +100,11 @@ func (p *parser) take() token {
 }
 
 func (p *parser) errorf(t token, format string, args ...interface{}) error {
-	return fmt.Errorf("tgql: position %d: %s", t.pos+1, fmt.Sprintf(format, args...))
+	if t.kind == tokEOF {
+		line, col := lineCol(p.in, t.pos)
+		return fmt.Errorf("tgql: %d:%d: %s (at end of input)", line, col, fmt.Sprintf(format, args...))
+	}
+	return posErrf(p.in, t.pos, t.text, format, args...)
 }
 
 // keyword consumes an identifier and reports whether it equals kw
@@ -110,25 +127,40 @@ func (p *parser) expectKeyword(kw string) error {
 
 // value consumes an identifier or quoted string.
 func (p *parser) value() (string, error) {
+	v, _, err := p.valuePos()
+	return v, err
+}
+
+// valuePos is value plus the token's byte offset, recorded in the AST so
+// execution-time resolution errors can point at the operand.
+func (p *parser) valuePos() (string, int, error) {
 	t := p.peek()
 	if t.kind == tokIdent || t.kind == tokString {
 		p.take()
-		return t.text, nil
+		return t.text, t.pos, nil
 	}
-	return "", p.errorf(t, "expected a value, found %q", t.text)
+	return "", t.pos, p.errorf(t, "expected a value, found %q", t.text)
 }
 
 // valueList parses value (, value)*.
 func (p *parser) valueList() ([]string, error) {
+	out, _, err := p.valueListPos()
+	return out, err
+}
+
+// valueListPos is valueList plus the byte offset of each value.
+func (p *parser) valueListPos() ([]string, []int, error) {
 	var out []string
+	var poss []int
 	for {
-		v, err := p.value()
+		v, pos, err := p.valuePos()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out = append(out, v)
+		poss = append(poss, pos)
 		if p.peek().kind != tokComma {
-			return out, nil
+			return out, poss, nil
 		}
 		p.take()
 	}
@@ -136,19 +168,19 @@ func (p *parser) valueList() ([]string, error) {
 
 // interval parses label or label..label.
 func (p *parser) interval() (intervalExpr, error) {
-	from, err := p.value()
+	from, fromPos, err := p.valuePos()
 	if err != nil {
 		return intervalExpr{}, err
 	}
 	if p.peek().kind == tokRange {
 		p.take()
-		to, err := p.value()
+		to, toPos, err := p.valuePos()
 		if err != nil {
 			return intervalExpr{}, err
 		}
-		return intervalExpr{From: from, To: to}, nil
+		return intervalExpr{From: from, To: to, FromPos: fromPos, ToPos: toPos}, nil
 	}
-	return intervalExpr{From: from}, nil
+	return intervalExpr{From: from, FromPos: fromPos}, nil
 }
 
 // opExpr parses the temporal operator expression of AGG … ON.
@@ -201,7 +233,7 @@ func (p *parser) where() ([]comparison, error) {
 	}
 	var out []comparison
 	for {
-		attr, err := p.value()
+		attr, attrPos, err := p.valuePos()
 		if err != nil {
 			return nil, err
 		}
@@ -210,11 +242,11 @@ func (p *parser) where() ([]comparison, error) {
 			return nil, p.errorf(opTok, "expected a comparison operator, found %q", opTok.text)
 		}
 		p.take()
-		val, err := p.value()
+		val, valPos, err := p.valuePos()
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, comparison{Attr: attr, Op: opTok.text, Value: val})
+		out = append(out, comparison{Attr: attr, Op: opTok.text, Value: val, AttrPos: attrPos, ValuePos: valPos})
 		if !p.keyword("AND") {
 			return out, nil
 		}
@@ -245,7 +277,7 @@ func parse(in string) (interface{}, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{toks: toks, in: in}
 	switch {
 	case p.keyword("STATS"):
 		if err := p.atEOF(); err != nil {
@@ -266,7 +298,7 @@ func parse(in string) (interface{}, error) {
 		if err = p.expectKeyword("BY"); err != nil {
 			return nil, err
 		}
-		if q.Attrs, err = p.valueList(); err != nil {
+		if q.Attrs, q.AttrsPos, err = p.valueListPos(); err != nil {
 			return nil, err
 		}
 		if q.Where, err = p.where(); err != nil {
@@ -319,7 +351,7 @@ func (p *parser) parseTop() (interface{}, error) {
 	if err := p.expectKeyword("BY"); err != nil {
 		return nil, err
 	}
-	if q.Attrs, err = p.valueList(); err != nil {
+	if q.Attrs, q.AttrsPos, err = p.valueListPos(); err != nil {
 		return nil, err
 	}
 	if err := p.atEOF(); err != nil {
@@ -334,7 +366,7 @@ func (p *parser) parseAgg() (interface{}, error) {
 	if q.Kind, err = p.kind(); err != nil {
 		return nil, err
 	}
-	if q.Attrs, err = p.valueList(); err != nil {
+	if q.Attrs, q.AttrsPos, err = p.valueListPos(); err != nil {
 		return nil, err
 	}
 	if err = p.expectKeyword("ON"); err != nil {
@@ -358,7 +390,7 @@ func (p *parser) parseAgg() (interface{}, error) {
 			return nil, p.errorf(p.peek(), "expected ( after MEASURE %s", q.Measure)
 		}
 		p.take()
-		if q.MAttr, err = p.value(); err != nil {
+		if q.MAttr, q.MAttrPos, err = p.valuePos(); err != nil {
 			return nil, err
 		}
 		if p.peek().kind != tokRParen {
@@ -378,7 +410,7 @@ func (p *parser) parseEvolve() (interface{}, error) {
 	if q.Kind, err = p.kind(); err != nil {
 		return nil, err
 	}
-	if q.Attrs, err = p.valueList(); err != nil {
+	if q.Attrs, q.AttrsPos, err = p.valueListPos(); err != nil {
 		return nil, err
 	}
 	if err = p.expectKeyword("FROM"); err != nil {
@@ -418,7 +450,7 @@ func (p *parser) parseExplore() (interface{}, error) {
 		return nil, err
 	}
 	var err error
-	if q.Attrs, err = p.valueList(); err != nil {
+	if q.Attrs, q.AttrsPos, err = p.valueListPos(); err != nil {
 		return nil, err
 	}
 	for {
