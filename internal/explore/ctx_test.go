@@ -50,6 +50,59 @@ func TestExploreCtxCanceled(t *testing.T) {
 	}
 }
 
+// TestTuneKCtxMatchesTuneK checks that a live context is transparent to
+// the tuning loop, and that a canceled one aborts it with ctx.Err().
+func TestTuneKCtxMatchesTuneK(t *testing.T) {
+	ex := fixtureExplorer(t)
+	wantK, wantPairs := ex.TuneK(evolution.Shrinkage, UnionSemantics, ExtendOld, 1)
+
+	gotK, gotPairs, err := ex.TuneKCtx(context.Background(), evolution.Shrinkage, UnionSemantics, ExtendOld, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotK != wantK {
+		t.Fatalf("TuneKCtx k = %d, want %d", gotK, wantK)
+	}
+	assertPairs(t, gotPairs, wantPairs...)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	k, pairs, err := fixtureExplorer(t).TuneKCtx(ctx, evolution.Shrinkage, UnionSemantics, ExtendOld, 1)
+	if err != context.Canceled || k != 0 || pairs != nil {
+		t.Fatalf("canceled TuneKCtx = (%d, %v, %v), want (0, nil, context.Canceled)", k, pairs, err)
+	}
+}
+
+// TestTopEdgeTuplesCtx checks the ranking's cancellation hook: a live
+// context is transparent, a canceled one returns ctx.Err().
+func TestTopEdgeTuplesCtx(t *testing.T) {
+	ex := fixtureExplorer(t)
+	want := TopEdgeTuples(ex, evolution.Growth, 2)
+	got, err := TopEdgeTuplesCtx(context.Background(), ex, evolution.Growth, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d scores, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].From != want[i].From || got[i].To != want[i].To || got[i].Peak != want[i].Peak ||
+			got[i].Old.String() != want[i].Old.String() || got[i].New.String() != want[i].New.String() {
+			t.Fatalf("score %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if scores, err := TopEdgeTuplesCtx(ctx, ex, evolution.Growth, 2); err != context.Canceled || scores != nil {
+		t.Fatalf("canceled TopEdgeTuplesCtx = (%v, %v), want (nil, context.Canceled)", scores, err)
+	}
+	// The explorer is not poisoned by the aborted run.
+	if again, err := TopEdgeTuplesCtx(context.Background(), ex, evolution.Growth, 2); err != nil || len(again) != len(want) {
+		t.Fatalf("follow-up run = (%d scores, %v)", len(again), err)
+	}
+}
+
 // TestTotalEvaluationsCounter checks the serving-layer observability hook:
 // every explorer evaluation also moves the package-level counter.
 func TestTotalEvaluationsCounter(t *testing.T) {

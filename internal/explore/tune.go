@@ -1,5 +1,24 @@
 package explore
 
+import "context"
+
+// TuneKCtx is TuneK with cooperative cancellation: every exploration run
+// in the tuning loop polls ctx between candidate evaluations and the loop
+// is abandoned once the deadline expires, returning ctx.Err() instead of a
+// threshold. A nil error guarantees the same (k, pairs) TuneK reports.
+func (ex *Explorer) TuneKCtx(ctx context.Context, event Event, sem Semantics, ext Extend, minPairs int) (int64, []Pair, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	ex.ctx = ctx
+	defer func() { ex.ctx = nil }()
+	k, pairs := ex.TuneK(event, sem, ext, minPairs)
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	return k, pairs, nil
+}
+
 // TuneK automates §3.5's threshold tuning loop. The paper initializes k
 // from the consecutive-pair weights (InitK) and then "gradually" raises a
 // minimum-based threshold or lowers a maximum-based one until the result

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/agg"
@@ -37,6 +38,9 @@ func TopEdgeTuples(ex *Explorer, event Event, n int) []TupleScore {
 	tl := ex.Graph.Timeline()
 	best := make(map[agg.EdgeKey]TupleScore)
 	for i := 0; i < tl.Len()-1; i++ {
+		if ex.canceled() {
+			break
+		}
 		old := tl.Point(timeline.Time(i))
 		new := tl.Point(timeline.Time(i + 1))
 		var v *ops.View
@@ -70,4 +74,21 @@ func TopEdgeTuples(ex *Explorer, event Event, n int) []TupleScore {
 		out = out[:n]
 	}
 	return out
+}
+
+// TopEdgeTuplesCtx is TopEdgeTuples with cooperative cancellation: the
+// per-pair aggregation loop polls ctx and the ranking is abandoned once the
+// deadline expires, returning ctx.Err(). A nil error guarantees the same
+// scores TopEdgeTuples reports.
+func TopEdgeTuplesCtx(ctx context.Context, ex *Explorer, event Event, n int) ([]TupleScore, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ex.ctx = ctx
+	defer func() { ex.ctx = nil }()
+	out := TopEdgeTuples(ex, event, n)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"time"
 
 	"repro/internal/agg"
@@ -78,6 +79,17 @@ func (sp IntervalSpec) interval(tl *timeline.Timeline) (timeline.Interval, error
 		return timeline.Interval{}, fmt.Errorf("interval: %q is before %q", sp.To, sp.From)
 	}
 	return tl.Range(from, to), nil
+}
+
+// clampWorkers caps client-supplied parallelism at the host's GOMAXPROCS:
+// the engines allocate per-worker state and spawn one goroutine per worker,
+// so an unclamped request could exhaust memory with a single huge value.
+// Zero and negative values keep their engine-specific meaning.
+func clampWorkers(n int) int {
+	if max := runtime.GOMAXPROCS(0); n > max {
+		return max
+	}
+	return n
 }
 
 // parseKind maps the wire kind to agg.Kind; empty defaults to DIST.
@@ -194,7 +206,7 @@ func (s *Server) handleAggregate(ctx context.Context, w http.ResponseWriter, r *
 		if err != nil {
 			return http.StatusBadRequest, err
 		}
-		if ag, err = agg.AggregateParallelCtx(ctx, v, sch, kind, req.Workers); err != nil {
+		if ag, err = agg.AggregateParallelCtx(ctx, v, sch, kind, clampWorkers(req.Workers)); err != nil {
 			return statusForCtx(err), err
 		}
 	}
@@ -320,7 +332,7 @@ func (s *Server) handleExplore(ctx context.Context, w http.ResponseWriter, r *ht
 		return http.StatusBadRequest, fmt.Errorf("unknown result %q (want edges or nodes)", req.Result)
 	}
 
-	ex := &explore.Explorer{Graph: st.g, Schema: sch, Kind: kind, Result: result, Workers: req.Workers}
+	ex := &explore.Explorer{Graph: st.g, Schema: sch, Kind: kind, Result: result, Workers: clampWorkers(req.Workers)}
 	start := time.Now()
 	pairs, err := ex.ExploreCtx(ctx, event, sem, ext, req.K)
 	if err != nil {
@@ -364,11 +376,11 @@ func (s *Server) handleTGQL(ctx context.Context, w http.ResponseWriter, r *http.
 	if err != nil {
 		return http.StatusServiceUnavailable, err
 	}
-	if err := ctx.Err(); err != nil {
-		return statusForCtx(err), err
-	}
-	res, err := tgql.Exec(st.g, req.Query)
+	res, err := tgql.ExecCtx(ctx, st.g, req.Query)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return statusForCtx(err), err
+		}
 		return http.StatusBadRequest, err
 	}
 	resp := TGQLResponse{Text: res.String()}

@@ -16,6 +16,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -96,13 +97,12 @@ type Server struct {
 	draining atomic.Bool
 
 	// metrics
-	panics     metrics.Counter
-	reqMu      sync.Mutex
-	reqCount   map[string]*metrics.Counter // endpoint\x00code
-	latency    map[string]*metrics.Histogram
-	shed       map[string]*metrics.Counter
-	started    time.Time
-	nowSeconds func() time.Time // injectable for tests; nil = time.Now
+	panics   metrics.Counter
+	reqMu    sync.Mutex
+	reqCount map[string]*metrics.Counter // endpoint\x00code
+	latency  map[string]*metrics.Histogram
+	shed     map[string]*metrics.Counter
+	started  time.Time
 }
 
 // New validates cfg, builds the initial serving state (static mode
@@ -213,9 +213,13 @@ func (s *Server) current() (*state, error) {
 // catalogStats returns the cumulative catalog counters: the live catalog
 // plus every retired one.
 func (s *Server) catalogStats() materialize.Stats {
+	// Sample the retired base and the live catalog as one consistent pair:
+	// rebuilds fold a retiring catalog into s.retired under rebuildMu, so
+	// reading s.cur after releasing the lock could miss a just-retired
+	// catalog's counters and make the summed totals transiently decrease.
 	s.rebuildMu.Lock()
+	defer s.rebuildMu.Unlock()
 	base := s.retired
-	s.rebuildMu.Unlock()
 	if st := s.cur.Load(); st != nil {
 		cs := st.cat.Stats()
 		base.Scratch += cs.Scratch
@@ -451,7 +455,7 @@ func (s *Server) deadlineFor(r *http.Request) time.Duration {
 // statusForCtx maps a context error to the HTTP status reported for a
 // request abandoned on deadline or client disconnect.
 func statusForCtx(err error) int {
-	if err == context.DeadlineExceeded {
+	if errors.Is(err, context.DeadlineExceeded) {
 		return http.StatusGatewayTimeout
 	}
 	return 499 // client closed request (nginx convention)

@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -442,6 +443,50 @@ func TestDeadlinePropagation(t *testing.T) {
 	})
 	if code != http.StatusGatewayTimeout {
 		t.Fatalf("expired deadline status = %d, want 504: %s", code, data)
+	}
+	// TGQL statements honor the same deadline (not reported as a 400
+	// statement error).
+	code, data = postJSON(t, ts.URL+"/v1/tgql", TGQLRequest{Query: "EXPLORE STABILITY BY gender K 2"})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("expired tgql deadline status = %d, want 504: %s", code, data)
+	}
+}
+
+// TestWorkersClamped checks that a client cannot dictate engine
+// parallelism: an absurd workers value is capped at GOMAXPROCS (the
+// engines allocate per-worker state, so honoring it verbatim would let a
+// single request exhaust memory), and the capped request still answers
+// correctly.
+func TestWorkersClamped(t *testing.T) {
+	if got, want := clampWorkers(1<<30), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("clampWorkers(1<<30) = %d, want %d", got, want)
+	}
+	for _, n := range []int{-1, 0, 1} {
+		if got := clampWorkers(n); got != n {
+			t.Fatalf("clampWorkers(%d) = %d, want unchanged", n, got)
+		}
+	}
+
+	_, ts := newStaticServer(t)
+	code, data := postJSON(t, ts.URL+"/v1/aggregate", AggregateRequest{
+		Op: "union", Interval: IntervalSpec{From: "t0"}, Interval2: IntervalSpec{From: "t1"},
+		Attrs: []string{"gender"}, Workers: 1 << 30,
+	})
+	if code != 200 {
+		t.Fatalf("clamped aggregate = %d: %s", code, data)
+	}
+	code, data = postJSON(t, ts.URL+"/v1/explore", ExploreRequest{
+		Event: "stability", K: 2, Attrs: []string{"gender"}, Workers: 1 << 30,
+	})
+	if code != 200 {
+		t.Fatalf("clamped explore = %d: %s", code, data)
+	}
+	var resp ExploreResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Pairs) == 0 {
+		t.Fatal("clamped explore found no pairs")
 	}
 }
 

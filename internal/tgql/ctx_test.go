@@ -1,0 +1,61 @@
+package tgql
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// ctxQueries covers every statement family that threads cancellation into
+// its execution engine.
+var ctxQueries = []string{
+	"AGG DIST gender ON UNION(t0, t1)",
+	"AGG ALL gender ON INTERSECT(t0, t2)",
+	"AGG DIST gender ON POINT t0 WHERE gender = 'f'",
+	"EVOLVE DIST gender FROM t0 TO t1",
+	"EXPLORE STABILITY BY gender K 2",
+	"EXPLORE SHRINKAGE BY gender EXTEND OLD TUNE 1",
+	"TOP 2 GROWTH BY gender",
+	"TIMELINE BY gender",
+}
+
+// TestExecCtxMatchesExec checks that a live context is transparent: ExecCtx
+// renders exactly what Exec renders for every statement family.
+func TestExecCtxMatchesExec(t *testing.T) {
+	g := core.PaperExample()
+	for _, q := range ctxQueries {
+		want, err := Exec(g, q)
+		if err != nil {
+			t.Fatalf("Exec(%q): %v", q, err)
+		}
+		got, err := ExecCtx(context.Background(), g, q)
+		if err != nil {
+			t.Fatalf("ExecCtx(%q): %v", q, err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("ExecCtx(%q) =\n%s\nwant\n%s", q, got, want)
+		}
+	}
+}
+
+// TestExecCtxCanceled checks the cooperative exit: a canceled context makes
+// every statement family return (nil, ctx.Err()) instead of a result.
+func TestExecCtxCanceled(t *testing.T) {
+	g := core.PaperExample()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, q := range ctxQueries {
+		res, err := ExecCtx(ctx, g, q)
+		if err != context.Canceled {
+			t.Errorf("ExecCtx(%q) err = %v, want context.Canceled", q, err)
+		}
+		if res != nil {
+			t.Errorf("ExecCtx(%q) returned a result on a canceled context", q)
+		}
+	}
+	// Parse errors still win over cancellation checks that never ran.
+	if _, err := ExecCtx(ctx, g, "FROBNICATE"); err == context.Canceled || err == nil {
+		t.Errorf("parse error reported as %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package tgql
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -130,8 +131,20 @@ func ParseFilter(g *core.Graph, expr string) (agg.Filter, error) {
 
 // Exec parses and executes one query against g.
 func Exec(g *core.Graph, query string) (*Result, error) {
+	return ExecCtx(context.Background(), g, query)
+}
+
+// ExecCtx is Exec with cooperative cancellation: the expensive statement
+// engines (EXPLORE traversals, TOP rankings, aggregations) poll ctx between
+// candidate evaluations and the run is abandoned once the deadline expires
+// or the caller disconnects, returning ctx.Err() instead of a result. A nil
+// error guarantees the same result Exec reports.
+func ExecCtx(ctx context.Context, g *core.Graph, query string) (*Result, error) {
 	stmt, err := parse(query)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	var res *Result
@@ -140,15 +153,15 @@ func Exec(g *core.Graph, query string) (*Result, error) {
 		s := core.ComputeStats(g)
 		res = &Result{Stats: &s}
 	case aggQuery:
-		res, err = execAgg(g, query, q)
+		res, err = execAgg(ctx, g, query, q)
 	case evolveQuery:
-		res, err = execEvolve(g, query, q)
+		res, err = execEvolve(ctx, g, query, q)
 	case exploreQuery:
-		res, err = execExplore(g, query, q)
+		res, err = execExplore(ctx, g, query, q)
 	case topQuery:
-		res, err = execTop(g, query, q)
+		res, err = execTop(ctx, g, query, q)
 	case timelineQuery:
-		res, err = execTimeline(g, query, q)
+		res, err = execTimeline(ctx, g, query, q)
 	case coarsenQuery:
 		spec, specErr := core.UniformGroups(g.Timeline(), q.Width)
 		if specErr != nil {
@@ -188,7 +201,7 @@ func posAt(poss []int, i int) int {
 	return 0
 }
 
-func execTimeline(g *core.Graph, in string, q timelineQuery) (*Result, error) {
+func execTimeline(ctx context.Context, g *core.Graph, in string, q timelineQuery) (*Result, error) {
 	schema, err := schemaFor(g, in, q.Attrs, q.AttrsPos)
 	if err != nil {
 		return nil, err
@@ -198,6 +211,9 @@ func execTimeline(g *core.Graph, in string, q timelineQuery) (*Result, error) {
 		return nil, err
 	}
 	steps := evolution.Timeline(g, schema, agg.Distinct, evolution.Filter(filter))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return &Result{Timeline: steps}, nil
 }
 
@@ -323,7 +339,7 @@ func compilePredicate(g *core.Graph, in string, cmps []comparison) (agg.Filter, 
 	}, nil
 }
 
-func execAgg(g *core.Graph, in string, q aggQuery) (*Result, error) {
+func execAgg(ctx context.Context, g *core.Graph, in string, q aggQuery) (*Result, error) {
 	schema, err := schemaFor(g, in, q.Attrs, q.AttrsPos)
 	if err != nil {
 		return nil, err
@@ -359,12 +375,28 @@ func execAgg(g *core.Graph, in string, q aggQuery) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return &Result{Measure: mg}, nil
 	}
-	return &Result{Agg: agg.AggregateFiltered(view, schema, resolveKind(q.Kind), filter)}, nil
+	if filter == nil {
+		// The unfiltered engine has chunked cancellation probes; one worker
+		// keeps the serial execution (and result) of AggregateFiltered.
+		ag, err := agg.AggregateParallelCtx(ctx, view, schema, resolveKind(q.Kind), 1)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Agg: ag}, nil
+	}
+	ag := agg.AggregateFiltered(view, schema, resolveKind(q.Kind), filter)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &Result{Agg: ag}, nil
 }
 
-func execEvolve(g *core.Graph, in string, q evolveQuery) (*Result, error) {
+func execEvolve(ctx context.Context, g *core.Graph, in string, q evolveQuery) (*Result, error) {
 	schema, err := schemaFor(g, in, q.Attrs, q.AttrsPos)
 	if err != nil {
 		return nil, err
@@ -382,10 +414,13 @@ func execEvolve(g *core.Graph, in string, q evolveQuery) (*Result, error) {
 		return nil, err
 	}
 	ev := evolution.Aggregate(g, old, new, schema, resolveKind(q.Kind), evolution.Filter(filter))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return &Result{Evolution: ev}, nil
 }
 
-func execTop(g *core.Graph, in string, q topQuery) (*Result, error) {
+func execTop(ctx context.Context, g *core.Graph, in string, q topQuery) (*Result, error) {
 	schema, err := schemaFor(g, in, q.Attrs, q.AttrsPos)
 	if err != nil {
 		return nil, err
@@ -400,10 +435,14 @@ func execTop(g *core.Graph, in string, q topQuery) (*Result, error) {
 	default:
 		event = evolution.Shrinkage
 	}
-	return &Result{Top: explore.TopEdgeTuples(ex, event, q.N), TopSchema: schema}, nil
+	top, err := explore.TopEdgeTuplesCtx(ctx, ex, event, q.N)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Top: top, TopSchema: schema}, nil
 }
 
-func execExplore(g *core.Graph, in string, q exploreQuery) (*Result, error) {
+func execExplore(ctx context.Context, g *core.Graph, in string, q exploreQuery) (*Result, error) {
 	schema, err := schemaFor(g, in, q.Attrs, q.AttrsPos)
 	if err != nil {
 		return nil, err
@@ -441,7 +480,10 @@ func execExplore(g *core.Graph, in string, q exploreQuery) (*Result, error) {
 		ext = explore.ExtendOld
 	}
 	if q.Tune > 0 {
-		k, pairs := ex.TuneK(event, sem, ext, q.Tune)
+		k, pairs, err := ex.TuneKCtx(ctx, event, sem, ext, q.Tune)
+		if err != nil {
+			return nil, err
+		}
 		return &Result{Pairs: pairs, K: k}, nil
 	}
 	k := q.K
@@ -458,5 +500,9 @@ func execExplore(g *core.Graph, in string, q exploreQuery) (*Result, error) {
 			k = 1
 		}
 	}
-	return &Result{Pairs: ex.Explore(event, sem, ext, k), K: k}, nil
+	pairs, err := ex.ExploreCtx(ctx, event, sem, ext, k)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Pairs: pairs, K: k}, nil
 }
