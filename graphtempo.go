@@ -45,6 +45,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/materialize"
 	"repro/internal/ops"
+	"repro/internal/plan"
 	"repro/internal/stream"
 	"repro/internal/tgql"
 	"repro/internal/timeline"
@@ -263,6 +264,26 @@ func Query(g *Graph, statement string) (*QueryResult, error) { return tgql.Exec(
 
 // QueryResult is the output of a TGQL statement.
 type QueryResult = tgql.Result
+
+// QueryPlan is the compiled physical plan of one statement: execute it
+// with Execute, inspect the selected operators with Explain.
+type QueryPlan = plan.Plan
+
+// Plan compiles one TGQL statement into its physical plan without
+// executing it: the planner's cost model selects the concrete operators
+// (aggregation kernel, exploration engine, materialization source).
+func Plan(g *Graph, statement string) (*QueryPlan, error) { return tgql.PlanQuery(g, statement) }
+
+// ExplainString renders the physical plan of one TGQL statement, e.g.
+//
+//	graphtempo.ExplainString(g, "AGG ALL gender ON UNION(t0, t1)")
+func ExplainString(g *Graph, statement string) (string, error) {
+	p, err := tgql.PlanQuery(g, statement)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
 
 // Rollup derives an aggregate on an attribute subset from a finer
 // aggregate (D-distributive reuse, §4.3).

@@ -37,6 +37,22 @@ func (s *Schema) denseEligible() bool {
 	return s.domain > 0 && s.domain <= DenseDomainLimit
 }
 
+// KernelName reports which aggregation kernel Aggregate would select for
+// this schema: "dense" (flat-array accumulators), "static" (map kernel over
+// time-invariant tuples) or "varying" (general map kernel). It mirrors the
+// dispatch in aggregateRangeCtx so the query planner can name the engine a
+// plan will run on without executing it.
+func (s *Schema) KernelName() string {
+	switch {
+	case s.denseEligible():
+		return "dense"
+	case s.allStatic:
+		return "static"
+	default:
+		return "varying"
+	}
+}
+
 // denseScratch is one pooled set of flat accumulators for a schema.
 // nodeW/edgeW hold in-flight weights; nodeSeen/edgeSeen are the DIST
 // deduplication stamps (an entry equal to the current gen was seen for the

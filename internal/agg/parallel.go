@@ -41,6 +41,11 @@ func AggregateParallel(v *ops.View, s *Schema, kind Kind, workers int) *Graph {
 // the parallel path on small fixtures.
 var parallelMinEntities = 16384
 
+// ParallelMinEntities returns the serial/parallel crossover: views selecting
+// fewer entities than this run serially even when workers > 1. Exported for
+// the query planner, which reports the execution mode a plan will use.
+func ParallelMinEntities() int { return parallelMinEntities }
+
 // aggregateStaticRange is aggregateStatic restricted to id ranges.
 func aggregateStaticRange(v *ops.View, s *Schema, kind Kind, ag *Graph, nLo, nHi, eLo, eHi int) {
 	v.ForEachNodeIn(nLo, nHi, func(n core.NodeID) {

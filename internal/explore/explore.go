@@ -298,6 +298,28 @@ const (
 	travLongest
 )
 
+// TraversalName names the Table 1 traversal serving the given
+// event × semantics × extension combination, for plan explanation:
+// "U-Explore", "I-Explore", "check-base" or "check-longest".
+func TraversalName(event Event, sem Semantics, ext Extend) string {
+	switch traversalFor(event, sem, ext) {
+	case travU:
+		return "U-Explore"
+	case travI:
+		return "I-Explore"
+	case travBase:
+		return "check-base"
+	default:
+		return "check-longest"
+	}
+}
+
+// UsePointIndex installs a prebuilt per-time-point existence index for the
+// fast path, letting callers share one immutable index across explorers
+// over the same graph (ops.PointIndex is safe for concurrent use). An index
+// built on a different graph is ignored and rebuilt lazily as usual.
+func (ex *Explorer) UsePointIndex(ix *ops.PointIndex) { ex.pointIdx = ix }
+
 // traversalFor encodes Table 1.
 func traversalFor(event Event, sem Semantics, ext Extend) traversal {
 	switch event {

@@ -170,6 +170,18 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	return zero, false
 }
 
+// Contains reports whether key is resident, without refreshing its recency
+// or touching the hit/miss counters. It is a prediction primitive (would a
+// Get hit?), so callers that only want to describe cache behavior — like a
+// query planner's Explain — don't perturb it.
+func (c *Cache[V]) Contains(key string) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	_, ok := s.items[key]
+	s.mu.Unlock()
+	return ok
+}
+
 // Put stores v under key, charging bytes (plus key and entry overhead)
 // against the budget.
 func (c *Cache[V]) Put(key string, v V, bytes int64) {

@@ -308,6 +308,31 @@ func (c *Catalog) UnionAll(iv timeline.Interval, attrs ...core.AttrID) (*agg.Gra
 	return e.g, e.src, nil
 }
 
+// Predict reports which source would answer UnionAll(iv, attrs...) right
+// now, without computing anything or touching the counters and cache
+// recency. It mirrors the serving order — cache, exact store
+// (T-distributive), single-point superset store (D-distributive), scratch —
+// so the query planner can cost and explain a catalog-backed operator
+// before executing it. Concurrent traffic may change the answer between
+// Predict and UnionAll; it is a hint, not a promise.
+func (c *Catalog) Predict(iv timeline.Interval, attrs ...core.AttrID) Source {
+	skey := attrsKey(attrs)
+	if c.cache.Contains(skey + "@" + iv.String()) {
+		return Cached
+	}
+	if _, ok := c.store(skey); ok {
+		return TDistributive
+	}
+	if iv.Len() == 1 {
+		for _, st := range c.snapshotStores() {
+			if covers(st.Schema().Attrs(), attrs) {
+				return DDistributive
+			}
+		}
+	}
+	return Scratch
+}
+
 // computeUnionAll answers a cache miss: T-distributive composition from an
 // exact store, D-distributive roll-up from a superset store at a single
 // point, or scratch aggregation from the base graph.

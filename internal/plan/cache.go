@@ -1,0 +1,75 @@
+package plan
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/materialize"
+)
+
+// Cache memoizes compiled plans keyed on the logical node's canonical text
+// (Logical.Key, a normalized query rendering) plus the clamped workers
+// setting. It is generation-keyed on the (graph, catalog) identity the
+// plans were compiled against: compiled plans bind resolved views and
+// schemas to one concrete graph, so when a stream-mode rebuild swaps the
+// serving snapshot the whole cache is flushed rather than ever serving a
+// plan built on a retired graph.
+//
+// Only successfully compiled plans are stored, so a hit can never replay a
+// resolution error from a differently-positioned query spelling. Safe for
+// concurrent use; eviction is FIFO at a bounded entry count (plans are
+// small — views and schemas, no result data).
+type Cache struct {
+	mu    sync.Mutex
+	g     *core.Graph
+	cat   *materialize.Catalog
+	m     map[string]*Plan
+	order []string
+	max   int
+}
+
+// NewCache returns a plan cache bounded to maxEntries (<= 0 selects 256).
+func NewCache(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = 256
+	}
+	return &Cache{m: make(map[string]*Plan), max: maxEntries}
+}
+
+// syncGeneration flushes the cache when the (graph, catalog) pair changed.
+// Called with c.mu held.
+func (c *Cache) syncGeneration(g *core.Graph, cat *materialize.Catalog) {
+	if c.g != g || c.cat != cat {
+		c.g, c.cat = g, cat
+		c.m = make(map[string]*Plan)
+		c.order = c.order[:0]
+	}
+}
+
+func (c *Cache) lookup(g *core.Graph, cat *materialize.Catalog, key string) *Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syncGeneration(g, cat)
+	return c.m[key]
+}
+
+func (c *Cache) store(g *core.Graph, cat *materialize.Catalog, key string, p *Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syncGeneration(g, cat)
+	if _, ok := c.m[key]; !ok {
+		for len(c.order) >= c.max {
+			delete(c.m, c.order[0])
+			c.order = c.order[1:]
+		}
+		c.order = append(c.order, key)
+	}
+	c.m[key] = p
+}
+
+// Len returns the number of cached plans.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,43 @@
+package plan
+
+import "strings"
+
+// Explain renders the plan as a tree: the canonical logical query on the
+// first line, then the selected physical operators with their attributes
+// (chosen kernel, engine, materialization source hint, cost estimates).
+// The rendering is deterministic for a fixed graph and environment — the
+// golden plan tests pin it — except for live hints (the catalog's
+// source-hint), which describe what an execution right now would do.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	b.WriteString("plan: ")
+	b.WriteString(p.logical.Key())
+	b.WriteByte('\n')
+	renderOp(&b, p.root, "")
+	return b.String()
+}
+
+// renderOp writes one operator node and its children. prefix is the
+// indentation accumulated from enclosing levels.
+func renderOp(b *strings.Builder, op physOp, prefix string) {
+	b.WriteString(prefix)
+	b.WriteString("└─ ")
+	b.WriteString(op.name())
+	attrs := op.describe()
+	if len(attrs) > 0 {
+		b.WriteByte('(')
+		for i, a := range attrs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.k)
+			b.WriteByte('=')
+			b.WriteString(a.v)
+		}
+		b.WriteByte(')')
+	}
+	b.WriteByte('\n')
+	for _, c := range op.children() {
+		renderOp(b, c, prefix+"   ")
+	}
+}

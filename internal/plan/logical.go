@@ -1,0 +1,350 @@
+// Package plan is GraphTempo's query planning layer: a logical-plan IR for
+// the five statement families (aggregate, explore, top, evolve, timeline),
+// a physical planner that selects concrete operators through an explicit
+// cost model, and an executable PhysicalPlan with an Explain rendering.
+//
+// The paper's partial-materialization strategies (§4.3) are decisions about
+// which physical operator answers a logical query: a union-ALL aggregate
+// can be composed from per-time-point materialized aggregates
+// (T-distributive reuse) instead of rescanning the base graph, a
+// single-point aggregate on an attribute subset can be rolled up from a
+// materialized superset (D-distributive reuse), and exploration can run on
+// incremental interval views instead of per-candidate rescans. Before this
+// package those choices were smeared across agg (kernel dispatch), explore
+// (fast-path eligibility), materialize (composition engine) and the two
+// front ends (tgql, server), each hand-wiring its own engine calls. Every
+// entry point now compiles through Compile: one auditable decision point,
+// observable through Explain and the Selections counters.
+package plan
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Logical is a logical query node: what to compute, with every operand
+// still symbolic (time-point labels, attribute names, predicate strings).
+// Compile resolves it against a concrete graph into a physical plan.
+//
+// Key returns the node's canonical text: a normalized TGQL-style rendering
+// that is identical for every query spelling of the same logical plan
+// (case, whitespace, POINT vs PROJECT, defaulted clauses). It is the plan
+// cache key.
+type Logical interface {
+	Key() string
+	logicalNode() // marker; the five node types live in this package
+}
+
+// IntervalRef selects time points symbolically: either a contiguous range
+// From..To (To empty means the single point From) or an explicit point set.
+// FromPos/ToPos carry byte offsets into the originating query text when the
+// front end has one (TGQL), so resolution errors can point at the label.
+type IntervalRef struct {
+	From, To string
+	Points   []string
+	FromPos  int
+	ToPos    int
+}
+
+// IsZero reports whether the ref selects nothing (no operand given).
+func (r IntervalRef) IsZero() bool {
+	return r.From == "" && r.To == "" && len(r.Points) == 0
+}
+
+func (r IntervalRef) render(b *strings.Builder) {
+	switch {
+	case len(r.Points) > 0:
+		b.WriteByte('{')
+		for i, p := range r.Points {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(p)
+		}
+		b.WriteByte('}')
+	case r.To != "" && r.To != r.From:
+		b.WriteString(r.From)
+		b.WriteString("..")
+		b.WriteString(r.To)
+	default:
+		b.WriteString(r.From)
+	}
+}
+
+// Temporal operator names, canonical lowercase. TGQL's POINT and PROJECT
+// both normalize to OpProject (they are the same operator; POINT is sugar).
+const (
+	OpProject      = "project"
+	OpUnion        = "union"
+	OpIntersection = "intersection"
+	OpDifference   = "difference"
+)
+
+// TemporalOp applies one of the §2.1 temporal operators to one (project)
+// or two (union/intersection/difference) interval operands.
+type TemporalOp struct {
+	Op string // project, union, intersection, difference
+	A  IntervalRef
+	B  IntervalRef // zero for project
+}
+
+// opKeyword renders the canonical TGQL keyword of an operator name.
+func opKeyword(op string) string {
+	switch op {
+	case OpProject:
+		return "PROJECT"
+	case OpUnion:
+		return "UNION"
+	case OpIntersection:
+		return "INTERSECT"
+	case OpDifference:
+		return "DIFF"
+	default:
+		return strings.ToUpper(op)
+	}
+}
+
+func (t TemporalOp) render(b *strings.Builder) {
+	b.WriteString(opKeyword(t.Op))
+	if t.Op == OpProject {
+		b.WriteByte(' ')
+		t.A.render(b)
+		return
+	}
+	b.WriteByte('(')
+	t.A.render(b)
+	b.WriteString(", ")
+	t.B.render(b)
+	b.WriteByte(')')
+}
+
+// Predicate is one WHERE comparison, still symbolic. AttrPos/ValuePos
+// locate the operands in the originating query text when known.
+type Predicate struct {
+	Attr     string
+	Op       string // = != < <= > >=
+	Value    string
+	AttrPos  int
+	ValuePos int
+}
+
+func renderWhere(b *strings.Builder, preds []Predicate) {
+	for i, p := range preds {
+		if i == 0 {
+			b.WriteString(" WHERE ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(p.Attr)
+		b.WriteByte(' ')
+		b.WriteString(p.Op)
+		b.WriteString(" '")
+		b.WriteString(p.Value)
+		b.WriteByte('\'')
+	}
+}
+
+func renderAttrs(b *strings.Builder, attrs []string) {
+	for i, a := range attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a)
+	}
+}
+
+// kindKeyword renders a wire/TGQL kind string canonically; resolution and
+// validation happen at compile time.
+func kindKeyword(kind string) string {
+	switch strings.ToLower(kind) {
+	case "all":
+		return "ALL"
+	default:
+		return "DIST"
+	}
+}
+
+// Aggregate computes the aggregate graph of a temporal operator (§2.2):
+// group nodes and edges by attribute tuple, count DIST entities or ALL
+// appearances, optionally filtered by predicates or reduced by a measure.
+type Aggregate struct {
+	Op    TemporalOp
+	Attrs []string
+	// Kind is dist (default) or all; TGQL's DIST/ALL and the wire forms
+	// dist/distinct/all are accepted.
+	Kind  string
+	Where []Predicate
+	// Measure is "", SUM, AVG, MIN or MAX; MeasureAttr is the measured
+	// attribute. A measure excludes Where (checked at compile).
+	Measure     string
+	MeasureAttr string
+
+	// AttrsPos and MeasureAttrPos are query byte offsets when known.
+	AttrsPos       []int
+	MeasureAttrPos int
+}
+
+func (q *Aggregate) logicalNode() {}
+
+// Key renders "AGG KIND attrs ON OP(...)[ WHERE ...][ MEASURE FN(attr)]".
+func (q *Aggregate) Key() string {
+	var b strings.Builder
+	b.WriteString("AGG ")
+	b.WriteString(kindKeyword(q.Kind))
+	b.WriteByte(' ')
+	renderAttrs(&b, q.Attrs)
+	b.WriteString(" ON ")
+	q.Op.render(&b)
+	renderWhere(&b, q.Where)
+	if q.Measure != "" {
+		b.WriteString(" MEASURE ")
+		b.WriteString(strings.ToUpper(q.Measure))
+		b.WriteByte('(')
+		b.WriteString(q.MeasureAttr)
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// Explore finds minimal/maximal interval pairs with at least K events
+// (§3): event is stability, growth or shrinkage; semantics union (minimal)
+// or intersection (maximal); extend picks the moving side.
+type Explore struct {
+	Event     string // stability, growth, shrinkage
+	Attrs     []string
+	Kind      string   // dist (default) or all
+	Semantics string   // union (default) or intersection
+	Extend    string   // new (default) or old
+	Result    string   // edges (default) or nodes
+	NodeTuple []string // non-empty: measure one aggregate node
+	EdgeFrom  []string // non-empty with EdgeTo: measure one aggregate edge
+	EdgeTo    []string
+	// K < 1 selects the §3.5 initialization (max of consecutive-pair
+	// results under union semantics, min under intersection); Tune > 0
+	// runs the §3.5 tuning loop for at least Tune pairs instead.
+	K    int64
+	Tune int
+
+	AttrsPos []int
+}
+
+func (q *Explore) logicalNode() {}
+
+// Key renders the canonical EXPLORE text with every clause explicit.
+func (q *Explore) Key() string {
+	var b strings.Builder
+	b.WriteString("EXPLORE ")
+	b.WriteString(strings.ToUpper(q.Event))
+	b.WriteByte(' ')
+	b.WriteString(kindKeyword(q.Kind))
+	b.WriteString(" BY ")
+	renderAttrs(&b, q.Attrs)
+	switch {
+	case len(q.EdgeFrom) > 0 || len(q.EdgeTo) > 0:
+		b.WriteString(" EDGE ")
+		renderAttrs(&b, q.EdgeFrom)
+		b.WriteString(" -> ")
+		renderAttrs(&b, q.EdgeTo)
+	case len(q.NodeTuple) > 0:
+		b.WriteString(" NODE ")
+		renderAttrs(&b, q.NodeTuple)
+	case strings.ToLower(q.Result) == "nodes":
+		b.WriteString(" RESULT nodes")
+	}
+	b.WriteString(" SEMANTICS ")
+	if strings.ToLower(q.Semantics) == "intersection" {
+		b.WriteString("INTERSECTION")
+	} else {
+		b.WriteString("UNION")
+	}
+	b.WriteString(" EXTEND ")
+	if strings.ToLower(q.Extend) == "old" {
+		b.WriteString("OLD")
+	} else {
+		b.WriteString("NEW")
+	}
+	switch {
+	case q.Tune > 0:
+		b.WriteString(" TUNE ")
+		b.WriteString(strconv.Itoa(q.Tune))
+	case q.K >= 1:
+		b.WriteString(" K ")
+		b.WriteString(strconv.FormatInt(q.K, 10))
+	default:
+		b.WriteString(" K AUTO")
+	}
+	return b.String()
+}
+
+// Top ranks the aggregate edges (attribute-pair groups) by their peak
+// event count over consecutive interval pairs and returns the best N.
+type Top struct {
+	N     int
+	Event string // stability, growth, shrinkage
+	Attrs []string
+
+	AttrsPos []int
+}
+
+func (q *Top) logicalNode() {}
+
+// Key renders "TOP n EVENT BY attrs".
+func (q *Top) Key() string {
+	var b strings.Builder
+	b.WriteString("TOP ")
+	b.WriteString(strconv.Itoa(q.N))
+	b.WriteByte(' ')
+	b.WriteString(strings.ToUpper(q.Event))
+	b.WriteString(" BY ")
+	renderAttrs(&b, q.Attrs)
+	return b.String()
+}
+
+// Evolve computes the evolution aggregate (stability/growth/shrinkage
+// weights per attribute group) between two intervals.
+type Evolve struct {
+	Kind  string // dist (default) or all
+	Attrs []string
+	From  IntervalRef
+	To    IntervalRef
+	Where []Predicate
+
+	AttrsPos []int
+}
+
+func (q *Evolve) logicalNode() {}
+
+// Key renders "EVOLVE KIND attrs FROM iv TO iv[ WHERE ...]".
+func (q *Evolve) Key() string {
+	var b strings.Builder
+	b.WriteString("EVOLVE ")
+	b.WriteString(kindKeyword(q.Kind))
+	b.WriteByte(' ')
+	renderAttrs(&b, q.Attrs)
+	b.WriteString(" FROM ")
+	q.From.render(&b)
+	b.WriteString(" TO ")
+	q.To.render(&b)
+	renderWhere(&b, q.Where)
+	return b.String()
+}
+
+// Timeline computes the evolution weights of every consecutive time-point
+// pair (the REPL's evolution-over-time table).
+type Timeline struct {
+	Attrs []string
+	Where []Predicate
+
+	AttrsPos []int
+}
+
+func (q *Timeline) logicalNode() {}
+
+// Key renders "TIMELINE BY attrs[ WHERE ...]".
+func (q *Timeline) Key() string {
+	var b strings.Builder
+	b.WriteString("TIMELINE BY ")
+	renderAttrs(&b, q.Attrs)
+	renderWhere(&b, q.Where)
+	return b.String()
+}

@@ -1,0 +1,31 @@
+package plan
+
+import "repro/internal/metrics"
+
+// Selections counts which physical operator the planner chose for each
+// executed plan, one counter per operator. Cached plans count on every
+// execution (selection is a property of the run, not the compile), so the
+// counters reflect live traffic like agg.KernelSelections does. They are
+// package-level because planning happens inside the library where no
+// registry is in scope; the serving layer registers them under one metric
+// family (graphtempod_planner_selections_total{op=...}).
+var Selections struct {
+	CatalogUnion metrics.Counter // union-ALL answered through the materialization catalog
+	DenseAgg     metrics.Counter // view aggregation on the dense flat-array kernel
+	MapAgg       metrics.Counter // view aggregation on a map kernel (static or varying)
+	MeasureAgg   metrics.Counter // SUM/AVG/MIN/MAX measure aggregation
+	FilteredAgg  metrics.Counter // predicate-filtered aggregation (serial map engine)
+	FastExplore  metrics.Counter // exploration on the incremental-view fast path
+	SeedExplore  metrics.Counter // exploration on the seed (selector-view) engine
+	TuneExplore  metrics.Counter // §3.5 threshold tuning loop (memoized evaluation)
+	Top          metrics.Counter // top-N attribute-group ranking
+	Evolve       metrics.Counter // evolution aggregate
+	Timeline     metrics.Counter // per-consecutive-pair evolution timeline
+}
+
+// CacheHits / CacheMisses count plan-cache lookups in Compile. A hit skips
+// resolution and operator selection entirely and returns the compiled plan.
+var (
+	CacheHits   metrics.Counter
+	CacheMisses metrics.Counter
+)

@@ -6,18 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"runtime"
 	"time"
 
-	"repro/internal/agg"
-	"repro/internal/core"
-	"repro/internal/evolution"
-	"repro/internal/explore"
-	"repro/internal/materialize"
-	"repro/internal/ops"
+	"repro/internal/plan"
 	"repro/internal/stream"
 	"repro/internal/tgql"
-	"repro/internal/timeline"
 )
 
 // errNotReady is returned while a stream-mode server has no data yet.
@@ -45,79 +38,27 @@ type IntervalSpec struct {
 	Points []string `json:"points,omitempty"`
 }
 
-// interval resolves the spec on tl.
-func (sp IntervalSpec) interval(tl *timeline.Timeline) (timeline.Interval, error) {
-	if len(sp.Points) > 0 {
-		if sp.From != "" || sp.To != "" {
-			return timeline.Interval{}, fmt.Errorf("interval: points and from/to are mutually exclusive")
-		}
-		ts := make([]timeline.Time, len(sp.Points))
-		for i, l := range sp.Points {
-			t, ok := tl.TimeOf(l)
-			if !ok {
-				return timeline.Interval{}, fmt.Errorf("interval: unknown time point %q", l)
-			}
-			ts[i] = t
-		}
-		return tl.Of(ts...), nil
-	}
-	if sp.From == "" {
-		return timeline.Interval{}, fmt.Errorf("interval: from or points required")
-	}
-	from, ok := tl.TimeOf(sp.From)
-	if !ok {
-		return timeline.Interval{}, fmt.Errorf("interval: unknown time point %q", sp.From)
-	}
-	if sp.To == "" {
-		return tl.Point(from), nil
-	}
-	to, ok := tl.TimeOf(sp.To)
-	if !ok {
-		return timeline.Interval{}, fmt.Errorf("interval: unknown time point %q", sp.To)
-	}
-	if to < from {
-		return timeline.Interval{}, fmt.Errorf("interval: %q is before %q", sp.To, sp.From)
-	}
-	return tl.Range(from, to), nil
+// ref lowers the wire spec into the planner's symbolic interval ref;
+// resolution against the timeline happens at plan compile.
+func (sp IntervalSpec) ref() plan.IntervalRef {
+	return plan.IntervalRef{From: sp.From, To: sp.To, Points: sp.Points}
 }
 
-// clampWorkers caps client-supplied parallelism at the host's GOMAXPROCS:
-// the engines allocate per-worker state and spawn one goroutine per worker,
-// so an unclamped request could exhaust memory with a single huge value.
-// Zero and negative values keep their engine-specific meaning.
-func clampWorkers(n int) int {
-	if max := runtime.GOMAXPROCS(0); n > max {
-		return max
-	}
-	return n
+// planEnv is the compile environment for queries against one serving
+// snapshot: its graph and catalog, the request's workers budget, and the
+// server's plan cache (generation-keyed on the snapshot identity, so a
+// stream-mode rebuild flushes it automatically).
+func (s *Server) planEnv(st *state, workers int) plan.Env {
+	return plan.Env{Graph: st.g, Catalog: st.cat, Workers: workers, Cache: s.plans}
 }
 
-// parseKind maps the wire kind to agg.Kind; empty defaults to DIST.
-func parseKind(s string) (agg.Kind, error) {
-	switch s {
-	case "", "dist", "distinct":
-		return agg.Distinct, nil
-	case "all":
-		return agg.All, nil
-	default:
-		return 0, fmt.Errorf("unknown kind %q (want dist or all)", s)
+// execStatus maps an execution error: context errors keep their transport
+// mapping (504/499), engine errors are the client's fault (400).
+func execStatus(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return statusForCtx(err)
 	}
-}
-
-// attrIDs resolves attribute names on g.
-func attrIDs(g *core.Graph, names []string) ([]core.AttrID, error) {
-	if len(names) == 0 {
-		return nil, fmt.Errorf("attrs required")
-	}
-	ids := make([]core.AttrID, len(names))
-	for i, n := range names {
-		a, ok := g.AttrByName(n)
-		if !ok {
-			return nil, fmt.Errorf("unknown attribute %q", n)
-		}
-		ids[i] = a
-	}
-	return ids, nil
+	return http.StatusBadRequest
 }
 
 // AggregateRequest asks for the aggregate graph of a temporal operator
@@ -152,70 +93,26 @@ func (s *Server) handleAggregate(ctx context.Context, w http.ResponseWriter, r *
 	if err != nil {
 		return http.StatusServiceUnavailable, err
 	}
-	tl := st.g.Timeline()
-	iv1, err := req.Interval.interval(tl)
+	node := &plan.Aggregate{
+		Op:    plan.TemporalOp{Op: req.Op, A: req.Interval.ref(), B: req.Interval2.ref()},
+		Attrs: req.Attrs,
+		Kind:  req.Kind,
+	}
+	p, err := plan.Compile(s.planEnv(st, req.Workers), node)
 	if err != nil {
 		return http.StatusBadRequest, err
 	}
-	kind, err := parseKind(req.Kind)
-	if err != nil {
-		return http.StatusBadRequest, err
-	}
-	ids, err := attrIDs(st.g, req.Attrs)
-	if err != nil {
-		return http.StatusBadRequest, err
-	}
-
-	binary := req.Op != "project"
-	var iv2 timeline.Interval
-	if binary {
-		if iv2, err = req.Interval2.interval(tl); err != nil {
-			return http.StatusBadRequest, err
-		}
-	} else if req.Interval2.From != "" || len(req.Interval2.Points) > 0 {
-		return http.StatusBadRequest, fmt.Errorf("op %q takes a single interval", req.Op)
-	}
-
 	start := time.Now()
-	var (
-		ag  *agg.Graph
-		src = materialize.Scratch
-	)
-	if req.Op == "union" && kind == agg.All {
-		// Union + ALL is T-distributive (§4.3): answer through the
-		// materialization catalog (cache → composed store → scratch).
-		ag, src, err = st.cat.UnionAll(iv1.Union(iv2), ids...)
-		if err != nil {
-			return http.StatusBadRequest, err
-		}
-	} else {
-		var v *ops.View
-		switch req.Op {
-		case "project":
-			v = ops.Project(st.g, iv1)
-		case "union":
-			v = ops.Union(st.g, iv1, iv2)
-		case "intersection":
-			v = ops.Intersection(st.g, iv1, iv2)
-		case "difference":
-			v = ops.Difference(st.g, iv1, iv2)
-		default:
-			return http.StatusBadRequest, fmt.Errorf("unknown op %q (want project, union, intersection or difference)", req.Op)
-		}
-		sch, err := agg.NewSchema(st.g, ids...)
-		if err != nil {
-			return http.StatusBadRequest, err
-		}
-		if ag, err = agg.AggregateParallelCtx(ctx, v, sch, kind, clampWorkers(req.Workers)); err != nil {
-			return statusForCtx(err), err
-		}
+	res, err := p.Execute(ctx)
+	if err != nil {
+		return execStatus(err), err
 	}
-	raw, err := json.Marshal(ag)
+	raw, err := json.Marshal(res.Agg)
 	if err != nil {
 		return http.StatusInternalServerError, err
 	}
 	return writeJSON(w, AggregateResponse{
-		Source:    src.String(),
+		Source:    res.AggSource.String(),
 		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
 		Graph:     raw,
 	})
@@ -270,81 +167,39 @@ func (s *Server) handleExplore(ctx context.Context, w http.ResponseWriter, r *ht
 	if err != nil {
 		return http.StatusServiceUnavailable, err
 	}
-	var event explore.Event
-	switch req.Event {
-	case "stability":
-		event = evolution.Stability
-	case "growth":
-		event = evolution.Growth
-	case "shrinkage":
-		event = evolution.Shrinkage
-	default:
-		return http.StatusBadRequest, fmt.Errorf("unknown event %q (want stability, growth or shrinkage)", req.Event)
-	}
-	var sem explore.Semantics
-	switch req.Semantics {
-	case "", "union":
-		sem = explore.UnionSemantics
-	case "intersection":
-		sem = explore.IntersectionSemantics
-	default:
-		return http.StatusBadRequest, fmt.Errorf("unknown semantics %q (want union or intersection)", req.Semantics)
-	}
-	var ext explore.Extend
-	switch req.Extend {
-	case "", "new":
-		ext = explore.ExtendNew
-	case "old":
-		ext = explore.ExtendOld
-	default:
-		return http.StatusBadRequest, fmt.Errorf("unknown extend %q (want old or new)", req.Extend)
-	}
+	// The wire API requires an explicit threshold (TGQL's K AUTO
+	// initialization is a REPL convenience).
 	if req.K < 1 {
 		return http.StatusBadRequest, fmt.Errorf("k must be >= 1, got %d", req.K)
 	}
-	kind, err := parseKind(req.Kind)
+	node := &plan.Explore{
+		Event:     req.Event,
+		Attrs:     req.Attrs,
+		Kind:      req.Kind,
+		Semantics: req.Semantics,
+		Extend:    req.Extend,
+		Result:    req.Result,
+		NodeTuple: req.NodeTuple,
+		EdgeFrom:  req.EdgeFrom,
+		EdgeTo:    req.EdgeTo,
+		K:         req.K,
+	}
+	p, err := plan.Compile(s.planEnv(st, req.Workers), node)
 	if err != nil {
 		return http.StatusBadRequest, err
 	}
-	ids, err := attrIDs(st.g, req.Attrs)
-	if err != nil {
-		return http.StatusBadRequest, err
-	}
-	sch, err := agg.NewSchema(st.g, ids...)
-	if err != nil {
-		return http.StatusBadRequest, err
-	}
-	var result explore.ResultFunc
-	switch {
-	case len(req.NodeTuple) > 0:
-		if result, err = explore.NodeTuple(sch, req.NodeTuple...); err != nil {
-			return http.StatusBadRequest, err
-		}
-	case len(req.EdgeFrom) > 0 || len(req.EdgeTo) > 0:
-		if result, err = explore.EdgeTuple(sch, req.EdgeFrom, req.EdgeTo); err != nil {
-			return http.StatusBadRequest, err
-		}
-	case req.Result == "" || req.Result == "edges":
-		result = explore.TotalEdges
-	case req.Result == "nodes":
-		result = explore.TotalNodes
-	default:
-		return http.StatusBadRequest, fmt.Errorf("unknown result %q (want edges or nodes)", req.Result)
-	}
-
-	ex := &explore.Explorer{Graph: st.g, Schema: sch, Kind: kind, Result: result, Workers: clampWorkers(req.Workers)}
 	start := time.Now()
-	pairs, err := ex.ExploreCtx(ctx, event, sem, ext, req.K)
+	res, err := p.Execute(ctx)
 	if err != nil {
-		return statusForCtx(err), err
+		return execStatus(err), err
 	}
 	resp := ExploreResponse{
-		K:           req.K,
-		Pairs:       make([]ExplorePair, len(pairs)),
-		Evaluations: ex.Evaluations,
+		K:           res.K,
+		Pairs:       make([]ExplorePair, len(res.Pairs)),
+		Evaluations: res.Evaluations,
 		ElapsedMs:   float64(time.Since(start).Microseconds()) / 1000,
 	}
-	for i, p := range pairs {
+	for i, p := range res.Pairs {
 		resp.Pairs[i] = ExplorePair{Old: p.Old.String(), New: p.New.String(), Result: p.Result}
 	}
 	return writeJSON(w, resp)
@@ -376,12 +231,9 @@ func (s *Server) handleTGQL(ctx context.Context, w http.ResponseWriter, r *http.
 	if err != nil {
 		return http.StatusServiceUnavailable, err
 	}
-	res, err := tgql.ExecCtx(ctx, st.g, req.Query)
+	res, err := tgql.ExecEnv(ctx, s.planEnv(st, 1), req.Query)
 	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return statusForCtx(err), err
-		}
-		return http.StatusBadRequest, err
+		return execStatus(err), err
 	}
 	resp := TGQLResponse{Text: res.String()}
 	if res.Agg != nil {
@@ -399,6 +251,37 @@ func (s *Server) handleTGQL(ctx context.Context, w http.ResponseWriter, r *http.
 		}
 	}
 	return writeJSON(w, resp)
+}
+
+// ExplainRequest asks for the physical plan of one TGQL statement without
+// executing it. A leading EXPLAIN keyword in the query is accepted.
+type ExplainRequest struct {
+	Query string `json:"query"`
+}
+
+// ExplainResponse carries the rendered plan tree: the canonical logical
+// query, the selected operators, and their cost/engine attributes.
+type ExplainResponse struct {
+	Plan string `json:"plan"`
+}
+
+func (s *Server) handleExplain(ctx context.Context, w http.ResponseWriter, r *http.Request) (int, error) {
+	var req ExplainRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	if req.Query == "" {
+		return http.StatusBadRequest, fmt.Errorf("query required")
+	}
+	st, err := s.current()
+	if err != nil {
+		return http.StatusServiceUnavailable, err
+	}
+	p, err := tgql.PlanEnv(s.planEnv(st, 1), req.Query)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	return writeJSON(w, ExplainResponse{Plan: p.Explain()})
 }
 
 // IngestNode is the wire form of one node in an ingested snapshot.

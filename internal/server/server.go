@@ -31,6 +31,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/materialize"
 	"repro/internal/metrics"
+	"repro/internal/plan"
 	"repro/internal/stream"
 )
 
@@ -69,6 +70,7 @@ var endpointWeight = map[string]int64{
 	"aggregate": 1,
 	"explore":   2,
 	"tgql":      2,
+	"explain":   1, // compile-only: no engine execution
 	"ingest":    1,
 }
 
@@ -89,6 +91,7 @@ type Server struct {
 	mux    *http.ServeMux
 	reg    *metrics.Registry
 	series *stream.Series
+	plans  *plan.Cache
 
 	cur       atomic.Pointer[state]
 	rebuildMu sync.Mutex
@@ -132,6 +135,7 @@ func New(cfg Config) (*Server, error) {
 		mux:      http.NewServeMux(),
 		reg:      metrics.NewRegistry(),
 		series:   cfg.Series,
+		plans:    plan.NewCache(0),
 		reqCount: make(map[string]*metrics.Counter),
 		latency:  make(map[string]*metrics.Histogram),
 		shed:     make(map[string]*metrics.Counter),
@@ -247,6 +251,8 @@ func (s *Server) catalogStats() materialize.Stats {
 //	graphtempod_catalog_cache_{entries,bytes}   gauges
 //	graphtempod_explorer_evaluations_total      counter (engine hot path)
 //	graphtempod_kernel_selections_total{kernel} counter (engine hot path)
+//	graphtempod_planner_selections_total{op}    counter (planner choices)
+//	graphtempod_plan_cache_total{result}        counter (hit/miss)
 //	graphtempod_ingested_points                 gauge (stream mode)
 //	graphtempod_uptime_seconds                  gauge
 func (s *Server) registerMetrics() {
@@ -286,6 +292,32 @@ func (s *Server) registerMetrics() {
 		&agg.KernelSelections.Static, metrics.Label{Key: "kernel", Value: "static"})
 	r.RegisterCounter("graphtempod_kernel_selections_total", "",
 		&agg.KernelSelections.Varying, metrics.Label{Key: "kernel", Value: "varying"})
+	plannerHelp := "Physical operators selected by the query planner, counted per plan execution."
+	for _, sel := range []struct {
+		op string
+		c  *metrics.Counter
+	}{
+		{"catalog-union", &plan.Selections.CatalogUnion},
+		{"dense-agg", &plan.Selections.DenseAgg},
+		{"map-agg", &plan.Selections.MapAgg},
+		{"measure-agg", &plan.Selections.MeasureAgg},
+		{"filtered-agg", &plan.Selections.FilteredAgg},
+		{"fast-explore", &plan.Selections.FastExplore},
+		{"seed-explore", &plan.Selections.SeedExplore},
+		{"tune-explore", &plan.Selections.TuneExplore},
+		{"top", &plan.Selections.Top},
+		{"evolve", &plan.Selections.Evolve},
+		{"timeline", &plan.Selections.Timeline},
+	} {
+		r.RegisterCounter("graphtempod_planner_selections_total", plannerHelp,
+			sel.c, metrics.Label{Key: "op", Value: sel.op})
+		plannerHelp = ""
+	}
+	r.RegisterCounter("graphtempod_plan_cache_total",
+		"Plan cache lookups by result (a hit skips resolution and operator selection).",
+		&plan.CacheHits, metrics.Label{Key: "result", Value: "hit"})
+	r.RegisterCounter("graphtempod_plan_cache_total", "",
+		&plan.CacheMisses, metrics.Label{Key: "result", Value: "miss"})
 	if s.series != nil {
 		r.GaugeFunc("graphtempod_ingested_points", "Time points ingested.",
 			func() float64 { return float64(s.series.Len()) })
@@ -359,6 +391,7 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /v1/aggregate", s.api("aggregate", s.handleAggregate))
 	s.mux.Handle("POST /v1/explore", s.api("explore", s.handleExplore))
 	s.mux.Handle("POST /v1/tgql", s.api("tgql", s.handleTGQL))
+	s.mux.Handle("POST /v1/explain", s.api("explain", s.handleExplain))
 	s.mux.Handle("POST /v1/ingest", s.api("ingest", s.handleIngest))
 }
 

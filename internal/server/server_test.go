@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"runtime"
 	"strings"
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/evolution"
 	"repro/internal/explore"
 	"repro/internal/ops"
+	"repro/internal/plan"
 	"repro/internal/stream"
 )
 
@@ -458,12 +460,12 @@ func TestDeadlinePropagation(t *testing.T) {
 // single request exhaust memory), and the capped request still answers
 // correctly.
 func TestWorkersClamped(t *testing.T) {
-	if got, want := clampWorkers(1<<30), runtime.GOMAXPROCS(0); got != want {
-		t.Fatalf("clampWorkers(1<<30) = %d, want %d", got, want)
+	if got, want := plan.ClampWorkers(1<<30), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("ClampWorkers(1<<30) = %d, want %d", got, want)
 	}
 	for _, n := range []int{-1, 0, 1} {
-		if got := clampWorkers(n); got != n {
-			t.Fatalf("clampWorkers(%d) = %d, want unchanged", n, got)
+		if got := plan.ClampWorkers(n); got != n {
+			t.Fatalf("ClampWorkers(%d) = %d, want unchanged", n, got)
 		}
 	}
 
@@ -564,4 +566,89 @@ func grepMetrics(text, substr string) string {
 		}
 	}
 	return b.String()
+}
+
+// TestExplainEndpoint checks POST /v1/explain: the plan text names the
+// selected operators, compilation errors map to 400, and explaining a
+// query executes nothing (the catalog stays untouched).
+func TestExplainEndpoint(t *testing.T) {
+	_, ts := newStaticServer(t)
+	code, data := postJSON(t, ts.URL+"/v1/explain", ExplainRequest{Query: "AGG ALL gender ON UNION(t0, t1)"})
+	if code != 200 {
+		t.Fatalf("explain = %d: %s", code, data)
+	}
+	var resp ExplainResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(resp.Plan, "plan: AGG ALL gender ON UNION(t0, t1)") {
+		t.Errorf("plan header missing:\n%s", resp.Plan)
+	}
+	if !strings.Contains(resp.Plan, "CatalogUnionAll") {
+		t.Errorf("union-ALL plan does not route through the catalog:\n%s", resp.Plan)
+	}
+
+	// A leading EXPLAIN keyword is accepted (clients may forward REPL text).
+	code, data = postJSON(t, ts.URL+"/v1/explain", ExplainRequest{Query: "EXPLAIN EXPLORE STABILITY BY gender K 2"})
+	if code != 200 || !strings.Contains(string(data), "FastExplore") {
+		t.Errorf("explain of EXPLAIN-prefixed explore = %d: %s", code, data)
+	}
+
+	// Compile-only: no catalog answer was produced by any explain above.
+	if _, body := get(t, ts.URL+"/metrics"); !strings.Contains(string(body),
+		`graphtempod_catalog_answers_total{source="scratch"} 0`) {
+		t.Error("explain executed a catalog query")
+	}
+
+	for _, bad := range []ExplainRequest{
+		{},                                       // missing query
+		{Query: "AGG ALL nope ON UNION(t0, t1)"}, // unknown attribute
+		{Query: "EXPLAIN STATS"},                 // no query plan for STATS
+		{Query: "FROB"},                          // parse error
+	} {
+		if code, data := postJSON(t, ts.URL+"/v1/explain", bad); code != http.StatusBadRequest {
+			t.Errorf("explain %+v = %d, want 400: %s", bad, code, data)
+		}
+	}
+}
+
+// TestPlannerMetrics checks that planner operator selections and plan
+// cache lookups surface at /metrics. The counters are package-global
+// (shared with other tests in this run), so assertions are non-zero
+// presence, not exact values.
+func TestPlannerMetrics(t *testing.T) {
+	_, ts := newStaticServer(t)
+	ag := AggregateRequest{Op: "union", Interval: IntervalSpec{From: "t0"}, Interval2: IntervalSpec{From: "t1"}, Attrs: []string{"gender"}, Kind: "all"}
+	if code, data := postJSON(t, ts.URL+"/v1/aggregate", ag); code != 200 {
+		t.Fatalf("aggregate = %d: %s", code, data)
+	}
+	// Same canonical query again: the second compile is a plan-cache hit.
+	if code, _ := postJSON(t, ts.URL+"/v1/aggregate", ag); code != 200 {
+		t.Fatal("repeat aggregate failed")
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/aggregate", AggregateRequest{
+		Op: "project", Interval: IntervalSpec{From: "t0", To: "t1"}, Attrs: []string{"gender"}}); code != 200 {
+		t.Fatal("project aggregate failed")
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/explore", ExploreRequest{Event: "stability", K: 2, Attrs: []string{"gender"}}); code != 200 {
+		t.Fatal("explore failed")
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/tgql", TGQLRequest{Query: "TIMELINE BY gender"}); code != 200 {
+		t.Fatal("tgql timeline failed")
+	}
+
+	_, body := get(t, ts.URL+"/metrics")
+	text := string(body)
+	for _, re := range []string{
+		`graphtempod_planner_selections_total\{op="catalog-union"\} [1-9]`,
+		`graphtempod_planner_selections_total\{op="dense-agg"\} [1-9]`,
+		`graphtempod_planner_selections_total\{op="fast-explore"\} [1-9]`,
+		`graphtempod_planner_selections_total\{op="timeline"\} [1-9]`,
+		`graphtempod_plan_cache_total\{result="miss"\} [1-9]`,
+		`graphtempod_plan_cache_total\{result="hit"\} [1-9]`,
+	} {
+		if !regexp.MustCompile(re).MatchString(text) {
+			t.Errorf("metrics missing %s:\n%s", re, grepMetrics(text, "planner_selections|plan_cache"))
+		}
+	}
 }

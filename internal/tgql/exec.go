@@ -3,7 +3,6 @@ package tgql
 import (
 	"context"
 	"fmt"
-	"strconv"
 	"strings"
 
 	"repro/internal/agg"
@@ -11,8 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/evolution"
 	"repro/internal/explore"
-	"repro/internal/ops"
-	"repro/internal/timeline"
+	"repro/internal/plan"
 )
 
 // Result holds the output of one executed query; exactly one of the
@@ -30,6 +28,8 @@ type Result struct {
 	// Coarse is the zoomed-out graph of a COARSEN statement; the REPL
 	// reports its statistics.
 	Coarse *core.Graph
+	// Explain is the physical-plan rendering of an EXPLAIN statement.
+	Explain string
 
 	// g is the graph the query ran against, for rendering context.
 	g *core.Graph
@@ -38,6 +38,8 @@ type Result struct {
 // String renders the result for terminals and the REPL.
 func (r *Result) String() string {
 	switch {
+	case r.Explain != "":
+		return r.Explain
 	case r.Agg != nil:
 		return r.Agg.String()
 	case r.Measure != nil:
@@ -126,7 +128,7 @@ func ParseFilter(g *core.Graph, expr string) (agg.Filter, error) {
 	if err := p.atEOF(); err != nil {
 		return nil, err
 	}
-	return compilePredicate(g, expr, cmps)
+	return plan.CompilePredicates(g, expr, toPredicates(cmps))
 }
 
 // Exec parses and executes one query against g.
@@ -139,7 +141,23 @@ func Exec(g *core.Graph, query string) (*Result, error) {
 // candidate evaluations and the run is abandoned once the deadline expires
 // or the caller disconnects, returning ctx.Err() instead of a result. A nil
 // error guarantees the same result Exec reports.
+//
+// Queries run serially (one aggregation worker); serving layers that want
+// parallelism, catalog-backed reuse or plan caching pass those facilities
+// through ExecEnv.
 func ExecCtx(ctx context.Context, g *core.Graph, query string) (*Result, error) {
+	return ExecEnv(ctx, plan.Env{Graph: g, Workers: 1}, query)
+}
+
+// ExecEnv parses one statement and executes it through the query planner:
+// parse → logical plan → physical plan (plan.Compile's cost model selects
+// the operators) → execute. The environment supplies the graph and the
+// optional serving facilities — a materialization catalog (unlocks the
+// catalog-backed union-ALL operator), a plan cache, a workers budget.
+//
+// STATS and COARSEN are REPL conveniences over core, not query-plan
+// statements; they execute directly.
+func ExecEnv(ctx context.Context, env plan.Env, query string) (*Result, error) {
 	stmt, err := parse(query)
 	if err != nil {
 		return nil, err
@@ -147,362 +165,169 @@ func ExecCtx(ctx context.Context, g *core.Graph, query string) (*Result, error) 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	var res *Result
+	env.Query = query
 	switch q := stmt.(type) {
 	case statsQuery:
-		s := core.ComputeStats(g)
-		res = &Result{Stats: &s}
-	case aggQuery:
-		res, err = execAgg(ctx, g, query, q)
-	case evolveQuery:
-		res, err = execEvolve(ctx, g, query, q)
-	case exploreQuery:
-		res, err = execExplore(ctx, g, query, q)
-	case topQuery:
-		res, err = execTop(ctx, g, query, q)
-	case timelineQuery:
-		res, err = execTimeline(ctx, g, query, q)
+		s := core.ComputeStats(env.Graph)
+		return &Result{Stats: &s, g: env.Graph}, nil
 	case coarsenQuery:
-		spec, specErr := core.UniformGroups(g.Timeline(), q.Width)
-		if specErr != nil {
-			return nil, specErr
+		spec, err := core.UniformGroups(env.Graph.Timeline(), q.Width)
+		if err != nil {
+			return nil, err
 		}
-		coarse, cErr := core.Coarsen(g, spec)
-		if cErr != nil {
-			return nil, cErr
+		coarse, err := core.Coarsen(env.Graph, spec)
+		if err != nil {
+			return nil, err
 		}
-		res = &Result{Coarse: coarse}
-	default:
-		return nil, fmt.Errorf("tgql: unhandled statement %T", stmt)
+		return &Result{Coarse: coarse, g: env.Graph}, nil
+	case explainQuery:
+		node, err := toLogical(q.stmt)
+		if err != nil {
+			return nil, err
+		}
+		p, err := plan.Compile(env, node)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Explain: p.Explain(), g: env.Graph}, nil
 	}
+	node, err := toLogical(stmt)
 	if err != nil {
 		return nil, err
 	}
-	res.g = g
-	return res, nil
-}
-
-// schemaFor resolves attribute names into an aggregation schema, pointing
-// unknown-attribute errors at the name's position in the query.
-func schemaFor(g *core.Graph, in string, names []string, poss []int) (*agg.Schema, error) {
-	for i, n := range names {
-		if _, ok := g.AttrByName(n); !ok {
-			return nil, posErrf(in, posAt(poss, i), n, "unknown attribute %q", n)
-		}
-	}
-	return agg.ByName(g, names...)
-}
-
-// posAt guards against ASTs built without positions (zero value).
-func posAt(poss []int, i int) int {
-	if i < len(poss) {
-		return poss[i]
-	}
-	return 0
-}
-
-func execTimeline(ctx context.Context, g *core.Graph, in string, q timelineQuery) (*Result, error) {
-	schema, err := schemaFor(g, in, q.Attrs, q.AttrsPos)
+	p, err := plan.Compile(env, node)
 	if err != nil {
 		return nil, err
 	}
-	filter, err := compilePredicate(g, in, q.Where)
+	pr, err := p.Execute(ctx)
 	if err != nil {
 		return nil, err
 	}
-	steps := evolution.Timeline(g, schema, agg.Distinct, evolution.Filter(filter))
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return &Result{Timeline: steps}, nil
-}
-
-func resolveInterval(g *core.Graph, in string, iv intervalExpr) (timeline.Interval, error) {
-	tl := g.Timeline()
-	from, ok := tl.TimeOf(iv.From)
-	if !ok {
-		return timeline.Interval{}, posErrf(in, iv.FromPos, iv.From, "unknown time point %q", iv.From)
-	}
-	if iv.To == "" {
-		return tl.Point(from), nil
-	}
-	to, ok := tl.TimeOf(iv.To)
-	if !ok {
-		return timeline.Interval{}, posErrf(in, iv.ToPos, iv.To, "unknown time point %q", iv.To)
-	}
-	if from > to {
-		return timeline.Interval{}, posErrf(in, iv.FromPos, iv.From, "interval %s..%s runs backwards", iv.From, iv.To)
-	}
-	return tl.Range(from, to), nil
-}
-
-func resolveView(g *core.Graph, in string, op opExpr) (*ops.View, error) {
-	a, err := resolveInterval(g, in, op.A)
-	if err != nil {
-		return nil, err
-	}
-	switch op.Op {
-	case "POINT", "PROJECT":
-		return ops.Project(g, a), nil
-	}
-	b, err := resolveInterval(g, in, op.B)
-	if err != nil {
-		return nil, err
-	}
-	switch op.Op {
-	case "UNION":
-		return ops.Union(g, a, b), nil
-	case "INTERSECT":
-		return ops.Intersection(g, a, b), nil
-	default: // DIFF
-		return ops.Difference(g, a, b), nil
-	}
-}
-
-func resolveKind(kind string) agg.Kind {
-	if kind == "ALL" {
-		return agg.All
-	}
-	return agg.Distinct
-}
-
-// compilePredicate turns WHERE comparisons into an appearance filter.
-// Equality and inequality compare strings; ordering operators compare
-// numerically and reject appearances whose value does not parse.
-func compilePredicate(g *core.Graph, in string, cmps []comparison) (agg.Filter, error) {
-	if len(cmps) == 0 {
-		return nil, nil
-	}
-	type compiled struct {
-		attr    core.AttrID
-		op      string
-		str     string
-		num     float64
-		numeric bool
-	}
-	cs := make([]compiled, len(cmps))
-	for i, c := range cmps {
-		a, ok := g.AttrByName(c.Attr)
-		if !ok {
-			return nil, posErrf(in, c.AttrPos, c.Attr, "unknown attribute %q in WHERE", c.Attr)
-		}
-		cc := compiled{attr: a, op: c.Op, str: c.Value}
-		if n, err := strconv.ParseFloat(c.Value, 64); err == nil {
-			cc.num, cc.numeric = n, true
-		}
-		if (c.Op != "=" && c.Op != "!=") && !cc.numeric {
-			return nil, posErrf(in, c.ValuePos, c.Value, "operator %s needs a numeric value, got %q", c.Op, c.Value)
-		}
-		cs[i] = cc
-	}
-	return func(n core.NodeID, t timeline.Time) bool {
-		for _, c := range cs {
-			v := g.ValueString(c.attr, n, t)
-			if v == "" {
-				return false
-			}
-			switch c.op {
-			case "=":
-				if v != c.str {
-					return false
-				}
-			case "!=":
-				if v == c.str {
-					return false
-				}
-			default:
-				x, err := strconv.ParseFloat(v, 64)
-				if err != nil {
-					return false
-				}
-				switch c.op {
-				case "<":
-					if !(x < c.num) {
-						return false
-					}
-				case "<=":
-					if !(x <= c.num) {
-						return false
-					}
-				case ">":
-					if !(x > c.num) {
-						return false
-					}
-				case ">=":
-					if !(x >= c.num) {
-						return false
-					}
-				}
-			}
-		}
-		return true
+	return &Result{
+		Agg:       pr.Agg,
+		Measure:   pr.Measure,
+		Evolution: pr.Evolution,
+		Pairs:     pr.Pairs,
+		K:         pr.K,
+		Top:       pr.Top,
+		TopSchema: pr.TopSchema,
+		Timeline:  pr.Timeline,
+		g:         env.Graph,
 	}, nil
 }
 
-func execAgg(ctx context.Context, g *core.Graph, in string, q aggQuery) (*Result, error) {
-	schema, err := schemaFor(g, in, q.Attrs, q.AttrsPos)
+// PlanEnv parses one statement and compiles it into a physical plan
+// without executing it. A leading EXPLAIN keyword is accepted and
+// ignored (the returned plan is what EXPLAIN would render).
+func PlanEnv(env plan.Env, query string) (*plan.Plan, error) {
+	stmt, err := parse(query)
 	if err != nil {
 		return nil, err
 	}
-	view, err := resolveView(g, in, q.Op)
+	if ex, ok := stmt.(explainQuery); ok {
+		stmt = ex.stmt
+	}
+	node, err := toLogical(stmt)
 	if err != nil {
 		return nil, err
 	}
-	filter, err := compilePredicate(g, in, q.Where)
-	if err != nil {
-		return nil, err
-	}
-	if q.Measure != "" {
-		if filter != nil {
-			return nil, fmt.Errorf("tgql: WHERE and MEASURE cannot be combined")
-		}
-		a, ok := g.AttrByName(q.MAttr)
-		if !ok {
-			return nil, posErrf(in, q.MAttrPos, q.MAttr, "unknown measured attribute %q", q.MAttr)
-		}
-		var fn agg.Measure
-		switch q.Measure {
-		case "SUM":
-			fn = agg.Sum
-		case "AVG":
-			fn = agg.Avg
-		case "MIN":
-			fn = agg.Min
-		default:
-			fn = agg.Max
-		}
-		mg, err := agg.AggregateMeasure(view, schema, a, fn)
-		if err != nil {
-			return nil, err
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		return &Result{Measure: mg}, nil
-	}
-	if filter == nil {
-		// The unfiltered engine has chunked cancellation probes; one worker
-		// keeps the serial execution (and result) of AggregateFiltered.
-		ag, err := agg.AggregateParallelCtx(ctx, view, schema, resolveKind(q.Kind), 1)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Agg: ag}, nil
-	}
-	ag := agg.AggregateFiltered(view, schema, resolveKind(q.Kind), filter)
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return &Result{Agg: ag}, nil
+	env.Query = query
+	return plan.Compile(env, node)
 }
 
-func execEvolve(ctx context.Context, g *core.Graph, in string, q evolveQuery) (*Result, error) {
-	schema, err := schemaFor(g, in, q.Attrs, q.AttrsPos)
-	if err != nil {
-		return nil, err
-	}
-	old, err := resolveInterval(g, in, q.From)
-	if err != nil {
-		return nil, err
-	}
-	new, err := resolveInterval(g, in, q.To)
-	if err != nil {
-		return nil, err
-	}
-	filter, err := compilePredicate(g, in, q.Where)
-	if err != nil {
-		return nil, err
-	}
-	ev := evolution.Aggregate(g, old, new, schema, resolveKind(q.Kind), evolution.Filter(filter))
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return &Result{Evolution: ev}, nil
+// PlanQuery compiles one statement against g with the same serial
+// environment ExecCtx executes under.
+func PlanQuery(g *core.Graph, query string) (*plan.Plan, error) {
+	return PlanEnv(plan.Env{Graph: g, Workers: 1}, query)
 }
 
-func execTop(ctx context.Context, g *core.Graph, in string, q topQuery) (*Result, error) {
-	schema, err := schemaFor(g, in, q.Attrs, q.AttrsPos)
-	if err != nil {
-		return nil, err
-	}
-	ex := &explore.Explorer{Graph: g, Schema: schema, Kind: agg.Distinct, Result: explore.TotalEdges}
-	var event explore.Event
-	switch q.Event {
-	case "STABILITY":
-		event = evolution.Stability
-	case "GROWTH":
-		event = evolution.Growth
+// toLogical lowers a parsed statement into the planner's logical IR.
+// STATS and COARSEN have no logical plan (they are not query statements).
+func toLogical(stmt interface{}) (plan.Logical, error) {
+	switch q := stmt.(type) {
+	case aggQuery:
+		return &plan.Aggregate{
+			Op:             toTemporalOp(q.Op),
+			Attrs:          q.Attrs,
+			AttrsPos:       q.AttrsPos,
+			Kind:           strings.ToLower(q.Kind),
+			Where:          toPredicates(q.Where),
+			Measure:        q.Measure,
+			MeasureAttr:    q.MAttr,
+			MeasureAttrPos: q.MAttrPos,
+		}, nil
+	case evolveQuery:
+		return &plan.Evolve{
+			Kind:     strings.ToLower(q.Kind),
+			Attrs:    q.Attrs,
+			AttrsPos: q.AttrsPos,
+			From:     toIntervalRef(q.From),
+			To:       toIntervalRef(q.To),
+			Where:    toPredicates(q.Where),
+		}, nil
+	case exploreQuery:
+		return &plan.Explore{
+			Event:     strings.ToLower(q.Event),
+			Attrs:     q.Attrs,
+			AttrsPos:  q.AttrsPos,
+			Semantics: strings.ToLower(q.Semantics),
+			Extend:    strings.ToLower(q.Extend),
+			NodeTuple: q.NodeTuple,
+			EdgeFrom:  q.EdgeFrom,
+			EdgeTo:    q.EdgeTo,
+			K:         q.K,
+			Tune:      q.Tune,
+		}, nil
+	case topQuery:
+		return &plan.Top{
+			N:        q.N,
+			Event:    strings.ToLower(q.Event),
+			Attrs:    q.Attrs,
+			AttrsPos: q.AttrsPos,
+		}, nil
+	case timelineQuery:
+		return &plan.Timeline{
+			Attrs:    q.Attrs,
+			AttrsPos: q.AttrsPos,
+			Where:    toPredicates(q.Where),
+		}, nil
 	default:
-		event = evolution.Shrinkage
+		return nil, fmt.Errorf("tgql: statement %T has no query plan (EXPLAIN supports AGG, EVOLVE, EXPLORE, TOP and TIMELINE)", stmt)
 	}
-	top, err := explore.TopEdgeTuplesCtx(ctx, ex, event, q.N)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Top: top, TopSchema: schema}, nil
 }
 
-func execExplore(ctx context.Context, g *core.Graph, in string, q exploreQuery) (*Result, error) {
-	schema, err := schemaFor(g, in, q.Attrs, q.AttrsPos)
-	if err != nil {
-		return nil, err
+// toTemporalOp lowers a parsed operator expression; TGQL's POINT and
+// PROJECT both normalize to the planner's project operator.
+func toTemporalOp(op opExpr) plan.TemporalOp {
+	var name string
+	switch op.Op {
+	case "POINT", "PROJECT":
+		name = plan.OpProject
+	case "UNION":
+		name = plan.OpUnion
+	case "INTERSECT":
+		name = plan.OpIntersection
+	default: // DIFF
+		name = plan.OpDifference
 	}
-	ex := &explore.Explorer{Graph: g, Schema: schema, Kind: agg.Distinct, Result: explore.TotalEdges}
-	switch {
-	case q.EdgeFrom != nil:
-		fn, err := explore.EdgeTuple(schema, q.EdgeFrom, q.EdgeTo)
-		if err != nil {
-			return nil, err
-		}
-		ex.Result = fn
-	case q.NodeTuple != nil:
-		fn, err := explore.NodeTuple(schema, q.NodeTuple...)
-		if err != nil {
-			return nil, err
-		}
-		ex.Result = fn
+	t := plan.TemporalOp{Op: name, A: toIntervalRef(op.A)}
+	if name != plan.OpProject {
+		t.B = toIntervalRef(op.B)
 	}
-	var event explore.Event
-	switch q.Event {
-	case "STABILITY":
-		event = evolution.Stability
-	case "GROWTH":
-		event = evolution.Growth
-	default:
-		event = evolution.Shrinkage
+	return t
+}
+
+func toIntervalRef(iv intervalExpr) plan.IntervalRef {
+	return plan.IntervalRef{From: iv.From, To: iv.To, FromPos: iv.FromPos, ToPos: iv.ToPos}
+}
+
+func toPredicates(cmps []comparison) []plan.Predicate {
+	if len(cmps) == 0 {
+		return nil
 	}
-	sem := explore.UnionSemantics
-	if q.Semantics == "INTERSECTION" {
-		sem = explore.IntersectionSemantics
+	out := make([]plan.Predicate, len(cmps))
+	for i, c := range cmps {
+		out[i] = plan.Predicate{Attr: c.Attr, Op: c.Op, Value: c.Value, AttrPos: c.AttrPos, ValuePos: c.ValuePos}
 	}
-	ext := explore.ExtendNew
-	if q.Extend == "OLD" {
-		ext = explore.ExtendOld
-	}
-	if q.Tune > 0 {
-		k, pairs, err := ex.TuneKCtx(ctx, event, sem, ext, q.Tune)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Pairs: pairs, K: k}, nil
-	}
-	k := q.K
-	if k < 1 {
-		// §3.5 initialization: max of consecutive pairs for minimal
-		// (union) searches, min for maximal (intersection) ones.
-		min, max := ex.InitK(event)
-		if sem == explore.UnionSemantics {
-			k = max
-		} else {
-			k = min
-		}
-		if k < 1 {
-			k = 1
-		}
-	}
-	pairs, err := ex.ExploreCtx(ctx, event, sem, ext, k)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Pairs: pairs, K: k}, nil
+	return out
 }

@@ -81,6 +81,12 @@ type coarsenQuery struct {
 	Width int
 }
 
+// explainQuery wraps a statement prefixed with EXPLAIN: compile it and
+// render the physical plan instead of executing.
+type explainQuery struct {
+	stmt interface{}
+}
+
 // parser consumes the token stream. in is the original query text, kept
 // for line:column rendering in errors.
 type parser struct {
@@ -271,13 +277,25 @@ func (p *parser) atEOF() error {
 	return nil
 }
 
-// parse parses one statement.
+// parse parses one statement, optionally prefixed with EXPLAIN.
 func parse(in string) (interface{}, error) {
 	toks, err := lexAll(in)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks, in: in}
+	if p.keyword("EXPLAIN") {
+		stmt, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return explainQuery{stmt: stmt}, nil
+	}
+	return p.statement()
+}
+
+// statement parses one bare statement.
+func (p *parser) statement() (interface{}, error) {
 	switch {
 	case p.keyword("STATS"):
 		if err := p.atEOF(); err != nil {
