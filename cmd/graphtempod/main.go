@@ -8,6 +8,14 @@
 //	graphtempod -dataset dblp -scale 0.05 -seed 42   # synthetic DBLP
 //	graphtempod -dataset /path/to/graphdir           # WriteGraphDir layout
 //	graphtempod -stream gender:static,publications:varying   # live ingestion
+//	graphtempod -stream ... -data-dir /var/lib/graphtempo    # durable ingestion
+//
+// With -data-dir, ingested snapshots are appended to a write-ahead log
+// (fsync policy selectable with -fsync) and compacted into binary
+// snapshots in the background; on boot the daemon recovers the directory
+// state — latest snapshot plus WAL replay, truncating a torn tail — and
+// keeps serving exactly where the previous process stopped. See DESIGN.md
+// §4 for the persistence design.
 //
 // Endpoints: POST /v1/aggregate, /v1/explore, /v1/tgql, /v1/ingest;
 // GET /healthz, /readyz, /metrics. See DESIGN.md §3 for the serving
@@ -34,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/server"
+	"repro/internal/storage"
 	"repro/internal/stream"
 )
 
@@ -43,6 +52,10 @@ type options struct {
 	scale        float64
 	seed         int64
 	streamSpec   string
+	dataDir      string
+	fsync        string
+	fsyncEvery   time.Duration
+	cpRecords    int
 	maxInflight  int64
 	maxQueue     int
 	timeout      time.Duration
@@ -59,6 +72,10 @@ func parseFlags(args []string) (*options, error) {
 	fs.Float64Var(&o.scale, "scale", 1.0, "size factor for synthetic datasets")
 	fs.Int64Var(&o.seed, "seed", 42, "generator seed for synthetic datasets")
 	fs.StringVar(&o.streamSpec, "stream", "", "run in stream mode with this schema, e.g. gender:static,publications:varying")
+	fs.StringVar(&o.dataDir, "data-dir", "", "stream mode: persist ingestion to this directory (WAL + snapshots) and recover it on boot")
+	fs.StringVar(&o.fsync, "fsync", "always", "WAL durability: always, interval or never")
+	fs.DurationVar(&o.fsyncEvery, "fsync-interval", 100*time.Millisecond, "background sync period under -fsync=interval")
+	fs.IntVar(&o.cpRecords, "checkpoint-records", 0, "WAL records that trigger a background checkpoint (0 = default 1024, negative disables)")
 	fs.Int64Var(&o.maxInflight, "max-inflight", 0, "admission capacity in weight units (0 = 2×GOMAXPROCS)")
 	fs.IntVar(&o.maxQueue, "max-queue", -1, "admission wait-queue length (-1 = 2×capacity)")
 	fs.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request deadline cap")
@@ -70,6 +87,12 @@ func parseFlags(args []string) (*options, error) {
 	}
 	if (o.dataset == "") == (o.streamSpec == "") {
 		return nil, errors.New("exactly one of -dataset and -stream is required")
+	}
+	if o.dataDir != "" && o.streamSpec == "" {
+		return nil, errors.New("-data-dir requires -stream (static datasets are already durable)")
+	}
+	if _, err := storage.ParseFsyncPolicy(o.fsync); err != nil {
+		return nil, err
 	}
 	return o, nil
 }
@@ -96,7 +119,9 @@ func parseStreamSpec(spec string) ([]core.AttrSpec, error) {
 	return attrs, nil
 }
 
-// loadGraph resolves the -dataset flag.
+// loadGraph resolves the -dataset flag. A path naming a regular file is
+// loaded as a binary snapshot (gtgen -format=binary); a directory uses the
+// CSV labeled-array layout.
 func loadGraph(o *options, log *slog.Logger) (*core.Graph, error) {
 	start := time.Now()
 	var (
@@ -111,7 +136,11 @@ func loadGraph(o *options, log *slog.Logger) (*core.Graph, error) {
 	case "movielens":
 		g = dataset.MovieLensScaled(o.seed, o.scale)
 	default:
-		g, err = core.ReadDir(o.dataset)
+		if fi, serr := os.Stat(o.dataset); serr == nil && fi.Mode().IsRegular() {
+			g, err = storage.LoadGraph(o.dataset)
+		} else {
+			g, err = core.ReadDir(o.dataset)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("load %s: %w", o.dataset, err)
 		}
@@ -122,8 +151,10 @@ func loadGraph(o *options, log *slog.Logger) (*core.Graph, error) {
 	return g, nil
 }
 
-// newServer builds the server.Config for the parsed options.
-func newServer(o *options, log *slog.Logger) (*server.Server, error) {
+// newServer builds the server.Config for the parsed options. The returned
+// engine is non-nil when -data-dir enabled durable storage; the caller
+// must Close it after the HTTP server drains.
+func newServer(o *options, log *slog.Logger) (*server.Server, *storage.Engine, error) {
 	cfg := server.Config{
 		MaxInflight:    o.maxInflight,
 		MaxQueue:       o.maxQueue,
@@ -131,21 +162,50 @@ func newServer(o *options, log *slog.Logger) (*server.Server, error) {
 		CacheBytes:     o.cacheBytes,
 		Logger:         log,
 	}
+	var eng *storage.Engine
 	if o.streamSpec != "" {
 		attrs, err := parseStreamSpec(o.streamSpec)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		cfg.Series = stream.New(attrs...)
-		log.Info("stream mode", "schema", o.streamSpec)
+		if o.dataDir != "" {
+			policy, err := storage.ParseFsyncPolicy(o.fsync)
+			if err != nil {
+				return nil, nil, err
+			}
+			eng, err = storage.Open(o.dataDir, attrs, storage.Options{
+				Fsync:             policy,
+				FsyncInterval:     o.fsyncEvery,
+				CheckpointRecords: o.cpRecords,
+				Logger:            log,
+			})
+			if err != nil {
+				return nil, nil, fmt.Errorf("open data dir %s: %w", o.dataDir, err)
+			}
+			cfg.Storage = eng
+			ri := eng.Recovery()
+			log.Info("durable stream mode", "schema", o.streamSpec, "data-dir", o.dataDir,
+				"fsync", o.fsync, "recovered_points", eng.Series().Len(),
+				"recovered_wal_records", ri.WALRecords)
+		} else {
+			cfg.Series = stream.New(attrs...)
+			log.Info("stream mode", "schema", o.streamSpec)
+		}
 	} else {
 		g, err := loadGraph(o, log)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cfg.Graph = g
 	}
-	return server.New(cfg)
+	srv, err := server.New(cfg)
+	if err != nil {
+		if eng != nil {
+			eng.Close()
+		}
+		return nil, nil, err
+	}
+	return srv, eng, nil
 }
 
 func newLogger(format string) *slog.Logger {
@@ -161,7 +221,7 @@ func run(args []string) error {
 		return err
 	}
 	log := newLogger(o.logFormat)
-	srv, err := newServer(o, log)
+	srv, eng, err := newServer(o, log)
 	if err != nil {
 		return err
 	}
@@ -197,6 +257,14 @@ func run(args []string) error {
 	defer cancel()
 	if err := hs.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	if eng != nil {
+		// After the drain no ingest is in flight: sync and close the WAL so
+		// the final records are durable even under -fsync=interval/never.
+		if err := eng.Close(); err != nil {
+			return fmt.Errorf("close storage: %w", err)
+		}
+		log.Info("storage closed", "generation", eng.Stats().Generation)
 	}
 	log.Info("drained, exiting")
 	return nil

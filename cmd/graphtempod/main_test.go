@@ -52,22 +52,50 @@ func TestNewServerModes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := newServer(o, log); err != nil {
+	if _, _, err := newServer(o, log); err != nil {
 		t.Fatalf("static mode: %v", err)
 	}
 	o, err = parseFlags([]string{"-stream", "gender:static"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := newServer(o, log); err != nil {
+	if _, _, err := newServer(o, log); err != nil {
 		t.Fatalf("stream mode: %v", err)
 	}
+	o, err = parseFlags([]string{"-stream", "gender:static", "-data-dir", t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, eng, err := newServer(o, log)
+	if err != nil {
+		t.Fatalf("durable stream mode: %v", err)
+	}
+	if eng == nil {
+		t.Fatal("durable stream mode returned no storage engine")
+	}
+	eng.Close()
 	o, err = parseFlags([]string{"-dataset", "/nonexistent/graphdir"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := newServer(o, log); err == nil {
+	if _, _, err := newServer(o, log); err == nil {
 		t.Fatal("bad graph dir accepted")
+	}
+}
+
+func TestParseFlagsDataDir(t *testing.T) {
+	if _, err := parseFlags([]string{"-dataset", "paper", "-data-dir", "/tmp/x"}); err == nil {
+		t.Fatal("-data-dir without -stream accepted")
+	}
+	if _, err := parseFlags([]string{"-stream", "a:static", "-fsync", "sometimes"}); err == nil {
+		t.Fatal("bad -fsync policy accepted")
+	}
+	o, err := parseFlags([]string{"-stream", "a:static", "-data-dir", "/tmp/x", "-fsync", "interval"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.dataDir != "/tmp/x" {
+		t.Fatalf("parsed %+v", o)
 	}
 }
 

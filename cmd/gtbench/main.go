@@ -193,7 +193,20 @@ func experiments() []experiment {
 // gitDescribe labels the source tree for run metadata; best effort — an
 // empty string when git or the repository is unavailable.
 func gitDescribe() string {
-	out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
+	return gitDescribeIn("")
+}
+
+// gitDescribeIn runs git describe in dir ("" = current directory). It
+// degrades gracefully: a missing git binary or a directory outside any
+// checkout yields an empty string with no stderr noise.
+func gitDescribeIn(dir string) string {
+	if _, err := exec.LookPath("git"); err != nil {
+		return ""
+	}
+	cmd := exec.Command("git", "describe", "--always", "--dirty", "--tags")
+	cmd.Dir = dir
+	cmd.Stderr = io.Discard
+	out, err := cmd.Output()
 	if err != nil {
 		return ""
 	}

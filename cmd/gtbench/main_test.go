@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestGitDescribeOutsideCheckout runs the describe helper from a temp
+// directory that is not a git repository: it must come back empty and
+// must not leak "fatal: not a git repository" onto our stderr.
+func TestGitDescribeOutsideCheckout(t *testing.T) {
+	dir := t.TempDir()
+
+	// Capture this process's stderr around the call so any noise from the
+	// child process (which inherits file descriptors it is handed) shows up.
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := os.Stderr
+	os.Stderr = w
+	got := gitDescribeIn(dir)
+	os.Stderr = saved
+	w.Close()
+	var buf [1024]byte
+	n, _ := r.Read(buf[:])
+	r.Close()
+
+	if got != "" {
+		t.Fatalf("gitDescribeIn(%q) = %q, want empty outside a checkout", dir, got)
+	}
+	if n > 0 {
+		t.Fatalf("stderr noise from git describe: %q", buf[:n])
+	}
+}
+
+// TestGitDescribeInsideCheckout sets up a throwaway repository with one
+// commit and checks the helper reports a non-empty label for it. Skipped
+// when git is unavailable in the environment.
+func TestGitDescribeInsideCheckout(t *testing.T) {
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not installed")
+	}
+	dir := t.TempDir()
+	run := func(args ...string) {
+		t.Helper()
+		cmd := exec.Command("git", args...)
+		cmd.Dir = dir
+		cmd.Env = append(os.Environ(),
+			"GIT_AUTHOR_NAME=t", "GIT_AUTHOR_EMAIL=t@example.com",
+			"GIT_COMMITTER_NAME=t", "GIT_COMMITTER_EMAIL=t@example.com")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Skipf("git %s failed: %v: %s", args[0], err, out)
+		}
+	}
+	run("init", "-q")
+	run("commit", "-q", "--allow-empty", "-m", "seed")
+
+	got := gitDescribeIn(dir)
+	if got == "" || strings.ContainsAny(got, "\n\r") {
+		t.Fatalf("gitDescribeIn inside a checkout = %q, want a single-line label", got)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"repro/internal/materialize"
 	"repro/internal/ops"
 	"repro/internal/plan"
+	"repro/internal/storage"
 	"repro/internal/stream"
 	"repro/internal/tgql"
 	"repro/internal/timeline"
@@ -413,6 +414,69 @@ func NewStreamSeries(attrs ...AttrSpec) *StreamSeries { return stream.New(attrs.
 func AggregateMeasure(v *View, s *AggSchema, attr AttrID, m MeasureFn) (*MeasureGraph, error) {
 	return agg.AggregateMeasure(v, s, attr, m)
 }
+
+// Durable persistence (binary snapshots + write-ahead log).
+type (
+	// StorageEngine is the durable persistence engine behind a stream-mode
+	// daemon: it owns a StreamSeries plus a data directory of snapshot and
+	// WAL files, keeps them in sync on every append, checkpoints in the
+	// background, and recovers the whole state on OpenStorage.
+	StorageEngine = storage.Engine
+	// StorageOptions configures a StorageEngine (fsync policy, checkpoint
+	// threshold, logger).
+	StorageOptions = storage.Options
+	// StorageSnapshot is the decoded content of one binary snapshot file.
+	StorageSnapshot = storage.Snapshot
+	// StorageStats is a point-in-time snapshot of a StorageEngine's
+	// counters.
+	StorageStats = storage.Stats
+	// StorageRecoveryInfo describes what one StorageEngine boot recovered.
+	StorageRecoveryInfo = storage.RecoveryInfo
+	// FsyncPolicy selects when WAL appends reach stable storage.
+	FsyncPolicy = storage.FsyncPolicy
+)
+
+// WAL fsync policies.
+const (
+	// FsyncAlways syncs before every ingest acknowledgement.
+	FsyncAlways = storage.FsyncAlways
+	// FsyncInterval syncs on a background timer.
+	FsyncInterval = storage.FsyncInterval
+	// FsyncNever leaves flushing to the OS page cache.
+	FsyncNever = storage.FsyncNever
+)
+
+// Save writes g — and optionally materialized stores over g — to w in the
+// versioned, checksummed binary snapshot format.
+func Save(w io.Writer, g *Graph, stores ...*MatStore) error { return storage.Save(w, g, stores...) }
+
+// SaveFile writes a binary snapshot atomically (temp file + rename), so
+// concurrent readers only ever observe a complete file.
+func SaveFile(path string, g *Graph, stores ...*MatStore) error {
+	return storage.SaveFile(path, g, stores...)
+}
+
+// Load reads a binary snapshot. It never panics on malformed input; all
+// failures wrap the typed storage errors (see LoadFile for the file form).
+func Load(r io.Reader) (*StorageSnapshot, error) { return storage.Load(r) }
+
+// LoadFile reads a binary snapshot file written by SaveFile or gtgen
+// -format=binary.
+func LoadFile(path string) (*StorageSnapshot, error) { return storage.LoadFile(path) }
+
+// LoadGraphFile is LoadFile returning only the graph.
+func LoadGraphFile(path string) (*Graph, error) { return storage.LoadGraph(path) }
+
+// OpenStorage recovers (or initializes) a durable data directory for a
+// stream with the given attribute schema: latest snapshot + WAL replay
+// with torn-tail truncation. Appends through the returned engine are
+// WAL-logged before they are acknowledged.
+func OpenStorage(dir string, attrs []AttrSpec, opts StorageOptions) (*StorageEngine, error) {
+	return storage.Open(dir, attrs, opts)
+}
+
+// ParseFsyncPolicy parses "always", "interval" or "never".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return storage.ParseFsyncPolicy(s) }
 
 // WriteAggregateDOT renders an aggregate graph in Graphviz DOT format.
 func WriteAggregateDOT(w io.Writer, ag *AggGraph) error { return dot.WriteAggregate(w, ag) }

@@ -8,8 +8,8 @@ import (
 
 	"repro/internal/agg"
 	"repro/internal/core"
-	"repro/internal/explore"
 	"repro/internal/evolution"
+	"repro/internal/explore"
 	"repro/internal/ops"
 	"repro/internal/timeline"
 )

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/plan"
+	"repro/internal/storage"
 	"repro/internal/stream"
 	"repro/internal/tgql"
 )
@@ -16,17 +17,22 @@ import (
 // errNotReady is returned while a stream-mode server has no data yet.
 var errNotReady = errors.New("server: no time points ingested yet")
 
-// maxBodyBytes bounds request bodies (ingest snapshots included).
-const maxBodyBytes = 64 << 20
-
-// decodeJSON strictly decodes the request body into v.
-func decodeJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+// decodeJSON strictly decodes the request body into v, enforcing the
+// configured body size limit. A body over the limit maps to a structured
+// 413 with the limit surfaced in the message; any other decode failure is
+// the client's fault (400).
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) (int, error) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("bad request body: %w", err)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte limit", mbe.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
 	}
-	return nil
+	return 0, nil
 }
 
 // IntervalSpec selects a set of time points by label: either a contiguous
@@ -86,8 +92,8 @@ type AggregateResponse struct {
 
 func (s *Server) handleAggregate(ctx context.Context, w http.ResponseWriter, r *http.Request) (int, error) {
 	var req AggregateRequest
-	if err := decodeJSON(r, &req); err != nil {
-		return http.StatusBadRequest, err
+	if status, err := s.decodeJSON(w, r, &req); err != nil {
+		return status, err
 	}
 	st, err := s.current()
 	if err != nil {
@@ -160,8 +166,8 @@ type ExploreResponse struct {
 
 func (s *Server) handleExplore(ctx context.Context, w http.ResponseWriter, r *http.Request) (int, error) {
 	var req ExploreRequest
-	if err := decodeJSON(r, &req); err != nil {
-		return http.StatusBadRequest, err
+	if status, err := s.decodeJSON(w, r, &req); err != nil {
+		return status, err
 	}
 	st, err := s.current()
 	if err != nil {
@@ -221,8 +227,8 @@ type TGQLResponse struct {
 
 func (s *Server) handleTGQL(ctx context.Context, w http.ResponseWriter, r *http.Request) (int, error) {
 	var req TGQLRequest
-	if err := decodeJSON(r, &req); err != nil {
-		return http.StatusBadRequest, err
+	if status, err := s.decodeJSON(w, r, &req); err != nil {
+		return status, err
 	}
 	if req.Query == "" {
 		return http.StatusBadRequest, fmt.Errorf("query required")
@@ -267,8 +273,8 @@ type ExplainResponse struct {
 
 func (s *Server) handleExplain(ctx context.Context, w http.ResponseWriter, r *http.Request) (int, error) {
 	var req ExplainRequest
-	if err := decodeJSON(r, &req); err != nil {
-		return http.StatusBadRequest, err
+	if status, err := s.decodeJSON(w, r, &req); err != nil {
+		return status, err
 	}
 	if req.Query == "" {
 		return http.StatusBadRequest, fmt.Errorf("query required")
@@ -314,8 +320,8 @@ func (s *Server) handleIngest(ctx context.Context, w http.ResponseWriter, r *htt
 		return http.StatusConflict, fmt.Errorf("server runs in static mode; ingestion is disabled")
 	}
 	var req IngestRequest
-	if err := decodeJSON(r, &req); err != nil {
-		return http.StatusBadRequest, err
+	if status, err := s.decodeJSON(w, r, &req); err != nil {
+		return status, err
 	}
 	if req.Label == "" {
 		return http.StatusBadRequest, fmt.Errorf("label required")
@@ -330,7 +336,17 @@ func (s *Server) handleIngest(ctx context.Context, w http.ResponseWriter, r *htt
 	for i, e := range req.Edges {
 		snap.Edges[i] = stream.EdgeRecord{U: e.U, V: e.V}
 	}
-	if err := s.series.Append(req.Label, snap); err != nil {
+	if s.storage != nil {
+		// Durable mode: the WAL append (and, under -fsync=always, the sync)
+		// happens before the acknowledgement. A WAL failure is the server's
+		// fault, not the client's.
+		if err := s.storage.Append(req.Label, snap); err != nil {
+			if errors.Is(err, storage.ErrWAL) {
+				return http.StatusInternalServerError, err
+			}
+			return http.StatusBadRequest, err
+		}
+	} else if err := s.series.Append(req.Label, snap); err != nil {
 		return http.StatusBadRequest, err
 	}
 	return writeJSON(w, IngestResponse{Points: s.series.Len()})

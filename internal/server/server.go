@@ -32,16 +32,26 @@ import (
 	"repro/internal/materialize"
 	"repro/internal/metrics"
 	"repro/internal/plan"
+	"repro/internal/storage"
 	"repro/internal/stream"
 )
 
-// Config configures a Server. Exactly one of Graph (static mode) and
-// Series (stream mode) must be set.
+// Config configures a Server. Exactly one of Graph (static mode), Series
+// (stream mode) and Storage (durable stream mode) must be set.
 type Config struct {
 	// Graph is the dataset served in static mode.
 	Graph *core.Graph
-	// Series is the live ingestion series served in stream mode.
+	// Series is the live ingestion series served in stream mode, without
+	// persistence.
 	Series *stream.Series
+	// Storage is the durable persistence engine served in stream mode with
+	// crash recovery: ingestion goes through its WAL before being
+	// acknowledged, and the server serves its recovered series.
+	Storage *storage.Engine
+
+	// MaxBodyBytes bounds request bodies (ingest snapshots included);
+	// exceeding it returns a structured 413. <= 0 selects 64 MiB.
+	MaxBodyBytes int64
 
 	// MaxInflight is the admission semaphore capacity in weight units
 	// (aggregate/ingest cost 1, explore/tgql cost 2). <= 0 selects
@@ -85,13 +95,14 @@ type state struct {
 // Server is the graphtempod request handler. Create with New, mount
 // Handler on an http.Server, call BeginDrain on shutdown.
 type Server struct {
-	cfg    Config
-	log    *slog.Logger
-	adm    *admission
-	mux    *http.ServeMux
-	reg    *metrics.Registry
-	series *stream.Series
-	plans  *plan.Cache
+	cfg     Config
+	log     *slog.Logger
+	adm     *admission
+	mux     *http.ServeMux
+	reg     *metrics.Registry
+	series  *stream.Series
+	storage *storage.Engine
+	plans   *plan.Cache
 
 	cur       atomic.Pointer[state]
 	rebuildMu sync.Mutex
@@ -112,8 +123,17 @@ type Server struct {
 // materializes immediately; stream mode lazily on first query) and wires
 // routes and metrics.
 func New(cfg Config) (*Server, error) {
-	if (cfg.Graph == nil) == (cfg.Series == nil) {
-		return nil, fmt.Errorf("server: exactly one of Graph and Series must be set")
+	modes := 0
+	for _, set := range []bool{cfg.Graph != nil, cfg.Series != nil, cfg.Storage != nil} {
+		if set {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return nil, fmt.Errorf("server: exactly one of Graph, Series and Storage must be set")
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
 	}
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = int64(2 * runtime.GOMAXPROCS(0))
@@ -140,6 +160,10 @@ func New(cfg Config) (*Server, error) {
 		latency:  make(map[string]*metrics.Histogram),
 		shed:     make(map[string]*metrics.Counter),
 		started:  time.Now(),
+	}
+	if cfg.Storage != nil {
+		s.storage = cfg.Storage
+		s.series = cfg.Storage.Series()
 	}
 	if cfg.Graph != nil {
 		s.cur.Store(&state{g: cfg.Graph, cat: s.newCatalog(cfg.Graph), gen: -1})
@@ -255,6 +279,19 @@ func (s *Server) catalogStats() materialize.Stats {
 //	graphtempod_plan_cache_total{result}        counter (hit/miss)
 //	graphtempod_ingested_points                 gauge (stream mode)
 //	graphtempod_uptime_seconds                  gauge
+//
+// With durable storage (stream mode + -data-dir) the persistence family is
+// added:
+//
+//	graphtempod_storage_recovery_records_total  counter (snapshot + WAL)
+//	graphtempod_storage_recovery_seconds        gauge
+//	graphtempod_storage_recovery_truncated_bytes gauge (torn tail)
+//	graphtempod_storage_snapshot_generation     gauge
+//	graphtempod_storage_wal_{records,bytes}_total counters
+//	graphtempod_storage_fsyncs_total            counter
+//	graphtempod_storage_checkpoints_total       counter
+//	graphtempod_storage_checkpoint_errors_total counter
+//	graphtempod_storage_last_checkpoint_ms      gauge
 func (s *Server) registerMetrics() {
 	r := s.reg
 	r.GaugeFunc("graphtempod_inflight", "Admitted request weight currently executing.",
@@ -321,6 +358,35 @@ func (s *Server) registerMetrics() {
 	if s.series != nil {
 		r.GaugeFunc("graphtempod_ingested_points", "Time points ingested.",
 			func() float64 { return float64(s.series.Len()) })
+	}
+	if eng := s.storage; eng != nil {
+		r.CounterFunc("graphtempod_storage_recovery_records_total",
+			"Records recovered at boot: snapshot points plus replayed WAL records.",
+			func() float64 { ri := eng.Recovery(); return float64(ri.SnapshotPoints + ri.WALRecords) })
+		r.GaugeFunc("graphtempod_storage_recovery_seconds",
+			"Wall-clock duration of boot recovery.",
+			func() float64 { return eng.Recovery().Elapsed.Seconds() })
+		r.GaugeFunc("graphtempod_storage_recovery_truncated_bytes",
+			"Torn WAL tail bytes discarded at boot.",
+			func() float64 { return float64(eng.Recovery().TruncatedBytes) })
+		r.GaugeFunc("graphtempod_storage_snapshot_generation",
+			"Current snapshot generation (also the active WAL segment number).",
+			func() float64 { return float64(eng.Stats().Generation) })
+		r.CounterFunc("graphtempod_storage_wal_records_total", "WAL records appended since boot.",
+			func() float64 { return float64(eng.Stats().WALRecords) })
+		r.CounterFunc("graphtempod_storage_wal_bytes_total", "WAL bytes appended since boot.",
+			func() float64 { return float64(eng.Stats().WALBytes) })
+		r.CounterFunc("graphtempod_storage_fsyncs_total", "WAL fsync calls.",
+			func() float64 { return float64(eng.Stats().Fsyncs) })
+		r.CounterFunc("graphtempod_storage_checkpoints_total",
+			"Completed WAL-to-snapshot compactions.",
+			func() float64 { return float64(eng.Stats().Checkpoints) })
+		r.CounterFunc("graphtempod_storage_checkpoint_errors_total",
+			"Checkpoint attempts that failed (serving continues on the previous generation).",
+			func() float64 { return float64(eng.Stats().CheckpointErrors) })
+		r.GaugeFunc("graphtempod_storage_last_checkpoint_ms",
+			"Duration of the most recent successful checkpoint in milliseconds.",
+			func() float64 { return eng.Stats().LastCheckpointMs })
 	}
 	r.GaugeFunc("graphtempod_uptime_seconds", "Seconds since server start.",
 		func() float64 { return time.Since(s.started).Seconds() })

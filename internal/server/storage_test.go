@@ -1,0 +1,266 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// durableAttrs is the stream schema used by the durable-mode tests.
+func durableAttrs() []core.AttrSpec {
+	return []core.AttrSpec{
+		{Name: "gender", Kind: core.Static},
+		{Name: "publications", Kind: core.TimeVarying},
+	}
+}
+
+// durableSnaps is a two-point ingestion sequence (same shape as the
+// stream-mode lifecycle test).
+func durableSnaps() []IngestRequest {
+	return []IngestRequest{
+		{Label: "t0",
+			Nodes: []IngestNode{
+				{Label: "u1", Static: map[string]string{"gender": "m"}, Varying: map[string]string{"publications": "3"}},
+				{Label: "u2", Static: map[string]string{"gender": "f"}, Varying: map[string]string{"publications": "1"}},
+			},
+			Edges: []IngestEdge{{U: "u1", V: "u2"}}},
+		{Label: "t1",
+			Nodes: []IngestNode{
+				{Label: "u1", Static: map[string]string{"gender": "m"}, Varying: map[string]string{"publications": "1"}},
+				{Label: "u2", Static: map[string]string{"gender": "f"}, Varying: map[string]string{"publications": "1"}},
+				{Label: "u3", Static: map[string]string{"gender": "f"}, Varying: map[string]string{"publications": "2"}},
+			},
+			Edges: []IngestEdge{{U: "u1", V: "u2"}, {U: "u2", V: "u3"}}},
+	}
+}
+
+// queryAll runs the three read endpoints and returns the deterministic
+// parts of each response: aggregate graph bytes, the full explore
+// response, and TGQL text + graph bytes. Timing fields are excluded by
+// construction.
+func queryAll(t *testing.T, base string) (aggGraph []byte, explore ExploreResponse, tgqlText string, tgqlGraph []byte) {
+	t.Helper()
+	code, data := postJSON(t, base+"/v1/aggregate", AggregateRequest{
+		Op: "union", Interval: IntervalSpec{From: "t0"}, Interval2: IntervalSpec{From: "t1"},
+		Attrs: []string{"gender"}, Kind: "all",
+	})
+	if code != 200 {
+		t.Fatalf("aggregate = %d: %s", code, data)
+	}
+	var ar AggregateResponse
+	if err := json.Unmarshal(data, &ar); err != nil {
+		t.Fatal(err)
+	}
+	aggGraph = ar.Graph
+
+	code, data = postJSON(t, base+"/v1/explore", ExploreRequest{
+		Event: "growth", Semantics: "union", Extend: "old", K: 1, Attrs: []string{"gender"},
+	})
+	if code != 200 {
+		t.Fatalf("explore = %d: %s", code, data)
+	}
+	if err := json.Unmarshal(data, &explore); err != nil {
+		t.Fatal(err)
+	}
+	explore.ElapsedMs = 0
+
+	code, data = postJSON(t, base+"/v1/tgql", TGQLRequest{
+		Query: "AGG DIST gender ON INTERSECT(t0, t1)",
+	})
+	if code != 200 {
+		t.Fatalf("tgql = %d: %s", code, data)
+	}
+	var tr TGQLResponse
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatal(err)
+	}
+	return aggGraph, explore, tr.Text, tr.Graph
+}
+
+// TestDurableIngestRecoveryByteIdentical is the persistence acceptance
+// criterion at the server level: ingest through a storage-backed server,
+// abandon the engine without Close (the moral equivalent of kill -9 —
+// fsync=always has already made every acknowledged append durable), then
+// reopen the same directory and check the three read endpoints serve
+// byte-identical payloads.
+func TestDurableIngestRecoveryByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := storage.Open(dir, durableAttrs(), storage.Options{
+		Fsync:             storage.FsyncAlways,
+		CheckpointRecords: -1, // WAL-only: recovery must replay every record
+		Logger:            quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Storage: eng, Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	for i, snap := range durableSnaps() {
+		code, data := postJSON(t, ts.URL+"/v1/ingest", snap)
+		if code != 200 {
+			t.Fatalf("ingest %s: %d: %s", snap.Label, code, data)
+		}
+		var ir IngestResponse
+		if err := json.Unmarshal(data, &ir); err != nil {
+			t.Fatal(err)
+		}
+		if ir.Points != i+1 {
+			t.Fatalf("ingest %s: points = %d, want %d", snap.Label, ir.Points, i+1)
+		}
+	}
+	aggBefore, expBefore, txtBefore, tgBefore := queryAll(t, ts.URL)
+	ts.Close()
+	// Crash: the engine is dropped without Close. Its file handle stays
+	// open for the test's lifetime, which is exactly what a SIGKILL leaves.
+
+	eng2, err := storage.Open(dir, durableAttrs(), storage.Options{Logger: quietLogger()})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer eng2.Close()
+	if ri := eng2.Recovery(); ri.WALRecords != 2 {
+		t.Fatalf("recovered %d WAL records, want 2 (%+v)", ri.WALRecords, ri)
+	}
+	s2, err := New(Config{Storage: eng2, Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	aggAfter, expAfter, txtAfter, tgAfter := queryAll(t, ts2.URL)
+	if !bytes.Equal(aggBefore, aggAfter) {
+		t.Errorf("aggregate graph diverged after recovery:\n before %s\n after  %s", aggBefore, aggAfter)
+	}
+	if b, a := mustJSON(t, expBefore), mustJSON(t, expAfter); !bytes.Equal(b, a) {
+		t.Errorf("explore diverged after recovery:\n before %s\n after  %s", b, a)
+	}
+	if txtBefore != txtAfter {
+		t.Errorf("tgql text diverged after recovery:\n before %q\n after  %q", txtBefore, txtAfter)
+	}
+	if !bytes.Equal(tgBefore, tgAfter) {
+		t.Errorf("tgql graph diverged after recovery:\n before %s\n after  %s", tgBefore, tgAfter)
+	}
+
+	// The recovery counters surface on /metrics (the CI crash-recovery
+	// step greps for a non-zero records total).
+	code, data := get(t, ts2.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	if !strings.Contains(string(data), "graphtempod_storage_recovery_records_total 2") {
+		t.Errorf("metrics missing recovery records total:\n%s", data)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDurableIngestCheckpointServes checks the serving path stays correct
+// across a checkpoint: after compaction the series and plan cache still
+// answer from the same data.
+func TestDurableIngestCheckpointServes(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := storage.Open(dir, durableAttrs(), storage.Options{
+		Fsync:             storage.FsyncNever,
+		CheckpointRecords: -1,
+		Logger:            quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	s, err := New(Config{Storage: eng, Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, snap := range durableSnaps() {
+		if code, data := postJSON(t, ts.URL+"/v1/ingest", snap); code != 200 {
+			t.Fatalf("ingest %s: %d: %s", snap.Label, code, data)
+		}
+	}
+	aggBefore, _, _, _ := queryAll(t, ts.URL)
+	if err := eng.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if gen := eng.Stats().Generation; gen != 1 {
+		t.Fatalf("generation after checkpoint = %d, want 1", gen)
+	}
+	aggAfter, _, _, _ := queryAll(t, ts.URL)
+	if !bytes.Equal(aggBefore, aggAfter) {
+		t.Fatalf("aggregate diverged across checkpoint:\n before %s\n after  %s", aggBefore, aggAfter)
+	}
+}
+
+// TestBodyTooLarge checks the configurable request-body cap: an oversized
+// body is refused with a structured 413 naming the limit, and a body
+// under the cap still parses.
+func TestBodyTooLarge(t *testing.T) {
+	s, err := New(Config{Graph: core.PaperExample(), MaxBodyBytes: 512, Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	big := TGQLRequest{Query: "STATS /* " + strings.Repeat("x", 4096) + " */"}
+	code, data := postJSON(t, ts.URL+"/v1/tgql", big)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d, want 413: %s", code, data)
+	}
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &eb); err != nil {
+		t.Fatalf("413 body is not the JSON error envelope: %s", data)
+	}
+	if !strings.Contains(eb.Error, "512-byte limit") {
+		t.Fatalf("413 error %q does not name the limit", eb.Error)
+	}
+
+	if code, data := postJSON(t, ts.URL+"/v1/tgql", TGQLRequest{Query: "STATS"}); code != 200 {
+		t.Fatalf("small body = %d: %s", code, data)
+	}
+
+	// The cap applies to every decoding endpoint, ingest included.
+	code, data = postJSON(t, ts.URL+"/v1/aggregate", AggregateRequest{
+		Op: "project", Attrs: []string{strings.Repeat("a", 4096)},
+	})
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized aggregate = %d, want 413: %s", code, data)
+	}
+}
+
+// TestConfigStorageMode checks the one-of-three data source validation.
+func TestConfigStorageMode(t *testing.T) {
+	if _, err := New(Config{Logger: quietLogger()}); err == nil {
+		t.Fatal("no data source accepted")
+	}
+	eng, err := storage.Open(t.TempDir(), durableAttrs(), storage.Options{Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := New(Config{Graph: core.PaperExample(), Storage: eng, Logger: quietLogger()}); err == nil {
+		t.Fatal("graph + storage accepted")
+	}
+}

@@ -1,0 +1,293 @@
+package storage
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// FsyncPolicy selects when WAL appends are flushed to stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every append, before the ingest is
+	// acknowledged: no acknowledged record is ever lost.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs on a background timer (Options.FsyncInterval):
+	// a crash loses at most one interval of acknowledged records.
+	FsyncInterval
+	// FsyncNever leaves flushing to the OS page cache: fastest, loses the
+	// unflushed tail on a crash. Rotation and Close still sync.
+	FsyncNever
+)
+
+// String renders the policy as its flag spelling.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	default:
+		return "never"
+	}
+}
+
+// ParseFsyncPolicy parses the -fsync flag spelling.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("storage: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// Options configures an Engine. The zero value selects the defaults noted
+// on each field.
+type Options struct {
+	// Fsync is the WAL durability policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncInterval is the background sync period under FsyncInterval
+	// (<= 0 selects 100ms).
+	FsyncInterval time.Duration
+	// CheckpointRecords is the WAL record count that triggers a
+	// background checkpoint (0 selects 1024; negative disables automatic
+	// checkpointing — Checkpoint can still be called explicitly).
+	CheckpointRecords int
+	// Logger receives recovery and checkpoint lifecycle logs; nil selects
+	// slog.Default().
+	Logger *slog.Logger
+}
+
+// Engine is the durable persistence layer behind a stream-mode daemon: it
+// owns a stream.Series plus the data directory's snapshot and WAL files,
+// and keeps them in sync — every Append lands in the series and the WAL
+// under one lock, checkpoints compact the WAL into a fresh snapshot
+// generation while serving continues, and Open recovers the whole state
+// after a crash. All methods are safe for concurrent use.
+type Engine struct {
+	dir   string
+	opts  Options
+	log   *slog.Logger
+	attrs []core.AttrSpec
+
+	series *stream.Series
+
+	mu         sync.Mutex // serializes appends, rotation, close
+	wal        *walWriter
+	gen        uint64
+	segRecords int // records in the active segment
+	closed     bool
+
+	cpRunning atomic.Bool
+	stopc     chan struct{}
+	wg        sync.WaitGroup
+
+	recovery RecoveryInfo
+	ctr      counters
+}
+
+// Open recovers (or initializes) the data directory dir for a series with
+// the given attribute schema: it loads the latest valid snapshot, replays
+// every WAL segment at or after the snapshot's generation (truncating a
+// torn tail to the last complete record), garbage-collects files older
+// than the recovered generation, and opens the active segment for append.
+func Open(dir string, attrs []core.AttrSpec, opts Options) (*Engine, error) {
+	if opts.FsyncInterval <= 0 {
+		opts.FsyncInterval = 100 * time.Millisecond
+	}
+	if opts.CheckpointRecords == 0 {
+		opts.CheckpointRecords = 1024
+	}
+	log := opts.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		dir:   dir,
+		opts:  opts,
+		log:   log,
+		attrs: append([]core.AttrSpec(nil), attrs...),
+		stopc: make(chan struct{}),
+	}
+	if err := e.recover(attrs); err != nil {
+		return nil, err
+	}
+	if opts.Fsync == FsyncInterval {
+		e.wg.Add(1)
+		go e.syncLoop()
+	}
+	return e, nil
+}
+
+// Series returns the engine's recovered (and growing) series. Queries read
+// it directly; all mutation must go through Append.
+func (e *Engine) Series() *stream.Series { return e.series }
+
+// Recovery returns what the boot recovered.
+func (e *Engine) Recovery() RecoveryInfo { return e.recovery }
+
+// Dir returns the data directory.
+func (e *Engine) Dir() string { return e.dir }
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	gen := e.gen
+	e.mu.Unlock()
+	return Stats{
+		Recovery:         e.recovery,
+		Generation:       gen,
+		WALRecords:       e.ctr.walRecords.Load(),
+		WALBytes:         e.ctr.walBytes.Load(),
+		Fsyncs:           e.ctr.fsyncs.Load(),
+		Checkpoints:      e.ctr.checkpoints.Load(),
+		CheckpointErrors: e.ctr.checkpointErrors.Load(),
+		LastCheckpointMs: float64(e.ctr.lastCheckpointUs.Load()) / 1000,
+	}
+}
+
+// Append durably ingests one time point: it validates and applies the
+// batch to the in-memory series, appends the record to the WAL, and — under
+// FsyncAlways — syncs before returning. Validation failures leave no state
+// behind and are returned verbatim; a WAL write failure is wrapped in
+// ErrWAL (the in-memory state is then ahead of disk, which the caller
+// should surface as a server-side error).
+func (e *Engine) Append(label string, snap stream.Snapshot) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("storage: engine closed")
+	}
+	if err := e.series.Append(label, snap); err != nil {
+		return err
+	}
+	n, err := e.wal.append(encodeIngest(label, snap))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrWAL, err)
+	}
+	if e.opts.Fsync == FsyncAlways {
+		if err := e.wal.sync(); err != nil {
+			return fmt.Errorf("%w: %v", ErrWAL, err)
+		}
+		e.ctr.fsyncs.Add(1)
+	}
+	e.ctr.walRecords.Add(1)
+	e.ctr.walBytes.Add(int64(n))
+	e.segRecords++
+	if e.opts.CheckpointRecords > 0 && e.segRecords >= e.opts.CheckpointRecords {
+		e.triggerCheckpoint()
+	}
+	return nil
+}
+
+// triggerCheckpoint starts a background checkpoint unless one is already
+// running. Called with e.mu held.
+func (e *Engine) triggerCheckpoint() {
+	if !e.cpRunning.CompareAndSwap(false, true) {
+		return
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		defer e.cpRunning.Store(false)
+		if err := e.checkpoint(); err != nil {
+			e.ctr.checkpointErrors.Add(1)
+			e.log.Error("checkpoint failed", "dir", e.dir, "err", err)
+		}
+	}()
+}
+
+// Checkpoint synchronously compacts the WAL into a new snapshot
+// generation. It is safe to call concurrently with appends and with the
+// automatic background checkpointer.
+func (e *Engine) Checkpoint() error {
+	for !e.cpRunning.CompareAndSwap(false, true) {
+		// An automatic checkpoint is in flight; brief spin-wait keeps the
+		// rare explicit call simple (tests, admin tooling).
+		time.Sleep(time.Millisecond)
+	}
+	defer e.cpRunning.Store(false)
+	err := e.checkpoint()
+	if err != nil {
+		e.ctr.checkpointErrors.Add(1)
+	}
+	return err
+}
+
+// syncLoop is the FsyncInterval background flusher.
+func (e *Engine) syncLoop() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.opts.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stopc:
+			return
+		case <-t.C:
+			e.mu.Lock()
+			if !e.closed {
+				if err := e.wal.sync(); err != nil {
+					e.log.Error("interval fsync failed", "err", err)
+				} else {
+					e.ctr.fsyncs.Add(1)
+				}
+			}
+			e.mu.Unlock()
+		}
+	}
+}
+
+// Close stops background work, syncs the WAL a final time and closes it.
+// The engine cannot be used afterwards; reopen with Open.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.stopc)
+	e.wg.Wait()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var err error
+	if serr := e.wal.sync(); serr != nil {
+		err = serr
+	} else {
+		e.ctr.fsyncs.Add(1)
+	}
+	if cerr := e.wal.close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func snapName(gen uint64) string { return fmt.Sprintf("snapshot-%016x.gts", gen) }
+func walName(gen uint64) string  { return fmt.Sprintf("wal-%016x.log", gen) }
+
+func parseGen(name, prefix, suffix string) (uint64, bool) {
+	if len(name) != len(prefix)+16+len(suffix) ||
+		name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+		return 0, false
+	}
+	var gen uint64
+	if _, err := fmt.Sscanf(name[len(prefix):len(prefix)+16], "%016x", &gen); err != nil {
+		return 0, false
+	}
+	return gen, true
+}

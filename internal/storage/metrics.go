@@ -1,0 +1,59 @@
+package storage
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// RecoveryInfo describes what one Engine boot recovered.
+type RecoveryInfo struct {
+	// SnapshotGeneration is the generation of the snapshot loaded at boot
+	// (0 when the directory held none).
+	SnapshotGeneration uint64
+	// SnapshotPoints is the number of time points the snapshot carried.
+	SnapshotPoints int
+	// WALRecords is the number of ingest records replayed from WAL
+	// segments after the snapshot.
+	WALRecords int
+	// WALSegments is the number of segments replayed.
+	WALSegments int
+	// TruncatedBytes is the size of the torn tail discarded from the last
+	// segment (0 on a clean shutdown).
+	TruncatedBytes int64
+	// Elapsed is the wall-clock duration of recovery.
+	Elapsed time.Duration
+}
+
+// Stats is a point-in-time snapshot of an Engine's counters, exported by
+// graphtempod under the graphtempod_storage_* metric family.
+type Stats struct {
+	// Recovery describes the boot-time recovery (constant after Open).
+	Recovery RecoveryInfo
+
+	// Generation is the current snapshot generation (the active WAL
+	// segment number).
+	Generation uint64
+	// WALRecords and WALBytes count records appended since Open.
+	WALRecords int64
+	WALBytes   int64
+	// Fsyncs counts WAL fsync calls (policy-driven and rotation-driven).
+	Fsyncs int64
+	// Checkpoints counts completed WAL → snapshot compactions;
+	// CheckpointErrors counts attempts that failed (the engine keeps
+	// serving from the previous generation when one does).
+	Checkpoints      int64
+	CheckpointErrors int64
+	// LastCheckpointMs is the duration of the most recent successful
+	// checkpoint in milliseconds.
+	LastCheckpointMs float64
+}
+
+// counters is the mutable half of Stats, updated atomically on hot paths.
+type counters struct {
+	walRecords       atomic.Int64
+	walBytes         atomic.Int64
+	fsyncs           atomic.Int64
+	checkpoints      atomic.Int64
+	checkpointErrors atomic.Int64
+	lastCheckpointUs atomic.Int64
+}

@@ -1,0 +1,430 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+	"os"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/materialize"
+	"repro/internal/timeline"
+)
+
+// Snapshot is the decoded content of one snapshot file.
+type Snapshot struct {
+	// Graph is the reconstructed temporal attributed graph.
+	Graph *core.Graph
+	// Stores are the materialized per-point aggregate vectors saved with
+	// the graph, rebuilt against Graph's schema; empty when none were
+	// saved.
+	Stores []*materialize.Store
+
+	// points are the raw ingest records of a stream-mode checkpoint, used
+	// by Engine recovery to reproduce the exact append sequence.
+	points []seriesPoint
+}
+
+// Load reads a snapshot from r. It never panics on malformed input: every
+// failure wraps one of ErrBadMagic, ErrVersion, ErrTruncated, ErrChecksum
+// or ErrCorrupt.
+func Load(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [10]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: snapshot header", ErrTruncated)
+	}
+	if string(hdr[:8]) != snapMagic {
+		return nil, fmt.Errorf("%w: want %q", ErrBadMagic, snapMagic)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[8:10]); v != formatVersion {
+		return nil, fmt.Errorf("%w: file version %d, reader version %d", ErrVersion, v, formatVersion)
+	}
+
+	ld := &snapLoader{}
+	for {
+		payload, err := readRecord(br)
+		if err == io.EOF {
+			return nil, fmt.Errorf("%w: no end section", ErrTruncated)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(payload) == 0 {
+			return nil, fmt.Errorf("%w: empty section record", ErrCorrupt)
+		}
+		if payload[0] == secEnd {
+			break
+		}
+		if err := ld.section(payload[0], &dec{b: payload[1:]}); err != nil {
+			return nil, err
+		}
+	}
+	return ld.finish()
+}
+
+// LoadFile reads a snapshot from path.
+func LoadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// LoadGraph is LoadFile returning only the graph — the common case for
+// tools and benchmarks that exported a dataset with gtgen -format=binary.
+func LoadGraph(path string) (*core.Graph, error) {
+	snap, err := LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return snap.Graph, nil
+}
+
+// snapLoader accumulates decoded sections and assembles the graph once the
+// end marker arrives. Sections must arrive in writer order; missing
+// mandatory sections surface at finish.
+type snapLoader struct {
+	labels   []string
+	attrs    []core.AttrSpec
+	dicts    [][]string // value by code, per attribute
+	nodes    []string
+	nodeTaus [][]uint64
+	edges    [][2]uint64
+	edgeTaus [][]uint64
+	static   [][]uint64 // code+1 per node, per static attr (attr order)
+	varying  [][]uint64 // code+1 per node*T, per varying attr
+
+	storeSpecs []storeSpec
+	points     []seriesPoint
+
+	seen map[byte]bool
+}
+
+type storeSpec struct {
+	attrs  []core.AttrID
+	points []storePoint
+}
+
+type storePoint struct {
+	nodes []storeEntry
+	edges []storeEdge
+}
+
+type storeEntry struct {
+	values []string
+	weight int64
+}
+
+type storeEdge struct {
+	from, to []string
+	weight   int64
+}
+
+func (ld *snapLoader) section(id byte, d *dec) error {
+	if ld.seen == nil {
+		ld.seen = make(map[byte]bool)
+	}
+	if ld.seen[id] {
+		return fmt.Errorf("%w: duplicate section %d", ErrCorrupt, id)
+	}
+	ld.seen[id] = true
+	switch id {
+	case secTimeline:
+		ld.labels = d.strs()
+	case secSchema:
+		n := d.count(2)
+		for i := 0; i < n && d.err == nil; i++ {
+			name := d.str()
+			kind := d.byteVal()
+			if kind > byte(core.TimeVarying) {
+				d.fail("bad attribute kind %d", kind)
+			}
+			ld.attrs = append(ld.attrs, core.AttrSpec{Name: name, Kind: core.AttrKind(kind)})
+			ld.dicts = append(ld.dicts, d.strs())
+		}
+	case secNodes:
+		ld.nodes = d.strs()
+	case secNodeTau:
+		ld.nodeTaus = d.taus(len(ld.nodes))
+	case secEdges:
+		n := d.count(2)
+		nNodes := uint64(len(ld.nodes))
+		for i := 0; i < n && d.err == nil; i++ {
+			u, v := d.uvarint(), d.uvarint()
+			if u >= nNodes || v >= nNodes {
+				d.fail("edge (%d,%d) references node beyond %d", u, v, nNodes)
+			}
+			ld.edges = append(ld.edges, [2]uint64{u, v})
+		}
+	case secEdgeTau:
+		ld.edgeTaus = d.taus(len(ld.edges))
+	case secStatic:
+		for ai := range ld.attrs {
+			if ld.attrs[ai].Kind != core.Static {
+				continue
+			}
+			col := ld.codeColumn(d, len(ld.nodes), len(ld.dicts[ai]))
+			ld.static = append(ld.static, col)
+		}
+	case secVarying:
+		for ai := range ld.attrs {
+			if ld.attrs[ai].Kind != core.TimeVarying {
+				continue
+			}
+			col := ld.codeColumn(d, len(ld.nodes)*len(ld.labels), len(ld.dicts[ai]))
+			ld.varying = append(ld.varying, col)
+		}
+	case secStores:
+		n := d.count(1)
+		for i := 0; i < n && d.err == nil; i++ {
+			ld.storeSpecs = append(ld.storeSpecs, ld.readStore(d))
+		}
+	case secSeries:
+		n := d.count(1)
+		for i := 0; i < n && d.err == nil; i++ {
+			m := d.count(1)
+			if d.err == nil && m > d.remaining() {
+				d.fail("series record length %d exceeds remaining %d", m, d.remaining())
+			}
+			if d.err == nil {
+				ld.points = append(ld.points, seriesPoint{payload: append([]byte(nil), d.b[d.off:d.off+m]...)})
+				d.off += m
+			}
+		}
+	default:
+		return fmt.Errorf("%w: unknown section %d", ErrCorrupt, id)
+	}
+	if d.err != nil {
+		return fmt.Errorf("section %d: %w", id, d.err)
+	}
+	if d.remaining() != 0 {
+		return fmt.Errorf("%w: section %d has %d trailing bytes", ErrCorrupt, id, d.remaining())
+	}
+	return nil
+}
+
+// taus decodes n flat bitsets of w words each.
+func (d *dec) taus(n int) [][]uint64 {
+	w := d.count(0)
+	if d.err != nil {
+		return nil
+	}
+	if int64(n)*int64(w)*8 > int64(d.remaining()) {
+		d.fail("tau block %d×%d words exceeds remaining %d bytes", n, w, d.remaining())
+		return nil
+	}
+	out := make([][]uint64, n)
+	for i := range out {
+		words := make([]uint64, w)
+		for j := range words {
+			words[j] = d.u64()
+		}
+		out[i] = words
+	}
+	return out
+}
+
+// codeColumn decodes n code+1 values, each < domain+1.
+func (ld *snapLoader) codeColumn(d *dec, n, domain int) []uint64 {
+	if int64(n) > int64(d.remaining()) {
+		d.fail("code column of %d cells exceeds remaining %d bytes", n, d.remaining())
+		return nil
+	}
+	col := make([]uint64, n)
+	for i := range col {
+		v := d.uvarint()
+		if d.err != nil {
+			return nil
+		}
+		if v > uint64(domain) {
+			d.fail("code %d beyond dictionary of %d values", v, domain)
+			return nil
+		}
+		col[i] = v
+	}
+	return col
+}
+
+func (ld *snapLoader) readStore(d *dec) storeSpec {
+	var sp storeSpec
+	na := d.count(1)
+	for i := 0; i < na && d.err == nil; i++ {
+		a := d.uvarint()
+		if a >= uint64(len(ld.attrs)) {
+			d.fail("store attribute id %d beyond schema of %d", a, len(ld.attrs))
+			return sp
+		}
+		sp.attrs = append(sp.attrs, core.AttrID(a))
+	}
+	T := len(ld.labels)
+	for t := 0; t < T && d.err == nil; t++ {
+		var pt storePoint
+		nn := d.count(1)
+		for i := 0; i < nn && d.err == nil; i++ {
+			pt.nodes = append(pt.nodes, storeEntry{values: d.strsN(len(sp.attrs)), weight: d.varint()})
+		}
+		ne := d.count(1)
+		for i := 0; i < ne && d.err == nil; i++ {
+			pt.edges = append(pt.edges, storeEdge{
+				from:   d.strsN(len(sp.attrs)),
+				to:     d.strsN(len(sp.attrs)),
+				weight: d.varint(),
+			})
+		}
+		sp.points = append(sp.points, pt)
+	}
+	return sp
+}
+
+// finish validates cross-section invariants and assembles the graph
+// through the core builder, whose own validation (edge existence within
+// endpoint lifetimes, non-empty timestamps) is the last corruption gate.
+func (ld *snapLoader) finish() (*Snapshot, error) {
+	for _, id := range []byte{secTimeline, secSchema, secNodes, secNodeTau, secEdges, secEdgeTau, secStatic, secVarying} {
+		if !ld.seen[id] {
+			return nil, fmt.Errorf("%w: missing section %d", ErrCorrupt, id)
+		}
+	}
+	tl, err := timeline.New(ld.labels...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	T := tl.Len()
+	b := core.NewBuilder(tl, ld.attrs...)
+	nodeSeen := make(map[string]bool, len(ld.nodes))
+	for _, label := range ld.nodes {
+		if nodeSeen[label] {
+			return nil, fmt.Errorf("%w: duplicate node label %q", ErrCorrupt, label)
+		}
+		nodeSeen[label] = true
+		b.AddNode(label)
+	}
+	for n, words := range ld.nodeTaus {
+		if err := setBits(words, T, func(t int) { b.SetNodeTime(core.NodeID(n), timeline.Time(t)) }); err != nil {
+			return nil, err
+		}
+	}
+	edgeSeen := make(map[[2]uint64]bool, len(ld.edges))
+	for _, ep := range ld.edges {
+		if edgeSeen[ep] {
+			return nil, fmt.Errorf("%w: duplicate edge (%d,%d)", ErrCorrupt, ep[0], ep[1])
+		}
+		edgeSeen[ep] = true
+		b.AddEdge(core.NodeID(ep[0]), core.NodeID(ep[1]))
+	}
+	for e, words := range ld.edgeTaus {
+		if err := setBits(words, T, func(t int) { b.SetEdgeTime(core.EdgeID(e), timeline.Time(t)) }); err != nil {
+			return nil, err
+		}
+	}
+	si, vi := 0, 0
+	for ai, a := range ld.attrs {
+		switch a.Kind {
+		case core.Static:
+			col := ld.static[si]
+			si++
+			for n, c := range col {
+				if c != 0 {
+					b.SetStatic(core.AttrID(ai), core.NodeID(n), ld.dicts[ai][c-1])
+				}
+			}
+		case core.TimeVarying:
+			col := ld.varying[vi]
+			vi++
+			for i, c := range col {
+				if c != 0 {
+					b.SetVarying(core.AttrID(ai), core.NodeID(i/T), timeline.Time(i%T), ld.dicts[ai][c-1])
+				}
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+
+	snap := &Snapshot{Graph: g, points: ld.points}
+	for _, sp := range ld.storeSpecs {
+		st, err := rebuildStore(g, sp)
+		if err != nil {
+			return nil, err
+		}
+		snap.Stores = append(snap.Stores, st)
+	}
+	return snap, nil
+}
+
+// setBits replays the set bits of a flat word array through fn, rejecting
+// bits at or beyond the timeline length.
+func setBits(words []uint64, T int, fn func(t int)) error {
+	for wi, w := range words {
+		base := wi * 64
+		for w != 0 {
+			t := base + bits.TrailingZeros64(w)
+			if t >= T {
+				return fmt.Errorf("%w: existence bit %d beyond timeline of %d points", ErrCorrupt, t, T)
+			}
+			fn(t)
+			w &= w - 1
+		}
+	}
+	return nil
+}
+
+// rebuildStore re-encodes a decoded store spec against the reconstructed
+// graph's dictionaries.
+func rebuildStore(g *core.Graph, sp storeSpec) (*materialize.Store, error) {
+	s, err := agg.NewSchema(g, sp.attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: store schema: %v", ErrCorrupt, err)
+	}
+	perPoint := make([]*agg.Graph, len(sp.points))
+	for t, pt := range sp.points {
+		ag := &agg.Graph{
+			Schema: s,
+			Kind:   agg.All,
+			Nodes:  make(map[agg.Tuple]int64, len(pt.nodes)),
+			Edges:  make(map[agg.EdgeKey]int64, len(pt.edges)),
+		}
+		for _, n := range pt.nodes {
+			tu, ok := s.Encode(n.values...)
+			if !ok {
+				return nil, fmt.Errorf("%w: store tuple %v not in attribute domain", ErrCorrupt, n.values)
+			}
+			ag.Nodes[tu] = n.weight
+		}
+		for _, e := range pt.edges {
+			from, ok1 := s.Encode(e.from...)
+			to, ok2 := s.Encode(e.to...)
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("%w: store edge tuple %v→%v not in attribute domain", ErrCorrupt, e.from, e.to)
+			}
+			ag.Edges[agg.EdgeKey{From: from, To: to}] = e.weight
+		}
+		perPoint[t] = ag
+	}
+	st, err := materialize.NewStoreFromPoints(s, perPoint)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return st, nil
+}
+
+// errorsIsAny reports whether err wraps any of the given targets; used by
+// recovery to decide whether a snapshot file is unusable (fall back to an
+// earlier generation) versus an IO failure that should abort.
+func errorsIsAny(err error, targets ...error) bool {
+	for _, t := range targets {
+		if errors.Is(err, t) {
+			return true
+		}
+	}
+	return false
+}

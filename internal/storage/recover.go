@@ -1,0 +1,178 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// recover loads the directory state into e: series, generation, active
+// WAL writer, and the RecoveryInfo describing what happened.
+//
+// Recovery order:
+//
+//  1. Remove leftover .tmp files (incomplete snapshot writes).
+//  2. Load the newest snapshot that passes validation; a corrupt snapshot
+//     is logged and the next older one tried, because the WAL segments it
+//     would have replaced are only garbage-collected after a successful
+//     rename — an older snapshot plus its segments is always complete.
+//  3. Replay every WAL segment with generation ≥ the loaded snapshot's,
+//     in ascending order. Only the newest segment may carry a torn tail
+//     (rotation syncs a segment before creating its successor); the tail
+//     is truncated to the last complete record.
+//  4. Garbage-collect snapshots and segments older than the recovered
+//     generation, and open the newest segment for append (creating
+//     segment <gen> if none exists).
+func (e *Engine) recover(attrs []core.AttrSpec) error {
+	start := time.Now()
+	snaps, segs, err := e.scan()
+	if err != nil {
+		return err
+	}
+
+	// Newest loadable snapshot wins.
+	var (
+		loaded  *Snapshot
+		snapGen uint64
+	)
+	for i := len(snaps) - 1; i >= 0; i-- {
+		gen := snaps[i]
+		s, lerr := LoadFile(filepath.Join(e.dir, snapName(gen)))
+		if lerr == nil {
+			loaded, snapGen = s, gen
+			break
+		}
+		if !errorsIsAny(lerr, ErrBadMagic, ErrVersion, ErrTruncated, ErrChecksum, ErrCorrupt) {
+			return lerr // IO error: do not silently fall back
+		}
+		e.log.Warn("snapshot unusable, trying previous generation",
+			"file", snapName(gen), "err", lerr)
+	}
+
+	if loaded != nil {
+		e.series, err = seriesFromSnapshot(loaded, attrs)
+		if err != nil {
+			return err
+		}
+		e.recovery.SnapshotGeneration = snapGen
+		e.recovery.SnapshotPoints = e.series.Len()
+	} else {
+		e.series = newSeries(attrs)
+	}
+	e.gen = snapGen
+
+	// Replay segments at or after the snapshot generation.
+	var replaySegs []uint64
+	for _, gen := range segs {
+		if gen >= snapGen {
+			replaySegs = append(replaySegs, gen)
+		}
+	}
+	for i, gen := range replaySegs {
+		path := filepath.Join(e.dir, walName(gen))
+		records, goodLen, torn, rerr := replayWAL(path, func(payload []byte) error {
+			label, snap, derr := decodeIngest(payload)
+			if derr != nil {
+				return derr
+			}
+			return e.series.Append(label, snap)
+		})
+		if rerr != nil {
+			return fmt.Errorf("replay %s: %w", walName(gen), rerr)
+		}
+		if torn {
+			if i != len(replaySegs)-1 {
+				return fmt.Errorf("%w: non-final wal segment %s has a torn tail", ErrCorrupt, walName(gen))
+			}
+			fi, serr := os.Stat(path)
+			if serr == nil {
+				e.recovery.TruncatedBytes = fi.Size() - goodLen
+			}
+			e.log.Warn("wal tail truncated to last complete record",
+				"file", walName(gen), "records", records, "discarded_bytes", e.recovery.TruncatedBytes)
+		}
+		e.recovery.WALRecords += records
+		e.recovery.WALSegments++
+		if gen > e.gen {
+			e.gen = gen
+		}
+		if i == len(replaySegs)-1 {
+			e.wal, err = openWALForAppend(path, goodLen)
+			if err != nil {
+				return err
+			}
+			e.segRecords = records
+		}
+	}
+	if e.wal == nil {
+		e.wal, err = createWAL(filepath.Join(e.dir, walName(e.gen)), e.gen)
+		if err != nil {
+			return err
+		}
+		if err := syncDir(e.dir); err != nil {
+			return err
+		}
+	}
+
+	e.gcBefore(e.gen, snapGen)
+	e.recovery.Elapsed = time.Since(start)
+	if e.recovery.SnapshotPoints > 0 || e.recovery.WALRecords > 0 {
+		e.log.Info("storage recovered",
+			"dir", e.dir, "generation", e.gen,
+			"snapshot_points", e.recovery.SnapshotPoints,
+			"wal_records", e.recovery.WALRecords,
+			"truncated_bytes", e.recovery.TruncatedBytes,
+			"elapsed", e.recovery.Elapsed.Round(time.Millisecond).String())
+	}
+	return nil
+}
+
+// scan lists snapshot and segment generations (ascending) and removes
+// leftover temporary files.
+func (e *Engine) scan() (snaps, segs []uint64, err error) {
+	entries, err := os.ReadDir(e.dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(e.dir, name))
+			continue
+		}
+		if gen, ok := parseGen(name, "snapshot-", ".gts"); ok {
+			snaps = append(snaps, gen)
+		}
+		if gen, ok := parseGen(name, "wal-", ".log"); ok {
+			segs = append(segs, gen)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return snaps, segs, nil
+}
+
+// gcBefore removes snapshots older than keepSnap and segments older than
+// keepSeg — files a completed checkpoint made redundant but whose removal
+// was interrupted.
+func (e *Engine) gcBefore(keepSeg, keepSnap uint64) {
+	snaps, segs, err := e.scan()
+	if err != nil {
+		return
+	}
+	for _, gen := range snaps {
+		if gen < keepSnap {
+			os.Remove(filepath.Join(e.dir, snapName(gen)))
+		}
+	}
+	for _, gen := range segs {
+		if gen < keepSeg {
+			os.Remove(filepath.Join(e.dir, walName(gen)))
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gtest"
+	"repro/internal/materialize"
+	"repro/internal/timeline"
+)
+
+// graphsEqual compares two graphs structurally by decoded values, so the
+// comparison is independent of internal dictionary code assignment.
+func graphsEqual(t *testing.T, a, b *core.Graph) {
+	t.Helper()
+	la, lb := a.Timeline().Labels(), b.Timeline().Labels()
+	if fmt.Sprint(la) != fmt.Sprint(lb) {
+		t.Fatalf("timelines differ: %v vs %v", la, lb)
+	}
+	if fmt.Sprint(a.Attrs()) != fmt.Sprint(b.Attrs()) {
+		t.Fatalf("schemas differ: %v vs %v", a.Attrs(), b.Attrs())
+	}
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("sizes differ: %d/%d nodes, %d/%d edges",
+			a.NumNodes(), b.NumNodes(), a.NumEdges(), b.NumEdges())
+	}
+	T := a.Timeline().Len()
+	for n := 0; n < a.NumNodes(); n++ {
+		id := core.NodeID(n)
+		if a.NodeLabel(id) != b.NodeLabel(id) {
+			t.Fatalf("node %d label %q vs %q", n, a.NodeLabel(id), b.NodeLabel(id))
+		}
+		if !a.NodeTau(id).Equal(b.NodeTau(id)) {
+			t.Fatalf("node %d tau %v vs %v", n, a.NodeTau(id), b.NodeTau(id))
+		}
+		for ai := 0; ai < a.NumAttrs(); ai++ {
+			for tt := 0; tt < T; tt++ {
+				va := a.ValueString(core.AttrID(ai), id, timeline.Time(tt))
+				vb := b.ValueString(core.AttrID(ai), id, timeline.Time(tt))
+				if va != vb {
+					t.Fatalf("node %d attr %d at t%d: %q vs %q", n, ai, tt, va, vb)
+				}
+			}
+		}
+	}
+	for e := 0; e < a.NumEdges(); e++ {
+		id := core.EdgeID(e)
+		if a.Edge(id) != b.Edge(id) {
+			t.Fatalf("edge %d endpoints %v vs %v", e, a.Edge(id), b.Edge(id))
+		}
+		if !a.EdgeTau(id).Equal(b.EdgeTau(id)) {
+			t.Fatalf("edge %d tau %v vs %v", e, a.EdgeTau(id), b.EdgeTau(id))
+		}
+	}
+}
+
+func roundTrip(t *testing.T, g *core.Graph, stores ...*materialize.Store) *Snapshot {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Save(&buf, g, stores...); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	snap, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	graphsEqual(t, g, snap.Graph)
+	return snap
+}
+
+func TestRoundTripDBLPScales(t *testing.T) {
+	scales := []float64{0.004, 0.01, 0.03}
+	if testing.Short() {
+		scales = scales[:2]
+	}
+	for _, scale := range scales {
+		t.Run(fmt.Sprintf("scale=%g", scale), func(t *testing.T) {
+			roundTrip(t, dataset.DBLPScaled(7, scale))
+		})
+	}
+}
+
+func TestRoundTripMovieLens(t *testing.T) {
+	roundTrip(t, dataset.MovieLensScaled(11, 0.002))
+}
+
+func TestRoundTripRandomGraphs(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	p := gtest.DefaultParams()
+	for i := 0; i < 50; i++ {
+		roundTrip(t, gtest.RandomGraph(r, p))
+	}
+}
+
+func TestRoundTripStores(t *testing.T) {
+	g := dataset.DBLPScaled(3, 0.01)
+	gender := g.MustAttr("gender")
+	pubs := g.MustAttr("publications")
+	st1 := materialize.NewStore(g, agg.MustSchema(g, gender))
+	st2 := materialize.NewStore(g, agg.MustSchema(g, gender, pubs))
+	snap := roundTrip(t, g, st1, st2)
+	if len(snap.Stores) != 2 {
+		t.Fatalf("got %d stores, want 2", len(snap.Stores))
+	}
+	for i, orig := range []*materialize.Store{st1, st2} {
+		got := snap.Stores[i]
+		so, sg := orig.Schema(), got.Schema()
+		if fmt.Sprint(so.Attrs()) != fmt.Sprint(sg.Attrs()) {
+			t.Fatalf("store %d attrs %v vs %v", i, so.Attrs(), sg.Attrs())
+		}
+		for tt := 0; tt < g.Timeline().Len(); tt++ {
+			po, pg := orig.Point(timeline.Time(tt)), got.Point(timeline.Time(tt))
+			if len(po.Nodes) != len(pg.Nodes) || len(po.Edges) != len(pg.Edges) {
+				t.Fatalf("store %d point %d: %d/%d nodes, %d/%d edges",
+					i, tt, len(po.Nodes), len(pg.Nodes), len(po.Edges), len(pg.Edges))
+			}
+			for tu, w := range po.Nodes {
+				gtu, ok := sg.Encode(so.Decode(tu)...)
+				if !ok || pg.Nodes[gtu] != w {
+					t.Fatalf("store %d point %d tuple %v: weight %d missing or wrong", i, tt, so.Decode(tu), w)
+				}
+			}
+			for k, w := range po.Edges {
+				gfrom, ok1 := sg.Encode(so.Decode(k.From)...)
+				gto, ok2 := sg.Encode(so.Decode(k.To)...)
+				if !ok1 || !ok2 || pg.Edges[agg.EdgeKey{From: gfrom, To: gto}] != w {
+					t.Fatalf("store %d point %d edge %v→%v: weight %d missing or wrong",
+						i, tt, so.Decode(k.From), so.Decode(k.To), w)
+				}
+			}
+		}
+	}
+}
+
+func TestSaveFileAtomicAndLoadFile(t *testing.T) {
+	g := dataset.DBLPScaled(5, 0.004)
+	path := filepath.Join(t.TempDir(), "g.gts")
+	if err := SaveFile(path, g); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	got, err := LoadGraph(path)
+	if err != nil {
+		t.Fatalf("LoadGraph: %v", err)
+	}
+	graphsEqual(t, g, got)
+	// Overwrite in place with a different graph: readers must never see a
+	// partial file, and the new content wins.
+	g2 := dataset.DBLPScaled(6, 0.004)
+	if err := SaveFile(path, g2); err != nil {
+		t.Fatalf("SaveFile overwrite: %v", err)
+	}
+	got2, err := LoadGraph(path)
+	if err != nil {
+		t.Fatalf("LoadGraph after overwrite: %v", err)
+	}
+	graphsEqual(t, g2, got2)
+}
+
+func TestSaveRejectsForeignStore(t *testing.T) {
+	g1 := dataset.DBLPScaled(1, 0.004)
+	g2 := dataset.DBLPScaled(2, 0.004)
+	st := materialize.NewStore(g1, agg.MustSchema(g1, g1.MustAttr("gender")))
+	var buf bytes.Buffer
+	if err := Save(&buf, g2, st); err == nil {
+		t.Fatal("Save accepted a store built on a different graph")
+	}
+}

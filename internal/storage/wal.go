@@ -1,0 +1,192 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/stream"
+)
+
+// walHeaderSize is magic (8) + version (2) + generation (8).
+const walHeaderSize = 18
+
+// WAL record types (first payload byte).
+const recIngest byte = 1
+
+// walWriter appends framed records to one WAL segment.
+type walWriter struct {
+	f   *os.File
+	buf []byte // reused framing buffer: one contiguous write per record
+}
+
+// createWAL creates a fresh segment with a synced header, so a segment
+// observed by recovery always has a parsable preamble.
+func createWAL(path string, gen uint64) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [walHeaderSize]byte
+	copy(hdr[:8], walMagic)
+	binary.LittleEndian.PutUint16(hdr[8:10], formatVersion)
+	binary.LittleEndian.PutUint64(hdr[10:18], gen)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &walWriter{f: f}, nil
+}
+
+// openWALForAppend reopens an existing segment after replay truncated it
+// to goodLen, positioning subsequent appends at the end of the last
+// complete record.
+func openWALForAppend(path string, goodLen int64) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(goodLen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(goodLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &walWriter{f: f}, nil
+}
+
+// append frames and writes one record; durability is the caller's fsync
+// policy.
+func (w *walWriter) append(payload []byte) (int, error) {
+	w.buf = appendRecord(w.buf[:0], payload)
+	n, err := w.f.Write(w.buf)
+	return n, err
+}
+
+func (w *walWriter) sync() error  { return w.f.Sync() }
+func (w *walWriter) close() error { return w.f.Close() }
+
+// replayWAL streams the records of one segment through fn, validating the
+// header and every checksum. A torn tail — a record cut short or failing
+// its checksum at the end of the file — stops replay and reports the
+// offset of the last complete record; the caller truncates there before
+// appending. Header-level failures surface as typed errors.
+func replayWAL(path string, fn func(payload []byte) error) (records int, goodLen int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	var hdr [walHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, 0, false, fmt.Errorf("%w: wal header of %s", ErrTruncated, path)
+	}
+	if string(hdr[:8]) != walMagic {
+		return 0, 0, false, fmt.Errorf("%w: %s is not a wal segment", ErrBadMagic, path)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[8:10]); v != formatVersion {
+		return 0, 0, false, fmt.Errorf("%w: wal version %d, reader version %d", ErrVersion, v, formatVersion)
+	}
+	goodLen = walHeaderSize
+	for {
+		payload, rerr := readRecord(br)
+		if rerr == io.EOF {
+			return records, goodLen, false, nil
+		}
+		if rerr != nil {
+			// Any framing or checksum failure is treated as a torn tail:
+			// the write that produced it never completed (records are
+			// appended with a single contiguous write and the segment is
+			// synced before a successor segment is created).
+			return records, goodLen, true, nil
+		}
+		if err := fn(payload); err != nil {
+			return records, goodLen, false, err
+		}
+		records++
+		goodLen += 8 + int64(len(payload))
+	}
+}
+
+// encodeIngest serializes one ingest batch as a WAL record payload. The
+// same bytes are embedded in checkpoint snapshots (secSeries), so stream
+// recovery replays identical records whichever file they come from.
+func encodeIngest(label string, snap stream.Snapshot) []byte {
+	e := &enc{b: make([]byte, 0, 64+32*len(snap.Nodes)+8*len(snap.Edges))}
+	e.byte(recIngest)
+	e.str(label)
+	e.uvarint(uint64(len(snap.Nodes)))
+	for _, n := range snap.Nodes {
+		e.str(n.Label)
+		writeAttrMap(e, n.Static)
+		writeAttrMap(e, n.Varying)
+	}
+	e.uvarint(uint64(len(snap.Edges)))
+	for _, ed := range snap.Edges {
+		e.str(ed.U)
+		e.str(ed.V)
+	}
+	return e.b
+}
+
+// decodeIngest parses a WAL record payload back into an ingest batch.
+func decodeIngest(payload []byte) (string, stream.Snapshot, error) {
+	d := &dec{b: payload}
+	var snap stream.Snapshot
+	if t := d.byteVal(); d.err == nil && t != recIngest {
+		return "", snap, fmt.Errorf("%w: unknown wal record type %d", ErrCorrupt, t)
+	}
+	label := d.str()
+	nn := d.count(1)
+	for i := 0; i < nn && d.err == nil; i++ {
+		snap.Nodes = append(snap.Nodes, stream.NodeRecord{
+			Label:   d.str(),
+			Static:  readAttrMap(d),
+			Varying: readAttrMap(d),
+		})
+	}
+	ne := d.count(1)
+	for i := 0; i < ne && d.err == nil; i++ {
+		snap.Edges = append(snap.Edges, stream.EdgeRecord{U: d.str(), V: d.str()})
+	}
+	if d.err != nil {
+		return "", stream.Snapshot{}, fmt.Errorf("ingest record: %w", d.err)
+	}
+	if d.remaining() != 0 {
+		return "", stream.Snapshot{}, fmt.Errorf("%w: ingest record has %d trailing bytes", ErrCorrupt, d.remaining())
+	}
+	return label, snap, nil
+}
+
+// writeAttrMap serializes an attribute map in sorted-insensitive pair
+// order. Order does not matter to Series.Append, so insertion order is
+// not preserved.
+func writeAttrMap(e *enc, m map[string]string) {
+	e.uvarint(uint64(len(m)))
+	for k, v := range m {
+		e.str(k)
+		e.str(v)
+	}
+}
+
+func readAttrMap(d *dec) map[string]string {
+	n := d.count(2)
+	if n == 0 {
+		return nil
+	}
+	m := make(map[string]string, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		k := d.str()
+		m[k] = d.str()
+	}
+	return m
+}

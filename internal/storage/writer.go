@@ -1,0 +1,273 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/dict"
+	"repro/internal/materialize"
+	"repro/internal/timeline"
+)
+
+// Snapshot section identifiers, in the order sections are written.
+// Mandatory sections encode the columnar graph; secStores and secSeries
+// are optional.
+const (
+	secTimeline byte = 1  // time point labels
+	secSchema   byte = 2  // attribute specs + per-attribute dictionaries
+	secNodes    byte = 3  // node label column
+	secNodeTau  byte = 4  // node existence bitsets, flat uint64 words
+	secEdges    byte = 5  // edge endpoint columns (node ids)
+	secEdgeTau  byte = 6  // edge existence bitsets, flat uint64 words
+	secStatic   byte = 7  // static attribute code columns
+	secVarying  byte = 8  // time-varying attribute code columns
+	secStores   byte = 9  // materialized per-point aggregate vectors
+	secSeries   byte = 10 // raw stream ingest records (checkpoints only)
+	secEnd      byte = 0xff
+)
+
+// seriesPoint is one raw ingest record carried inside a checkpoint
+// snapshot so stream recovery reproduces the exact append sequence.
+type seriesPoint struct {
+	payload []byte // encoded as a WAL ingest record payload
+}
+
+// Save writes g, and optionally materialized stores over g, to w in the
+// binary snapshot format.
+func Save(w io.Writer, g *core.Graph, stores ...*materialize.Store) error {
+	return writeSnapshot(w, g, stores, nil)
+}
+
+// SaveFile writes the snapshot atomically: a .tmp file in the target
+// directory is synced and renamed over path, so readers only ever observe
+// a complete snapshot.
+func SaveFile(path string, g *core.Graph, stores ...*materialize.Store) error {
+	return saveFile(path, g, stores, nil)
+}
+
+func saveFile(path string, g *core.Graph, stores []*materialize.Store, points []seriesPoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := writeSnapshot(bw, g, stores, points); err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func writeSnapshot(w io.Writer, g *core.Graph, stores []*materialize.Store, points []seriesPoint) error {
+	for _, st := range stores {
+		if st.Schema().Graph() != g {
+			return fmt.Errorf("storage: store schema built on a different graph")
+		}
+	}
+	var hdr [10]byte
+	copy(hdr[:8], snapMagic)
+	binary.LittleEndian.PutUint16(hdr[8:10], formatVersion)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	sec := func(id byte, fill func(*enc)) error {
+		e := &enc{b: []byte{id}}
+		fill(e)
+		return writeRecord(w, e.b)
+	}
+
+	tl := g.Timeline()
+	T := tl.Len()
+	if err := sec(secTimeline, func(e *enc) {
+		e.strs(tl.Labels())
+	}); err != nil {
+		return err
+	}
+
+	attrs := g.Attrs()
+	if err := sec(secSchema, func(e *enc) {
+		e.uvarint(uint64(len(attrs)))
+		for i, a := range attrs {
+			e.str(a.Name)
+			e.byte(byte(a.Kind))
+			e.strs(g.Dict(core.AttrID(i)).Values())
+		}
+	}); err != nil {
+		return err
+	}
+
+	nNodes := g.NumNodes()
+	if err := sec(secNodes, func(e *enc) {
+		e.uvarint(uint64(nNodes))
+		for n := 0; n < nNodes; n++ {
+			e.str(g.NodeLabel(core.NodeID(n)))
+		}
+	}); err != nil {
+		return err
+	}
+
+	wordsPerTau := (T + 63) / 64
+	if err := sec(secNodeTau, func(e *enc) {
+		writeTaus(e, wordsPerTau, nNodes, func(i int) *bitset.Set { return g.NodeTau(core.NodeID(i)) })
+	}); err != nil {
+		return err
+	}
+
+	nEdges := g.NumEdges()
+	if err := sec(secEdges, func(e *enc) {
+		e.uvarint(uint64(nEdges))
+		for i := 0; i < nEdges; i++ {
+			ep := g.Edge(core.EdgeID(i))
+			e.uvarint(uint64(ep.U))
+			e.uvarint(uint64(ep.V))
+		}
+	}); err != nil {
+		return err
+	}
+
+	if err := sec(secEdgeTau, func(e *enc) {
+		writeTaus(e, wordsPerTau, nEdges, func(i int) *bitset.Set { return g.EdgeTau(core.EdgeID(i)) })
+	}); err != nil {
+		return err
+	}
+
+	if err := sec(secStatic, func(e *enc) {
+		for ai, a := range attrs {
+			if a.Kind != core.Static {
+				continue
+			}
+			for n := 0; n < nNodes; n++ {
+				e.uvarint(codePlusOne(g.StaticValue(core.AttrID(ai), core.NodeID(n))))
+			}
+		}
+	}); err != nil {
+		return err
+	}
+
+	if err := sec(secVarying, func(e *enc) {
+		for ai, a := range attrs {
+			if a.Kind != core.TimeVarying {
+				continue
+			}
+			for n := 0; n < nNodes; n++ {
+				for t := 0; t < T; t++ {
+					e.uvarint(codePlusOne(g.VaryingValue(core.AttrID(ai), core.NodeID(n), timeline.Time(t))))
+				}
+			}
+		}
+	}); err != nil {
+		return err
+	}
+
+	if len(stores) > 0 {
+		if err := sec(secStores, func(e *enc) {
+			e.uvarint(uint64(len(stores)))
+			for _, st := range stores {
+				writeStore(e, g, st)
+			}
+		}); err != nil {
+			return err
+		}
+	}
+
+	if len(points) > 0 {
+		if err := sec(secSeries, func(e *enc) {
+			e.uvarint(uint64(len(points)))
+			for _, p := range points {
+				e.uvarint(uint64(len(p.payload)))
+				e.b = append(e.b, p.payload...)
+			}
+		}); err != nil {
+			return err
+		}
+	}
+
+	return sec(secEnd, func(*enc) {})
+}
+
+// writeTaus flattens n existence bitsets into w words each. ForEachWord
+// only visits non-zero words, so the buffer is pre-zeroed per set.
+func writeTaus(e *enc, w, n int, tau func(int) *bitset.Set) {
+	e.uvarint(uint64(w))
+	buf := make([]uint64, w)
+	for i := 0; i < n; i++ {
+		for j := range buf {
+			buf[j] = 0
+		}
+		tau(i).ForEachWord(func(wi int, word uint64) { buf[wi] = word })
+		e.words(buf)
+	}
+}
+
+// codePlusOne shifts a dictionary code so None (-1) encodes as 0.
+func codePlusOne(c dict.Code) uint64 { return uint64(int64(c) + 1) }
+
+// writeStore serializes one materialized per-point store: its attribute
+// ids, then for every time point the aggregate node and edge entries with
+// decoded attribute values (so a reloaded store only depends on the value
+// domain, not on internal code assignment).
+func writeStore(e *enc, g *core.Graph, st *materialize.Store) {
+	s := st.Schema()
+	attrs := s.Attrs()
+	e.uvarint(uint64(len(attrs)))
+	for _, a := range attrs {
+		e.uvarint(uint64(a))
+	}
+	T := g.Timeline().Len()
+	for t := 0; t < T; t++ {
+		ag := st.Point(timeline.Time(t))
+		nodes := ag.SortedNodes()
+		e.uvarint(uint64(len(nodes)))
+		for _, tu := range nodes {
+			for _, v := range s.Decode(tu) {
+				e.str(v)
+			}
+			e.varint(ag.Nodes[tu])
+		}
+		edges := ag.SortedEdges()
+		e.uvarint(uint64(len(edges)))
+		for _, k := range edges {
+			for _, v := range s.Decode(k.From) {
+				e.str(v)
+			}
+			for _, v := range s.Decode(k.To) {
+				e.str(v)
+			}
+			e.varint(ag.Edges[k])
+		}
+	}
+}

@@ -228,6 +228,21 @@ func (s *Series) WindowUnionAll(name string, from, to int) (map[string]int64, ma
 	return nodes, edges, nil
 }
 
+// Points returns the ingested time points as parallel label and snapshot
+// slices — the exact append sequence, used by persistence checkpoints to
+// capture a replayable copy of the series. The snapshots share record
+// slices with the series; callers must treat them as read-only.
+func (s *Series) Points() ([]string, []Snapshot) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.labels...), append([]Snapshot(nil), s.snaps...)
+}
+
+// Attrs returns the series' attribute schema.
+func (s *Series) Attrs() []core.AttrSpec {
+	return append([]core.AttrSpec(nil), s.attrs...)
+}
+
 // Graph materializes (and caches) the full temporal attributed graph over
 // every ingested time point. Static attribute conflicts across snapshots
 // surface as an error here; the first seen value is authoritative.
