@@ -1,0 +1,231 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/benchutil"
+	"repro/internal/core"
+	"repro/internal/dict"
+	"repro/internal/server"
+	"repro/internal/stream"
+	"repro/internal/timeline"
+)
+
+// IngestFreshness benchmarks the ingest-to-visible freshness of a
+// stream-mode graphtempod under a mixed write/read load: it boots an
+// in-process server, replays g's history point by point through POST
+// /v1/ingest while `readers` goroutines issue union-ALL aggregates against
+// the growing prefix, and reports client-observed ingest-to-visible
+// latency quantiles (the acknowledgement already carries the visible
+// generation), read latency quantiles, and the server's delta-apply and
+// full-rebuild counters.
+// The scenario runs twice — once on the incremental delta path and once
+// with the FullRebuild escape hatch — so the row pair is the before/after
+// of incremental materialization.
+func ingestFreshness(id, title string, g *core.Graph, attr string, readers int) *benchutil.Experiment {
+	exp := &benchutil.Experiment{
+		ID:     id,
+		Title:  title,
+		XLabel: "mode",
+		Series: []string{"p50 ms", "p95 ms", "p99 ms", "read p50 ms", "read p99 ms", "delta applies", "full rebuilds", "reads"},
+	}
+	snaps := decomposeSnapshots(g)
+	for _, mode := range []struct {
+		name        string
+		fullRebuild bool
+	}{
+		{"delta", false},
+		{"full-rebuild", true},
+	} {
+		lat, readLat, deltas, rebuilds := runIngestScenario(g, snaps, attr, readers, mode.fullRebuild)
+		exp.Add(mode.name,
+			quantile(lat, 0.50), quantile(lat, 0.95), quantile(lat, 0.99),
+			quantile(readLat, 0.50), quantile(readLat, 0.99),
+			deltas, rebuilds, float64(len(readLat)))
+	}
+	return exp
+}
+
+// runIngestScenario replays snaps into a fresh server and returns the
+// sorted per-ingest visibility and per-read latencies in milliseconds plus
+// the delta/rebuild counters.
+func runIngestScenario(g *core.Graph, snaps []server.IngestRequest, attr string, readers int, fullRebuild bool) (lat, readLat []float64, deltas, rebuilds float64) {
+	srv, err := server.New(server.Config{
+		Series:      stream.New(g.Attrs()...),
+		FullRebuild: fullRebuild,
+		Logger:      slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		panic(fmt.Sprintf("ingest bench: ingest server: %v", err))
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	labels := g.Timeline().Labels()
+	var ingested atomic.Int64
+	stop := make(chan struct{})
+	var readMu sync.Mutex
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := ingested.Load()
+				if n == 0 {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				body, _ := json.Marshal(server.AggregateRequest{
+					Op:       "project",
+					Interval: server.IntervalSpec{From: labels[0], To: labels[int(n)-1]},
+					Attrs:    []string{attr},
+					Kind:     "all",
+				})
+				rstart := time.Now()
+				resp, err := http.Post(ts.URL+"/v1/aggregate", "application/json", bytes.NewReader(body))
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					ms := float64(time.Since(rstart).Microseconds()) / 1000
+					readMu.Lock()
+					readLat = append(readLat, ms)
+					readMu.Unlock()
+				}
+			}
+		}()
+	}
+
+	for i, snap := range snaps {
+		body, _ := json.Marshal(snap)
+		start := time.Now()
+		resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", bytes.NewReader(body))
+		if err != nil {
+			panic(fmt.Sprintf("ingest bench: ingest %s: %v", snap.Label, err))
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			panic(fmt.Sprintf("ingest bench: ingest %s: %d: %s", snap.Label, resp.StatusCode, data))
+		}
+		var ir server.IngestResponse
+		if err := json.Unmarshal(data, &ir); err != nil || ir.Visible < i+1 {
+			panic(fmt.Sprintf("ingest bench: ingest %s: visible=%d want >= %d (err=%v)", snap.Label, ir.Visible, i+1, err))
+		}
+		lat = append(lat, float64(time.Since(start).Microseconds())/1000)
+		ingested.Store(int64(i + 1))
+	}
+	close(stop)
+	wg.Wait()
+
+	counters := scrapeCounters(ts.URL+"/metrics",
+		"graphtempod_catalog_delta_applies_total", "graphtempod_catalog_full_rebuilds_total")
+	sort.Float64s(lat)
+	sort.Float64s(readLat)
+	return lat, readLat, counters[0], counters[1]
+}
+
+// decomposeSnapshots rebuilds the per-point ingest batches of a finished
+// graph — the inverse of the accumulation that built it.
+func decomposeSnapshots(g *core.Graph) []server.IngestRequest {
+	attrs := g.Attrs()
+	tl := g.Timeline()
+	out := make([]server.IngestRequest, tl.Len())
+	for tp := range out {
+		req := server.IngestRequest{Label: tl.Label(timeline.Time(tp))}
+		for n := 0; n < g.NumNodes(); n++ {
+			if !g.NodeTau(core.NodeID(n)).Contains(tp) {
+				continue
+			}
+			node := server.IngestNode{Label: g.NodeLabel(core.NodeID(n))}
+			for ai, spec := range attrs {
+				a := core.AttrID(ai)
+				if spec.Kind == core.Static {
+					if c := g.StaticValue(a, core.NodeID(n)); c != dict.None {
+						if node.Static == nil {
+							node.Static = map[string]string{}
+						}
+						node.Static[spec.Name] = g.Dict(a).Value(c)
+					}
+				} else if c := g.VaryingValue(a, core.NodeID(n), timeline.Time(tp)); c != dict.None {
+					if node.Varying == nil {
+						node.Varying = map[string]string{}
+					}
+					node.Varying[spec.Name] = g.Dict(a).Value(c)
+				}
+			}
+			req.Nodes = append(req.Nodes, node)
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			if !g.EdgeTau(core.EdgeID(e)).Contains(tp) {
+				continue
+			}
+			ep := g.Edge(core.EdgeID(e))
+			req.Edges = append(req.Edges, server.IngestEdge{U: g.NodeLabel(ep.U), V: g.NodeLabel(ep.V)})
+		}
+		out[tp] = req
+	}
+	return out
+}
+
+// quantile returns the q-th quantile of sorted (nearest-rank) in the same
+// unit, or 0 for an empty slice.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// scrapeCounters fetches a Prometheus exposition and returns the value of
+// each named (label-free) series, 0 when absent.
+func scrapeCounters(url string, names ...string) []float64 {
+	out := make([]float64, len(names))
+	resp, err := http.Get(url)
+	if err != nil {
+		return out
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return out
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		for i, name := range names {
+			if fields[0] == name {
+				if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+					out[i] = v
+				}
+			}
+		}
+	}
+	return out
+}

@@ -129,6 +129,10 @@ func experiments() []experiment {
 			return one(benchutil.Fig10Concurrent("Fig. 10c", "DBLP: catalog throughput vs concurrent clients (gender)",
 				env.DBLP(), "gender", []int{1, 2, 4, 8, 16}))
 		}},
+		{"ingest", "Stream-mode ingest-to-visible freshness under a write/read mix (delta vs full rebuild)", func(env *environment) []benchutil.Printable {
+			return one(ingestFreshness("Ingest", "DBLP replay through /v1/ingest: visibility latency and refresh counters",
+				env.DBLP(), "gender", 4))
+		}},
 		{"fig11a", "DBLP attribute roll-up speedup (Fig. 11a)", func(env *environment) []benchutil.Printable {
 			return one(benchutil.Fig11("Fig. 11a", "DBLP: gender and publications from (gender,publications)",
 				env.DBLP(), []string{"gender", "publications"},

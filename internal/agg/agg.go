@@ -598,12 +598,36 @@ func Rollup(ag *Graph, attrs ...core.AttrID) (*Graph, error) {
 	return out, nil
 }
 
-// Merge adds every weight of other into ag. Both must share the same
-// schema and kind. It is the building block of the T-distributive
-// composition of §4.3 (union ALL aggregates of an interval are the sums of
-// the per-time-point ALL aggregates).
+// SameCoding reports whether s and o encode tuples identically: the same
+// attribute ids in the same order with the same per-attribute radices.
+// Two schemas with the same coding assign every attribute-value combination
+// the same Tuple, even when they were built against different Graph
+// snapshots of one evolving series — the case incremental catalog advances
+// rely on to mix per-point aggregates across generations.
+func (s *Schema) SameCoding(o *Schema) bool {
+	if s == o {
+		return true
+	}
+	if o == nil || len(s.attrs) != len(o.attrs) {
+		return false
+	}
+	for i := range s.attrs {
+		if s.attrs[i] != o.attrs[i] || s.radices[i] != o.radices[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge adds every weight of other into ag. Both must share the same tuple
+// coding (SameCoding) and kind. It is the building block of the
+// T-distributive composition of §4.3 (union ALL aggregates of an interval
+// are the sums of the per-time-point ALL aggregates). Schemas need not be
+// pointer-identical: an incrementally extended store merges aggregates
+// produced against successive snapshots of the same evolving graph, whose
+// schemas encode identically as long as no dictionary grew.
 func (ag *Graph) Merge(other *Graph) {
-	if ag.Schema != other.Schema || ag.Kind != other.Kind {
+	if !ag.Schema.SameCoding(other.Schema) || ag.Kind != other.Kind {
 		panic("agg: Merge of incompatible aggregate graphs")
 	}
 	for tu, w := range other.Nodes {

@@ -1,10 +1,19 @@
-// Package bitset provides dense, fixed-capacity bitsets.
+// Package bitset provides dense bitsets.
 //
 // GraphTempo represents the timestamp functions τu and τe of a temporal
 // attributed graph as binary vectors over the time domain (one bit per time
 // point), and represents node/edge selections produced by the temporal
 // operators as binary vectors over the node/edge id space. Both uses share
 // this implementation.
+//
+// Because the time domain grows under streaming ingest, the read-only
+// combinators (Contains, Intersects, ContainsAll, CountAnd, ForEachAnd, And,
+// Or, AndNot, Equal) treat a shorter set as zero-padded to the longer
+// length: a timestamp frozen when the timeline had T points means "absent
+// after T", which is exactly what the padding says. The mutating operations
+// (Add, Remove, AndWith, OrWith, AndNotWith, CopyFrom, SetAnd, SetAndNotOr)
+// stay strict about length, so selection buffers sized for one id space
+// cannot silently absorb another.
 package bitset
 
 import (
@@ -55,9 +64,15 @@ func (s *Set) Remove(i int) {
 	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
 }
 
-// Contains reports whether bit i is set. It panics if i is out of range.
+// Contains reports whether bit i is set. Indices at or beyond Len report
+// false (zero-padding); negative indices panic.
 func (s *Set) Contains(i int) bool {
-	s.check(i)
+	if i < 0 {
+		s.check(i)
+	}
+	if i >= s.n {
+		return false
+	}
 	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
 }
 
@@ -93,13 +108,33 @@ func (s *Set) Clone() *Set {
 	return &Set{words: w, n: s.n}
 }
 
-// Equal reports whether s and t have the same length and the same bits set.
-func (s *Set) Equal(t *Set) bool {
-	if s.n != t.n {
-		return false
+// CloneGrow returns a copy of s with logical length at least n; bits beyond
+// s's original length start zero. It is the copy-on-write step of growing a
+// frozen timestamp when the timeline gains points.
+func (s *Set) CloneGrow(n int) *Set {
+	if n < s.n {
+		n = s.n
 	}
-	for i, w := range s.words {
-		if w != t.words[i] {
+	r := New(n)
+	copy(r.words, s.words)
+	return r
+}
+
+// Equal reports whether s and t contain the same bits. Lengths may differ:
+// the shorter set is treated as zero-padded, so a timestamp frozen at an
+// earlier timeline length equals its padded form.
+func (s *Set) Equal(t *Set) bool {
+	long, short := s.words, t.words
+	if len(long) < len(short) {
+		long, short = short, long
+	}
+	for i, w := range short {
+		if w != long[i] {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
 			return false
 		}
 	}
@@ -112,24 +147,37 @@ func (s *Set) sameLen(t *Set, op string) {
 	}
 }
 
-// Intersects reports whether s and t share at least one set bit.
-// It panics if the sets have different lengths.
+// minWords returns the number of backing words shared by both sets.
+func (s *Set) minWords(t *Set) int {
+	if len(s.words) < len(t.words) {
+		return len(s.words)
+	}
+	return len(t.words)
+}
+
+// Intersects reports whether s and t share at least one set bit. The
+// shorter set is treated as zero-padded.
 func (s *Set) Intersects(t *Set) bool {
-	s.sameLen(t, "Intersects")
-	for i, w := range s.words {
-		if w&t.words[i] != 0 {
+	for i := 0; i < s.minWords(t); i++ {
+		if s.words[i]&t.words[i] != 0 {
 			return true
 		}
 	}
 	return false
 }
 
-// ContainsAll reports whether every bit set in t is also set in s.
-// It panics if the sets have different lengths.
+// ContainsAll reports whether every bit set in t is also set in s. The
+// shorter set is treated as zero-padded (so any bit of t beyond s's length
+// makes the answer false).
 func (s *Set) ContainsAll(t *Set) bool {
-	s.sameLen(t, "ContainsAll")
-	for i, w := range t.words {
+	m := s.minWords(t)
+	for i, w := range t.words[:m] {
 		if w&^s.words[i] != 0 {
+			return false
+		}
+	}
+	for _, w := range t.words[m:] {
+		if w != 0 {
 			return false
 		}
 	}
@@ -137,46 +185,60 @@ func (s *Set) ContainsAll(t *Set) bool {
 }
 
 // CountAnd returns the number of bits set in both s and t without
-// materializing the intersection. It panics on length mismatch.
+// materializing the intersection. The shorter set is treated as
+// zero-padded.
 func (s *Set) CountAnd(t *Set) int {
-	s.sameLen(t, "CountAnd")
 	c := 0
-	for i, w := range s.words {
-		c += bits.OnesCount64(w & t.words[i])
+	for i := 0; i < s.minWords(t); i++ {
+		c += bits.OnesCount64(s.words[i] & t.words[i])
 	}
 	return c
 }
 
-// And returns a new set with the bits set in both s and t.
-// It panics if the sets have different lengths.
+// maxLen returns the larger logical length of the two sets.
+func (s *Set) maxLen(t *Set) int {
+	if s.n > t.n {
+		return s.n
+	}
+	return t.n
+}
+
+// And returns a new set with the bits set in both s and t. The result has
+// the longer of the two lengths; the shorter set is treated as zero-padded.
 func (s *Set) And(t *Set) *Set {
-	s.sameLen(t, "And")
-	r := New(s.n)
-	for i, w := range s.words {
-		r.words[i] = w & t.words[i]
+	r := New(s.maxLen(t))
+	for i := 0; i < s.minWords(t); i++ {
+		r.words[i] = s.words[i] & t.words[i]
 	}
 	return r
 }
 
-// Or returns a new set with the bits set in either s or t.
-// It panics if the sets have different lengths.
+// Or returns a new set with the bits set in either s or t. The result has
+// the longer of the two lengths; the shorter set is treated as zero-padded.
 func (s *Set) Or(t *Set) *Set {
-	s.sameLen(t, "Or")
-	r := New(s.n)
-	for i, w := range s.words {
-		r.words[i] = w | t.words[i]
+	r := New(s.maxLen(t))
+	m := s.minWords(t)
+	for i := 0; i < m; i++ {
+		r.words[i] = s.words[i] | t.words[i]
 	}
+	long := s.words
+	if len(t.words) > len(long) {
+		long = t.words
+	}
+	copy(r.words[m:], long[m:])
 	return r
 }
 
-// AndNot returns a new set with the bits set in s but not in t.
-// It panics if the sets have different lengths.
+// AndNot returns a new set with the bits set in s but not in t. The result
+// has the longer of the two lengths; the shorter set is treated as
+// zero-padded.
 func (s *Set) AndNot(t *Set) *Set {
-	s.sameLen(t, "AndNot")
-	r := New(s.n)
-	for i, w := range s.words {
-		r.words[i] = w &^ t.words[i]
+	r := New(s.maxLen(t))
+	m := s.minWords(t)
+	for i := 0; i < m; i++ {
+		r.words[i] = s.words[i] &^ t.words[i]
 	}
+	copy(r.words[m:], s.words[m:])
 	return r
 }
 
@@ -272,10 +334,10 @@ func (s *Set) ForEachWord(fn func(wi int, w uint64)) {
 
 // ForEachAnd calls fn for every index set in both s and t, in increasing
 // order, without materializing the intersection — the allocation-free
-// equivalent of s.And(t).ForEach(fn). It panics on length mismatch.
+// equivalent of s.And(t).ForEach(fn). The shorter set is treated as
+// zero-padded.
 func (s *Set) ForEachAnd(t *Set, fn func(i int)) {
-	s.sameLen(t, "ForEachAnd")
-	for wi, w := range s.words {
+	for wi, w := range s.words[:s.minWords(t)] {
 		w &= t.words[wi]
 		base := wi * wordBits
 		for w != 0 {

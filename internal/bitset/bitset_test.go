@@ -51,13 +51,80 @@ func TestOutOfRangePanics(t *testing.T) {
 	New(10).Add(10)
 }
 
-func TestLengthMismatchPanics(t *testing.T) {
+func TestLengthMismatchPanicsInPlace(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for mismatched lengths")
 		}
 	}()
-	New(10).And(New(11))
+	// The mutating operations stay strict about length; only the read-only
+	// combinators zero-pad (TestZeroPadSemantics).
+	New(10).OrWith(New(11))
+}
+
+// TestZeroPadSemantics pins the append-only timeline contract: a set frozen
+// at an earlier length behaves exactly like its zero-padded extension under
+// every read-only combinator.
+func TestZeroPadSemantics(t *testing.T) {
+	short := FromIndices(3, 0, 2)  // timestamp frozen when the timeline had 3 points
+	padded := FromIndices(8, 0, 2) // the same timestamp on the grown timeline
+	long := FromIndices(8, 2, 5, 7)
+
+	if short.Contains(5) || short.Contains(200) {
+		t.Error("Contains beyond Len should report false")
+	}
+	if !short.Equal(padded) || !padded.Equal(short) {
+		t.Error("Equal should ignore trailing zeros")
+	}
+	if short.Equal(long) {
+		t.Error("Equal must still compare content")
+	}
+	for name, pair := range map[string][2]*Set{"short-long": {short, long}, "long-short": {long, short}} {
+		a, b := pair[0], pair[1]
+		if got, want := a.Intersects(b), true; got != want {
+			t.Errorf("%s: Intersects = %v, want %v", name, got, want)
+		}
+		if got, want := a.CountAnd(b), 1; got != want {
+			t.Errorf("%s: CountAnd = %d, want %d", name, got, want)
+		}
+		if got := a.And(b); got.Len() != 8 || !got.Equal(FromIndices(8, 2)) {
+			t.Errorf("%s: And = %v", name, got.Indices())
+		}
+		var idx []int
+		a.ForEachAnd(b, func(i int) { idx = append(idx, i) })
+		if len(idx) != 1 || idx[0] != 2 {
+			t.Errorf("%s: ForEachAnd = %v, want [2]", name, idx)
+		}
+	}
+	if got := short.Or(long); got.Len() != 8 || !got.Equal(FromIndices(8, 0, 2, 5, 7)) {
+		t.Errorf("short∨long = %v", got.Indices())
+	}
+	if got := long.Or(short); !got.Equal(FromIndices(8, 0, 2, 5, 7)) {
+		t.Errorf("long∨short = %v", got.Indices())
+	}
+	if got := short.AndNot(long); !got.Equal(FromIndices(8, 0)) {
+		t.Errorf("short∖long = %v", got.Indices())
+	}
+	if got := long.AndNot(short); !got.Equal(FromIndices(8, 5, 7)) {
+		t.Errorf("long∖short = %v", got.Indices())
+	}
+	if !long.ContainsAll(FromIndices(2)) {
+		t.Error("ContainsAll of an empty shorter set should hold")
+	}
+	if long.ContainsAll(short) {
+		t.Error("ContainsAll must still compare content (bit 0 missing)")
+	}
+	if FromIndices(3, 0, 2).ContainsAll(FromIndices(8, 0, 7)) {
+		t.Error("a bit beyond the receiver's length is not contained")
+	}
+	grown := short.CloneGrow(8)
+	if grown.Len() != 8 || !grown.Equal(short) {
+		t.Errorf("CloneGrow = len %d, bits %v", grown.Len(), grown.Indices())
+	}
+	grown.Add(7) // must not alias the original
+	if short.Contains(7) {
+		t.Error("CloneGrow aliases its source")
+	}
 }
 
 func TestFromIndices(t *testing.T) {

@@ -81,7 +81,17 @@ type Graph struct {
 	static [][]dict.Code
 	// varying[a][int(n)*tl.Len()+t] is the value code of time-varying
 	// attribute a for node n at time t; nil for static attributes.
+	// Builder-built graphs use this node-major layout.
 	varying [][]dict.Code
+	// varyingT[a][t][n] is the time-major layout used by Accumulator
+	// snapshots: one immutable row per time point, frozen at the node count
+	// of that point (later nodes read as dict.None). Exactly one of varying
+	// and varyingT is non-nil.
+	varyingT [][][]dict.Code
+	// shared is non-nil for Accumulator snapshots: label lookups go through
+	// the accumulator's lock-guarded index, clipped to this snapshot's
+	// node/edge counts. nodeIndex/edgeIndex are nil in that case.
+	shared *sharedIndex
 }
 
 // Timeline returns the graph's time domain.
@@ -131,6 +141,9 @@ func (g *Graph) NodeLabel(n NodeID) string { return g.nodeLabels[n] }
 
 // NodeByLabel returns the node with the given external label.
 func (g *Graph) NodeByLabel(label string) (NodeID, bool) {
+	if g.shared != nil {
+		return g.shared.nodeByLabel(label, len(g.nodeLabels))
+	}
 	n, ok := g.nodeIndex[label]
 	return n, ok
 }
@@ -144,6 +157,9 @@ func (g *Graph) Edge(e EdgeID) Endpoints { return g.edges[e] }
 
 // EdgeByEndpoints returns the edge (u, v), if present.
 func (g *Graph) EdgeByEndpoints(u, v NodeID) (EdgeID, bool) {
+	if g.shared != nil {
+		return g.shared.edgeByEndpoints(Endpoints{u, v}, len(g.edges))
+	}
 	e, ok := g.edgeIndex[Endpoints{u, v}]
 	return e, ok
 }
@@ -166,6 +182,17 @@ func (g *Graph) StaticValue(a AttrID, n NodeID) dict.Code {
 // time t (dict.None when the node has no value there).
 // It panics if a is static.
 func (g *Graph) VaryingValue(a AttrID, n NodeID, t timeline.Time) dict.Code {
+	if g.varyingT != nil {
+		rows := g.varyingT[a]
+		if rows == nil {
+			panic(fmt.Sprintf("core: attribute %q is not time-varying", g.attrs[a].Name))
+		}
+		row := rows[t]
+		if int(n) >= len(row) {
+			return dict.None // node joined after this point was frozen
+		}
+		return row[n]
+	}
 	col := g.varying[a]
 	if col == nil {
 		panic(fmt.Sprintf("core: attribute %q is not time-varying", g.attrs[a].Name))
@@ -179,7 +206,7 @@ func (g *Graph) Value(a AttrID, n NodeID, t timeline.Time) dict.Code {
 	if g.attrs[a].Kind == Static {
 		return g.static[a][n]
 	}
-	return g.varying[a][int(n)*g.tl.Len()+int(t)]
+	return g.VaryingValue(a, n, t)
 }
 
 // ValueString is Value decoded through the attribute's dictionary.

@@ -131,7 +131,7 @@ func WriteDir(g *Graph, dir string) error {
 			for n := range g.nodeLabels {
 				row[0] = g.nodeLabels[n]
 				for t := range labels {
-					c := g.varying[a][n*len(labels)+t]
+					c := g.VaryingValue(AttrID(a), NodeID(n), timeline.Time(t))
 					if c == dict.None {
 						row[1+t] = missingMark
 					} else {

@@ -66,6 +66,18 @@ func (d *Dict) Value(c Code) string {
 // Len returns the number of interned values (the domain cardinality).
 func (d *Dict) Len() int { return len(d.values) }
 
+// Clone returns an independent copy of d with the same code assignment.
+// Domains are small (§5.1), so cloning per ingest snapshot is cheaper than
+// sharing a locked dictionary between a growing stream and its frozen
+// read-only snapshots.
+func (d *Dict) Clone() *Dict {
+	c := &Dict{codes: make(map[string]Code, len(d.codes)), values: append([]string(nil), d.values...)}
+	for v, code := range d.codes {
+		c.codes[v] = code
+	}
+	return c
+}
+
 // Values returns all interned values in code order. The caller must not
 // modify the returned slice.
 func (d *Dict) Values() []string { return d.values }

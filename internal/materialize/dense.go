@@ -17,8 +17,8 @@ import (
 // probe per entry. The dense engine instead flattens every per-point
 // aggregate into one []int64 weight vector over a compact slot dictionary
 // (slot ↔ mixed-radix tuple code of internal/agg: one slot per node tuple
-// and per from*Domain+to edge code that is non-zero at ANY time point), and
-// precomputes over those vectors
+// and per edge key that is non-zero at ANY time point), and precomputes
+// over those vectors
 //
 //   - prefix sums: prefix[i] = Σ points[0..i), so a contiguous run [a,b]
 //     composes with ONE vector subtraction, prefix[b+1] − prefix[a] — the
@@ -32,6 +32,16 @@ import (
 // exactly-sized result maps. Both engines are cross-checked against the
 // linear reference by randomized equivalence tests.
 //
+// The engine is APPENDABLE: slots are interned in first-seen order into one
+// interleaved append-only dictionary (order), vectors keep the width they
+// had when built (a missing tail reads as zero), and appending one time
+// point costs O(slots) for the new level-0 vector and prefix entry plus
+// O(slots · log T) amortized for the doubling table — never a rebuild of
+// history. extend produces a NEW composer sharing the frozen backing
+// arrays with its parent, so readers of the old generation are undisturbed;
+// a composer may be extended at most once (Catalog.Advance enforces a
+// single lineage).
+//
 // The structures are built lazily on the first composed query (sync.Once,
 // so a Store is safe for concurrent UnionAll callers) and cost
 // O(points × slots × log points) int64 adds and ~8·slots·(2n + n·log n)
@@ -39,94 +49,159 @@ import (
 // small even for wide schemas.
 
 // composer holds the flattened per-point weight vectors and their prefix
-// and sparse tables. Immutable once built.
+// and sparse tables. Immutable once built, except through extend.
 type composer struct {
 	schema *agg.Schema
 
-	// Slot dictionary: slots [0, len(nodeCodes)) are node tuples, slots
-	// [len(nodeCodes), width) are edge keys, in first-seen order.
+	// Interleaved slot dictionary in first-seen order: order[j] ≥ 0 indexes
+	// nodeCodes, order[j] < 0 indexes edgeCodes as ^order[j]. Interleaving
+	// makes the slot space append-only — a node tuple first seen at point
+	// 12 gets a slot beyond every vector built before it, so old (shorter)
+	// vectors stay valid with their missing tail meaning zero.
+	order     []int32
 	nodeCodes []agg.Tuple
 	edgeCodes []agg.EdgeKey
+	nodeSlot  map[agg.Tuple]int
+	edgeSlot  map[agg.EdgeKey]int
 	width     int
 
-	points [][]int64   // level-0 vectors, one per base time point
-	prefix [][]int64   // prefix[i] = Σ points[0..i); len = n+1
-	levels [][][]int64 // levels[l][i] = Σ points[i..i+2^l); l ≥ 1
+	points [][]int64   // level-0 vectors, one per base time point (ragged)
+	prefix [][]int64   // prefix[i] = Σ points[0..i); len = n+1 (ragged)
+	levels [][][]int64 // levels[l][i] = Σ points[i..i+2^l); l ≥ 1 (ragged)
 }
 
 // composer returns the store's dense composition engine, building it on
-// first use.
+// first use. Stores produced by Append carry their engine eagerly; the
+// nil check keeps the sync.Once from overwriting it.
 func (st *Store) composer() *composer {
 	st.compOnce.Do(func() {
-		st.comp = buildComposer(st.schema, st.perPoint)
+		if st.comp == nil {
+			st.comp = buildComposer(st.schema, st.perPoint)
+		}
 	})
 	return st.comp
 }
 
+func newComposer(s *agg.Schema) *composer {
+	return &composer{
+		schema:   s,
+		nodeSlot: make(map[agg.Tuple]int),
+		edgeSlot: make(map[agg.EdgeKey]int),
+	}
+}
+
 func buildComposer(s *agg.Schema, perPoint []*agg.Graph) *composer {
-	c := &composer{schema: s}
-	nodeSlot := make(map[agg.Tuple]int)
-	edgeSlot := make(map[agg.EdgeKey]int)
+	c := newComposer(s)
 	for _, ag := range perPoint {
-		for tu := range ag.Nodes {
-			if _, ok := nodeSlot[tu]; !ok {
-				nodeSlot[tu] = len(c.nodeCodes)
-				c.nodeCodes = append(c.nodeCodes, tu)
-			}
-		}
-		for k := range ag.Edges {
-			if _, ok := edgeSlot[k]; !ok {
-				edgeSlot[k] = len(c.edgeCodes)
-				c.edgeCodes = append(c.edgeCodes, k)
-			}
-		}
-	}
-	nn := len(c.nodeCodes)
-	c.width = nn + len(c.edgeCodes)
-
-	n := len(perPoint)
-	c.points = make([][]int64, n)
-	for t, ag := range perPoint {
-		vec := make([]int64, c.width)
-		for tu, w := range ag.Nodes {
-			vec[nodeSlot[tu]] = w
-		}
-		for k, w := range ag.Edges {
-			vec[nn+edgeSlot[k]] = w
-		}
-		c.points[t] = vec
-	}
-
-	c.prefix = make([][]int64, n+1)
-	c.prefix[0] = make([]int64, c.width)
-	for i := 0; i < n; i++ {
-		vec := make([]int64, c.width)
-		prev, pt := c.prefix[i], c.points[i]
-		for j := range vec {
-			vec[j] = prev[j] + pt[j]
-		}
-		c.prefix[i+1] = vec
-	}
-
-	// Doubling table: level l spans 2^l points; level 0 is points itself.
-	for span := 2; span <= n; span <<= 1 {
-		lower := c.points
-		if len(c.levels) > 0 {
-			lower = c.levels[len(c.levels)-1]
-		}
-		half := span / 2
-		level := make([][]int64, n-span+1)
-		for i := range level {
-			vec := make([]int64, c.width)
-			a, b := lower[i], lower[i+half]
-			for j := range vec {
-				vec[j] = a[j] + b[j]
-			}
-			level[i] = vec
-		}
-		c.levels = append(c.levels, level)
+		c.appendPoint(ag)
 	}
 	return c
+}
+
+// extend returns a new composer over schema s covering the parent's points
+// plus newPoints. Backing arrays of frozen vectors are shared; every
+// append-path slice uses a capacity-clamped header so growth reallocates
+// instead of scribbling over the parent's spare capacity, and the slot
+// maps are cloned (O(slots)) so the parent stays immutable.
+func (c *composer) extend(s *agg.Schema, newPoints []*agg.Graph) *composer {
+	n := &composer{
+		schema:    s,
+		order:     c.order[:len(c.order):len(c.order)],
+		nodeCodes: c.nodeCodes[:len(c.nodeCodes):len(c.nodeCodes)],
+		edgeCodes: c.edgeCodes[:len(c.edgeCodes):len(c.edgeCodes)],
+		nodeSlot:  make(map[agg.Tuple]int, len(c.nodeSlot)),
+		edgeSlot:  make(map[agg.EdgeKey]int, len(c.edgeSlot)),
+		width:     c.width,
+		points:    c.points[:len(c.points):len(c.points)],
+		prefix:    c.prefix[:len(c.prefix):len(c.prefix)],
+		levels:    make([][][]int64, len(c.levels)),
+	}
+	for tu, j := range c.nodeSlot {
+		n.nodeSlot[tu] = j
+	}
+	for k, j := range c.edgeSlot {
+		n.edgeSlot[k] = j
+	}
+	for l, lv := range c.levels {
+		n.levels[l] = lv[:len(lv):len(lv)]
+	}
+	for _, ag := range newPoints {
+		n.appendPoint(ag)
+	}
+	return n
+}
+
+// appendPoint folds one more per-point aggregate into the engine:
+// O(result size) to intern slots and flatten, O(width) for the new prefix
+// entry, and O(width) per doubling-table entry whose span closes at the
+// new point — O(log T) of them, so O(width · log T) amortized.
+func (c *composer) appendPoint(ag *agg.Graph) {
+	vec := make([]int64, c.width, c.width+len(ag.Nodes)+len(ag.Edges))
+	for tu, w := range ag.Nodes {
+		j, ok := c.nodeSlot[tu]
+		if !ok {
+			j = c.addNodeSlot(tu)
+			vec = append(vec, 0)
+		}
+		vec[j] = w
+	}
+	for k, w := range ag.Edges {
+		j, ok := c.edgeSlot[k]
+		if !ok {
+			j = c.addEdgeSlot(k)
+			vec = append(vec, 0)
+		}
+		vec[j] = w
+	}
+	c.points = append(c.points, vec)
+
+	n := len(c.points)
+	if len(c.prefix) == 0 {
+		// First point: prefix[0] is the empty sum.
+		c.prefix = append(c.prefix, []int64{})
+	}
+	// prefix[n] = prefix[n-1] + vec, at the new width.
+	pv := make([]int64, c.width)
+	copy(pv, c.prefix[len(c.prefix)-1])
+	for j, w := range vec {
+		pv[j] += w
+	}
+	c.prefix = append(c.prefix, pv)
+
+	// Close every doubling-table block that ends at the new point: span
+	// 2^l blocks starting at n-2^l, for each level with 2^l ≤ n.
+	for l := 1; 1<<l <= n; l++ {
+		if l > len(c.levels) {
+			c.levels = append(c.levels, nil)
+		}
+		i := n - 1<<l
+		half := 1 << (l - 1)
+		a, b := c.block(l-1, i), c.block(l-1, i+half)
+		bv := make([]int64, c.width)
+		copy(bv, a)
+		for j, w := range b {
+			bv[j] += w
+		}
+		c.levels[l-1] = append(c.levels[l-1], bv)
+	}
+}
+
+func (c *composer) addNodeSlot(tu agg.Tuple) int {
+	j := c.width
+	c.order = append(c.order, int32(len(c.nodeCodes)))
+	c.nodeCodes = append(c.nodeCodes, tu)
+	c.nodeSlot[tu] = j
+	c.width++
+	return j
+}
+
+func (c *composer) addEdgeSlot(k agg.EdgeKey) int {
+	j := c.width
+	c.order = append(c.order, ^int32(len(c.edgeCodes)))
+	c.edgeCodes = append(c.edgeCodes, k)
+	c.edgeSlot[k] = j
+	c.width++
+	return j
 }
 
 // block returns the precomputed sum of points [i, i+2^l).
@@ -154,10 +229,14 @@ func runs(iv timeline.Interval) [][2]int {
 
 // addPrefix accumulates the run [a,b] into acc via one prefix-sum
 // subtraction (two vector lookups, O(width) adds regardless of run length).
+// The two prefix vectors may have different (older, shorter) widths than
+// acc; absent tail entries are zero.
 func (c *composer) addPrefix(acc []int64, a, b int) {
-	pa, pb := c.prefix[a], c.prefix[b+1]
-	for j := range acc {
-		acc[j] += pb[j] - pa[j]
+	for j, w := range c.prefix[b+1] {
+		acc[j] += w
+	}
+	for j, w := range c.prefix[a] {
+		acc[j] -= w
 	}
 }
 
@@ -166,9 +245,8 @@ func (c *composer) addPrefix(acc []int64, a, b int) {
 func (c *composer) addLog(acc []int64, a, b int) {
 	for length := b - a + 1; length > 0; {
 		l := bits.Len(uint(length)) - 1
-		blk := c.block(l, a)
-		for j := range acc {
-			acc[j] += blk[j]
+		for j, w := range c.block(l, a) {
+			acc[j] += w
 		}
 		a += 1 << l
 		length -= 1 << l
@@ -178,13 +256,12 @@ func (c *composer) addLog(acc []int64, a, b int) {
 // decode materializes the accumulated weight vector as an aggregate graph
 // with exactly-sized maps, skipping zero slots.
 func (c *composer) decode(acc []int64) *agg.Graph {
-	nn := len(c.nodeCodes)
 	cn, ce := 0, 0
 	for j, w := range acc {
 		if w == 0 {
 			continue
 		}
-		if j < nn {
+		if c.order[j] >= 0 {
 			cn++
 		} else {
 			ce++
@@ -196,14 +273,14 @@ func (c *composer) decode(acc []int64) *agg.Graph {
 		Nodes:  make(map[agg.Tuple]int64, cn),
 		Edges:  make(map[agg.EdgeKey]int64, ce),
 	}
-	for j, tu := range c.nodeCodes {
-		if w := acc[j]; w != 0 {
-			out.Nodes[tu] = w
+	for j, w := range acc {
+		if w == 0 {
+			continue
 		}
-	}
-	for j, k := range c.edgeCodes {
-		if w := acc[nn+j]; w != 0 {
-			out.Edges[k] = w
+		if o := c.order[j]; o >= 0 {
+			out.Nodes[c.nodeCodes[o]] = w
+		} else {
+			out.Edges[c.edgeCodes[^o]] = w
 		}
 	}
 	return out

@@ -26,6 +26,7 @@
 package materialize
 
 import (
+	"fmt"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -41,6 +42,8 @@ import (
 // every base time point (the paper's chosen materialization unit).
 // A Store is immutable after construction and safe for concurrent readers;
 // the dense composition tables are built lazily on first composed query.
+// Append extends a store to a longer timeline by producing a NEW store that
+// shares all frozen per-point state — the old store keeps serving.
 type Store struct {
 	schema   *agg.Schema
 	perPoint []*agg.Graph
@@ -61,6 +64,52 @@ func NewStore(g *core.Graph, s *agg.Schema) *Store {
 	}
 	return st
 }
+
+// Append returns a new store extending st with the time points newG has
+// beyond st's horizon, in O(batch) aggregation work plus O(slots · log T)
+// amortized to extend the dense engine — never a re-aggregation of
+// history. newG must be an append-only extension of the store's base graph
+// (the old timeline labels are a prefix of newG's). It fails with
+// ErrCodingChanged when an attribute dictionary grew — new values change
+// the mixed-radix tuple coding, so the per-point vectors are not
+// comparable and the caller must rebuild from scratch (Catalog.Advance
+// counts those). The old store is left fully usable; a store may be
+// extended at most once (callers serialize lineage — Catalog.Advance does
+// so under its lock).
+func (st *Store) Append(newG *core.Graph) (*Store, error) {
+	s2, err := agg.NewSchema(newG, st.schema.Attrs()...)
+	if err != nil {
+		return nil, err
+	}
+	if !s2.SameCoding(st.schema) {
+		return nil, ErrCodingChanged
+	}
+	oldN := len(st.perPoint)
+	n := newG.Timeline().Len()
+	if n < oldN {
+		return nil, fmt.Errorf("materialize: graph has %d points, store already covers %d", n, oldN)
+	}
+	perPoint := st.perPoint[:oldN:oldN]
+	for t := oldN; t < n; t++ {
+		perPoint = append(perPoint, agg.Aggregate(ops.At(newG, timeline.Time(t)), s2, agg.All))
+	}
+	next := &Store{schema: s2, perPoint: perPoint}
+	// Extend the dense engine eagerly (forcing the parent's lazy build if
+	// needed): the first query on the new store must not pay a rebuild.
+	next.comp = st.composer().extend(s2, perPoint[oldN:])
+	return next, nil
+}
+
+// ErrCodingChanged reports that a store cannot be extended because an
+// attribute dictionary grew, changing the tuple coding.
+var ErrCodingChanged = fmt.Errorf("materialize: attribute coding changed; store must be rebuilt")
+
+// ErrStaticBackfill reports that an advance would be unsound because a
+// static attribute value was filled in (or changed) for a node that
+// already existed — old per-point aggregates and cached results would no
+// longer match a from-scratch rebuild. Callers handle it by rebuilding
+// the catalog.
+var ErrStaticBackfill = fmt.Errorf("materialize: static attribute back-filled on an existing node")
 
 // Schema returns the store's aggregation schema.
 func (st *Store) Schema() *agg.Schema { return st.schema }
@@ -179,15 +228,19 @@ type catEntry struct {
 	src Source
 }
 
-// Catalog serves union-ALL aggregate requests over one graph, reusing a
-// per-time-point store per attribute set and caching full results in a
-// sharded LRU. All methods are safe for concurrent use: distinct requests
-// proceed in parallel (mutex-per-shard cache, RWMutex-guarded store set)
-// and concurrent identical requests are deduplicated onto one computation.
+// Catalog serves union-ALL aggregate requests over one evolving graph,
+// reusing a per-time-point store per attribute set and caching full
+// results in a sharded LRU. All methods are safe for concurrent use:
+// distinct requests proceed in parallel (mutex-per-shard cache,
+// RWMutex-guarded store set) and concurrent identical requests are
+// deduplicated onto one computation. Advance folds newly appended time
+// points into every store without invalidating the cache — the graph is
+// append-only and interval cache keys are label-based, so every previously
+// cached result stays correct forever.
 type Catalog struct {
-	g *core.Graph
-
 	mu          sync.RWMutex
+	g           *core.Graph // current graph; replaced by Advance
+	gen         uint64      // bumped by Advance; guards in-flight builds
 	stores      map[string]*Store
 	storeFlight map[string]*storeCall
 
@@ -228,9 +281,22 @@ func attrsKey(attrs []core.AttrID) string {
 	return string(b)
 }
 
+// graph returns the catalog's current graph.
+func (c *Catalog) graph() *core.Graph {
+	c.mu.RLock()
+	g := c.g
+	c.mu.RUnlock()
+	return g
+}
+
+// Graph returns the graph the catalog currently serves (the newest
+// generation after Advance calls).
+func (c *Catalog) Graph() *core.Graph { return c.graph() }
+
 // Materialize builds (or returns) the per-time-point store for the given
 // attribute set. Concurrent calls for the same attribute set share one
-// construction.
+// construction. If the catalog Advances while a store is being built, the
+// build catches up on the new points before registering.
 func (c *Catalog) Materialize(attrs ...core.AttrID) (*Store, error) {
 	key := attrsKey(attrs)
 	c.mu.Lock()
@@ -246,23 +312,120 @@ func (c *Catalog) Materialize(attrs ...core.AttrID) (*Store, error) {
 	call := &storeCall{}
 	call.wg.Add(1)
 	c.storeFlight[key] = call
+	g, gen := c.g, c.gen
 	c.mu.Unlock()
 
-	s, err := agg.NewSchema(c.g, attrs...)
-	if err == nil {
-		call.st = NewStore(c.g, s)
-	} else {
-		call.err = err
-	}
+	st, err := buildStore(g, attrs)
 
 	c.mu.Lock()
-	delete(c.storeFlight, key)
-	if call.err == nil {
-		c.stores[key] = call.st
+	// The catalog may have advanced while we built against the old graph;
+	// fold the missed points in (or rebuild on a coding change) until the
+	// generation holds still.
+	for err == nil && c.gen != gen {
+		g, gen = c.g, c.gen
+		c.mu.Unlock()
+		if next, aerr := st.Append(g); aerr == nil {
+			st = next
+		} else {
+			st, err = buildStore(g, attrs)
+		}
+		c.mu.Lock()
 	}
+	delete(c.storeFlight, key)
+	if err == nil {
+		c.stores[key] = st
+	}
+	call.st, call.err = st, err
 	c.mu.Unlock()
 	call.wg.Done()
 	return call.st, call.err
+}
+
+func buildStore(g *core.Graph, attrs []core.AttrID) (*Store, error) {
+	s, err := agg.NewSchema(g, attrs...)
+	if err != nil {
+		return nil, err
+	}
+	return NewStore(g, s), nil
+}
+
+// AdvanceStats reports what one Catalog.Advance did.
+type AdvanceStats struct {
+	// NewPoints is how many time points the advance appended.
+	NewPoints int
+	// Extended counts stores folded forward incrementally (O(batch)).
+	Extended int
+	// Rebuilt counts stores re-materialized from scratch because a new
+	// attribute value changed their tuple coding.
+	Rebuilt int
+}
+
+// Advance folds the delta between the catalog's current graph and newG
+// into every materialized store: newG must be an append-only extension
+// (the current timeline labels are a prefix of newG's, nodes and edges
+// only accumulate). Each store is extended in O(batch) aggregation work —
+// or rebuilt from scratch when an attribute dictionary grew and changed
+// its tuple coding — and the catalog switches to serving newG. The result
+// cache and hit counters are retained: cache keys are label-based interval
+// strings and the graph is append-only, so every cached result remains
+// correct. Concurrent readers keep serving the old stores until the swap;
+// in-flight Materialize builds catch up on their own.
+func (c *Catalog) Advance(newG *core.Graph) (AdvanceStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if newG == c.g {
+		return AdvanceStats{}, nil
+	}
+	oldLabels := c.g.Timeline().Labels()
+	newLabels := newG.Timeline().Labels()
+	if len(newLabels) < len(oldLabels) {
+		return AdvanceStats{}, fmt.Errorf("materialize: advance shrinks the timeline from %d to %d points", len(oldLabels), len(newLabels))
+	}
+	for i, l := range oldLabels {
+		if newLabels[i] != l {
+			return AdvanceStats{}, fmt.Errorf("materialize: advance rewrites time point %d (%q → %q)", i, l, newLabels[i])
+		}
+	}
+	// A static value back-filled on a pre-existing node retroactively
+	// changes that node's tuple at EVERY old time point, so the frozen
+	// per-point aggregates (and cached results) would silently diverge
+	// from a scratch rebuild. Refuse the delta; the caller falls back to
+	// a full rebuild. Time-varying values and timestamps of old points are
+	// immutable in the accumulator lineage, so statics are the only
+	// retroactive channel.
+	if n := c.g.NumAttrs(); n != newG.NumAttrs() {
+		return AdvanceStats{}, fmt.Errorf("materialize: advance changes the attribute schema (%d → %d attributes)", n, newG.NumAttrs())
+	}
+	oldNodes := c.g.NumNodes()
+	for a := 0; a < newG.NumAttrs(); a++ {
+		if newG.Attr(core.AttrID(a)).Kind != core.Static {
+			continue
+		}
+		for n := 0; n < oldNodes; n++ {
+			if c.g.StaticValue(core.AttrID(a), core.NodeID(n)) != newG.StaticValue(core.AttrID(a), core.NodeID(n)) {
+				return AdvanceStats{}, fmt.Errorf("%w: node %q attribute %q",
+					ErrStaticBackfill, newG.NodeLabel(core.NodeID(n)), newG.Attr(core.AttrID(a)).Name)
+			}
+		}
+	}
+	stats := AdvanceStats{NewPoints: len(newLabels) - len(oldLabels)}
+	for key, st := range c.stores {
+		next, err := st.Append(newG)
+		if err == nil {
+			c.stores[key] = next
+			stats.Extended++
+			continue
+		}
+		s, err := agg.NewSchema(newG, st.Schema().Attrs()...)
+		if err != nil {
+			return stats, err
+		}
+		c.stores[key] = NewStore(newG, s)
+		stats.Rebuilt++
+	}
+	c.g = newG
+	c.gen++
+	return stats, nil
 }
 
 // store returns the materialized store for the exact attribute set, if any.
@@ -351,11 +514,12 @@ func (c *Catalog) computeUnionAll(skey string, iv timeline.Interval, attrs []cor
 			}
 		}
 	}
-	s, err := agg.NewSchema(c.g, attrs...)
+	g := c.graph()
+	s, err := agg.NewSchema(g, attrs...)
 	if err != nil {
 		return catEntry{}, err
 	}
-	return catEntry{agg.Aggregate(ops.Union(c.g, iv, iv), s, agg.All), Scratch}, nil
+	return catEntry{agg.Aggregate(ops.Union(g, iv, iv), s, agg.All), Scratch}, nil
 }
 
 // Stats returns an atomic snapshot of the catalog's counters.

@@ -11,9 +11,21 @@ import (
 // (Logical.Key, a normalized query rendering) plus the clamped workers
 // setting. It is generation-keyed on the (graph, catalog) identity the
 // plans were compiled against: compiled plans bind resolved views and
-// schemas to one concrete graph, so when a stream-mode rebuild swaps the
-// serving snapshot the whole cache is flushed rather than ever serving a
-// plan built on a retired graph.
+// schemas to one concrete graph, so when a serving snapshot is replaced
+// wholesale the cache is flushed rather than ever serving a plan built on
+// an unrelated graph.
+//
+// Append-only growth gets a cheaper path: Advance rebinds the cache to the
+// extended (graph, catalog) generation and evicts only the plans that can
+// observe the appended suffix — unbounded plans (whole-timeline traversals
+// like EXPLORE, TOP and TIMELINE) and bounded plans whose resolved
+// intervals reach at or past the first dirty time point. A bounded plan
+// over the clean prefix keeps serving: it executes against the retired
+// snapshot, whose points are frozen by the append-only contract, so its
+// results are identical to a recompile. The pair it was compiled against
+// is remembered as the retired generation, and in-flight lookups/stores
+// from that generation degrade to misses/drops instead of flushing the
+// advanced cache.
 //
 // Only successfully compiled plans are stored, so a hit can never replay a
 // resolution error from a differently-positioned query spelling. Safe for
@@ -23,6 +35,8 @@ type Cache struct {
 	mu    sync.Mutex
 	g     *core.Graph
 	cat   *materialize.Catalog
+	prevG *core.Graph
+	prevC *materialize.Catalog
 	m     map[string]*Plan
 	order []string
 	max   int
@@ -36,6 +50,12 @@ func NewCache(maxEntries int) *Cache {
 	return &Cache{m: make(map[string]*Plan), max: maxEntries}
 }
 
+// retired reports whether (g, cat) is the remembered just-retired
+// generation (and not the current one). Called with c.mu held.
+func (c *Cache) retired(g *core.Graph, cat *materialize.Catalog) bool {
+	return g == c.prevG && cat == c.prevC && (g != c.g || cat != c.cat)
+}
+
 // syncGeneration flushes the cache when the (graph, catalog) pair changed.
 // Called with c.mu held.
 func (c *Cache) syncGeneration(g *core.Graph, cat *materialize.Catalog) {
@@ -46,9 +66,53 @@ func (c *Cache) syncGeneration(g *core.Graph, cat *materialize.Catalog) {
 	}
 }
 
+// Advance rebinds the cache to an append-only extension of the current
+// generation without flushing it. firstDirty is the index of the first
+// appended time point (the retired timeline's length, or 0 to distrust
+// the whole history, e.g. when a static attribute was back-filled on an
+// old node): every unbounded plan and every bounded plan touching time ≥
+// firstDirty is evicted, the rest keep serving. It returns how many plans
+// were kept and evicted.
+func (c *Cache) Advance(g *core.Graph, cat *materialize.Catalog, firstDirty int) (kept, evicted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.g == g && c.cat == cat {
+		return len(c.m), 0
+	}
+	c.prevG, c.prevC = c.g, c.cat
+	c.g, c.cat = g, cat
+	order := make([]string, 0, len(c.order))
+	for _, key := range c.order {
+		p := c.m[key]
+		if p == nil {
+			continue
+		}
+		if !p.bounded || p.maxTime >= firstDirty {
+			delete(c.m, key)
+			evicted++
+			continue
+		}
+		order = append(order, key)
+	}
+	c.order = order
+	return len(c.m), evicted
+}
+
+// Reset rebinds the cache to a freshly rebuilt (graph, catalog) pair,
+// flushing every plan — the full-rebuild counterpart of Advance.
+func (c *Cache) Reset(g *core.Graph, cat *materialize.Catalog) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.prevG, c.prevC = c.g, c.cat
+	c.syncGeneration(g, cat)
+}
+
 func (c *Cache) lookup(g *core.Graph, cat *materialize.Catalog, key string) *Plan {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.retired(g, cat) {
+		return nil
+	}
 	c.syncGeneration(g, cat)
 	return c.m[key]
 }
@@ -56,6 +120,9 @@ func (c *Cache) lookup(g *core.Graph, cat *materialize.Catalog, key string) *Pla
 func (c *Cache) store(g *core.Graph, cat *materialize.Catalog, key string, p *Plan) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.retired(g, cat) {
+		return
+	}
 	c.syncGeneration(g, cat)
 	if _, ok := c.m[key]; !ok {
 		for len(c.order) >= c.max {

@@ -110,6 +110,80 @@ func TestCacheGenerationFlush(t *testing.T) {
 	}
 }
 
+// TestCacheAdvanceSuffixInvalidation checks the append-only rebind path:
+// Advance keeps bounded plans over the clean prefix, evicts bounded plans
+// reaching the dirty suffix and every unbounded plan, and degrades
+// retired-generation traffic to misses instead of flushes.
+func TestCacheAdvanceSuffixInvalidation(t *testing.T) {
+	g1 := core.PaperExample()
+	g2 := core.PaperExample() // stands in for the extended snapshot
+	cache := NewCache(0)
+	env := Env{Graph: g1, Workers: 1, Cache: cache}
+
+	prefix := aggNode("gender") // touches t0,t1 → maxTime 1
+	suffix := &Aggregate{
+		Op:    TemporalOp{Op: OpUnion, A: IntervalRef{From: "t0"}, B: IntervalRef{From: "t2"}},
+		Attrs: []string{"gender"},
+		Kind:  "all",
+	} // touches t2 → maxTime 2
+	unbounded := &Timeline{Attrs: []string{"gender"}}
+
+	pPrefix, err := Compile(env, prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pPrefix.bounded || pPrefix.maxTime != 1 {
+		t.Fatalf("prefix plan span = (bounded=%v, maxTime=%d), want (true, 1)", pPrefix.bounded, pPrefix.maxTime)
+	}
+	pSuffix, err := Compile(env, suffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pSuffix.bounded || pSuffix.maxTime != 2 {
+		t.Fatalf("suffix plan span = (bounded=%v, maxTime=%d), want (true, 2)", pSuffix.bounded, pSuffix.maxTime)
+	}
+	pUnbounded, err := Compile(env, unbounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pUnbounded.bounded {
+		t.Fatal("timeline plan must be unbounded")
+	}
+
+	// Advance with first dirty point 2: the t0,t1 plan survives, the plan
+	// reaching t2 and the whole-timeline plan go.
+	kept, evicted := cache.Advance(g2, nil, 2)
+	if kept != 1 || evicted != 2 {
+		t.Fatalf("Advance kept %d evicted %d, want 1/2", kept, evicted)
+	}
+	env2 := Env{Graph: g2, Workers: 1, Cache: cache}
+	got, err := Compile(env2, prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != pPrefix {
+		t.Error("clean-prefix plan was not served across the advance")
+	}
+	if p2, err := Compile(env2, suffix); err != nil {
+		t.Fatal(err)
+	} else if p2 == pSuffix {
+		t.Error("suffix-dirty plan served stale across the advance")
+	}
+
+	// Retired-generation traffic: a miss and a dropped store, never a flush.
+	before := cache.Len()
+	if p := cache.lookup(g1, nil, cacheKey(prefix, 1)); p != nil {
+		t.Error("retired-generation lookup returned a plan")
+	}
+	cache.store(g1, nil, cacheKey(unbounded, 1), pUnbounded)
+	if cache.Len() != before {
+		t.Errorf("retired-generation traffic changed the cache: %d → %d entries", before, cache.Len())
+	}
+	if got, err := Compile(env2, prefix); err != nil || got != pPrefix {
+		t.Errorf("current-generation hit lost after retired traffic (err=%v)", err)
+	}
+}
+
 // TestCacheBounded checks FIFO eviction at the entry bound.
 func TestCacheBounded(t *testing.T) {
 	g := core.PaperExample()

@@ -63,6 +63,12 @@ type Result struct {
 type Plan struct {
 	logical Logical
 	root    physOp
+
+	// Time reach, for suffix-scoped cache invalidation (Cache.Advance):
+	// a bounded plan reads base time points ≤ maxTime only; an unbounded
+	// plan (EXPLORE/TOP/TIMELINE) traverses the whole timeline.
+	maxTime int
+	bounded bool
 }
 
 // Logical returns the logical node the plan was compiled from.
@@ -108,18 +114,22 @@ func Compile(env Env, node Logical) (*Plan, error) {
 		CacheMisses.Inc()
 	}
 	var (
-		root physOp
-		err  error
+		root    physOp
+		err     error
+		maxTime int
+		bounded bool
 	)
 	switch q := node.(type) {
 	case *Aggregate:
-		root, err = compileAggregate(env, workers, q)
+		root, maxTime, err = compileAggregate(env, workers, q)
+		bounded = true
 	case *Explore:
 		root, err = compileExplore(env, workers, q)
 	case *Top:
 		root, err = compileTop(env, q)
 	case *Evolve:
-		root, err = compileEvolve(env, q)
+		root, maxTime, err = compileEvolve(env, q)
+		bounded = true
 	case *Timeline:
 		root, err = compileTimeline(env, q)
 	default:
@@ -128,7 +138,7 @@ func Compile(env Env, node Logical) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Plan{logical: node, root: root}
+	p := &Plan{logical: node, root: root, maxTime: maxTime, bounded: bounded}
 	if env.Cache != nil {
 		env.Cache.store(env.Graph, env.Catalog, key, p)
 	}
@@ -140,31 +150,45 @@ func scanCost(g *core.Graph) int64 {
 	return int64(g.NumNodes() + g.NumEdges())
 }
 
-func compileAggregate(env Env, workers int, q *Aggregate) (physOp, error) {
+// maxTimeOf returns the highest time index any of the intervals touches
+// (0 for all-empty), bounding how far into the timeline a compiled plan
+// can read.
+func maxTimeOf(ivs ...timeline.Interval) int {
+	m := 0
+	for _, iv := range ivs {
+		if !iv.IsEmpty() && int(iv.Max()) > m {
+			m = int(iv.Max())
+		}
+	}
+	return m
+}
+
+func compileAggregate(env Env, workers int, q *Aggregate) (physOp, int, error) {
 	g, in := env.Graph, env.Query
 	schema, err := resolveSchema(g, in, q.Attrs, q.AttrsPos)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	a, b, err := resolveOp(g, in, q.Op)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
+	maxTime := maxTimeOf(a, b)
 	kind, err := resolveKind(in, q.Kind)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	filter, err := CompilePredicates(g, in, q.Where)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if q.Measure != "" {
 		if filter != nil {
-			return nil, fmt.Errorf("tgql: WHERE and MEASURE cannot be combined")
+			return nil, 0, fmt.Errorf("tgql: WHERE and MEASURE cannot be combined")
 		}
 		attr, ok := g.AttrByName(q.MeasureAttr)
 		if !ok {
-			return nil, errf(in, q.MeasureAttrPos, q.MeasureAttr, "unknown measured attribute %q", q.MeasureAttr)
+			return nil, 0, errf(in, q.MeasureAttrPos, q.MeasureAttr, "unknown measured attribute %q", q.MeasureAttr)
 		}
 		var fn agg.Measure
 		switch strings.ToUpper(q.Measure) {
@@ -177,7 +201,7 @@ func compileAggregate(env Env, workers int, q *Aggregate) (physOp, error) {
 		case "MAX":
 			fn = agg.Max
 		default:
-			return nil, errf(in, 0, "", "unknown measure %q (want SUM, AVG, MIN or MAX)", q.Measure)
+			return nil, 0, errf(in, 0, "", "unknown measure %q (want SUM, AVG, MIN or MAX)", q.Measure)
 		}
 		return &measureAggOp{
 			view:   newViewOp(g, q.Op.Op, a, b),
@@ -187,7 +211,7 @@ func compileAggregate(env Env, workers int, q *Aggregate) (physOp, error) {
 			fnName: strings.ToUpper(q.Measure),
 			attrNm: q.MeasureAttr,
 			cost:   scanCost(g),
-		}, nil
+		}, maxTime, nil
 	}
 	if filter != nil {
 		return &filteredAggOp{
@@ -197,7 +221,7 @@ func compileAggregate(env Env, workers int, q *Aggregate) (physOp, error) {
 			preds:  len(q.Where),
 			filter: filter,
 			cost:   scanCost(g),
-		}, nil
+		}, maxTime, nil
 	}
 	// Union + ALL is T-distributive (§4.3): when a catalog serves this
 	// graph, answer through it (cache → composed store → roll-up →
@@ -211,7 +235,7 @@ func compileAggregate(env Env, workers int, q *Aggregate) (physOp, error) {
 			attrs:  schema.Attrs(),
 			schema: schema,
 			g:      g,
-		}, nil
+		}, maxTime, nil
 	}
 	return &viewAggOp{
 		view:    newViewOp(g, q.Op.Op, a, b),
@@ -219,7 +243,7 @@ func compileAggregate(env Env, workers int, q *Aggregate) (physOp, error) {
 		kind:    kind,
 		workers: workers,
 		cost:    scanCost(g),
-	}, nil
+	}, maxTime, nil
 }
 
 func compileExplore(env Env, workers int, q *Explore) (physOp, error) {
@@ -340,27 +364,27 @@ func compileTop(env Env, q *Top) (physOp, error) {
 	}, nil
 }
 
-func compileEvolve(env Env, q *Evolve) (physOp, error) {
+func compileEvolve(env Env, q *Evolve) (physOp, int, error) {
 	g, in := env.Graph, env.Query
 	schema, err := resolveSchema(g, in, q.Attrs, q.AttrsPos)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	kind, err := resolveKind(in, q.Kind)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	old, err := ResolveInterval(g, in, q.From)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	new, err := ResolveInterval(g, in, q.To)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	filter, err := CompilePredicates(g, in, q.Where)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	return &evolveOp{
 		g:      g,
@@ -371,7 +395,7 @@ func compileEvolve(env Env, q *Evolve) (physOp, error) {
 		filter: filter,
 		preds:  len(q.Where),
 		cost:   scanCost(g),
-	}, nil
+	}, maxTimeOf(old, new), nil
 }
 
 func compileTimeline(env Env, q *Timeline) (physOp, error) {

@@ -310,9 +310,13 @@ type IngestRequest struct {
 	Edges []IngestEdge `json:"edges"`
 }
 
-// IngestResponse reports the series length after the append.
+// IngestResponse reports the series length after the append and the
+// serving generation the write is visible at. Visible >= Points means the
+// point is already queryable; clients wanting a later batch can poll
+// GET /readyz?gen=N.
 type IngestResponse struct {
-	Points int `json:"points"`
+	Points  int `json:"points"`
+	Visible int `json:"visible"`
 }
 
 func (s *Server) handleIngest(ctx context.Context, w http.ResponseWriter, r *http.Request) (int, error) {
@@ -349,5 +353,16 @@ func (s *Server) handleIngest(ctx context.Context, w http.ResponseWriter, r *htt
 	} else if err := s.series.Append(req.Label, snap); err != nil {
 		return http.StatusBadRequest, err
 	}
-	return writeJSON(w, IngestResponse{Points: s.series.Len()})
+	points := s.series.Len()
+	// Fold the delta into the serving state inline so the acknowledgement
+	// already carries the visible generation; the pending entry is recorded
+	// first so the freshness histogram covers this very advance.
+	s.trackVisibility(points)
+	visible := 0
+	if st, err := s.current(); err == nil {
+		visible = st.gen
+	} else {
+		s.log.Warn("ingest accepted but serving state not advanced", "err", err)
+	}
+	return writeJSON(w, IngestResponse{Points: points, Visible: visible})
 }

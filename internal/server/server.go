@@ -68,6 +68,11 @@ type Config struct {
 	// CacheBytes sizes the materialization catalog's serving cache
 	// (<= 0 selects the catalog default).
 	CacheBytes int64
+	// FullRebuild disables incremental catalog advancement in stream mode:
+	// every batch of new time points replaces the serving graph and catalog
+	// from scratch. Kept as an escape hatch and as the baseline the delta
+	// path is benchmarked against.
+	FullRebuild bool
 	// Logger receives structured access and lifecycle logs; nil selects
 	// slog.Default().
 	Logger *slog.Logger
@@ -108,15 +113,24 @@ type Server struct {
 	rebuildMu sync.Mutex
 	retired   materialize.Stats // counters of catalogs replaced by rebuilds
 
+	// ingest-to-visible freshness tracking (stream mode): each acknowledged
+	// ingest is pending until the swap that makes its generation queryable.
+	visMu      sync.Mutex
+	visPending []visEntry
+
 	draining atomic.Bool
 
 	// metrics
-	panics   metrics.Counter
-	reqMu    sync.Mutex
-	reqCount map[string]*metrics.Counter // endpoint\x00code
-	latency  map[string]*metrics.Histogram
-	shed     map[string]*metrics.Counter
-	started  time.Time
+	panics        metrics.Counter
+	deltaApplies  metrics.Counter
+	fullRebuilds  metrics.Counter
+	storeRebuilds metrics.Counter
+	visibility    *metrics.Histogram
+	reqMu         sync.Mutex
+	reqCount      map[string]*metrics.Counter // endpoint\x00code
+	latency       map[string]*metrics.Histogram
+	shed          map[string]*metrics.Counter
+	started       time.Time
 }
 
 // New validates cfg, builds the initial serving state (static mode
@@ -196,9 +210,13 @@ func (s *Server) BeginDrain() {
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// current returns the serving state, rebuilding it in stream mode when
-// ingestion has advanced past the snapshot's generation. It returns an
-// error (mapped to 503) while no data has been ingested yet.
+// current returns the serving state, advancing it in stream mode when
+// ingestion has moved past the snapshot's generation. The fast path folds
+// the appended suffix into the existing catalog in place — O(batch), with
+// queries continuing to serve the old generation until the swap — and
+// falls back to a stop-the-world rebuild only when the delta is refused
+// (non-extension history, static back-fill) or Config.FullRebuild is set.
+// It returns an error (mapped to 503) while no data has been ingested yet.
 func (s *Server) current() (*state, error) {
 	st := s.cur.Load()
 	if s.series == nil {
@@ -221,7 +239,26 @@ func (s *Server) current() (*state, error) {
 	if err != nil {
 		return nil, err
 	}
-	if old := s.cur.Load(); old != nil {
+	old := s.cur.Load()
+	if old != nil && !s.cfg.FullRebuild {
+		if stats, aerr := old.cat.Advance(g); aerr == nil {
+			st = &state{g: g, cat: old.cat, gen: gen}
+			s.cur.Store(st)
+			// Bounded plans over the clean prefix keep serving; only plans
+			// that can observe the appended suffix are evicted.
+			s.plans.Advance(g, old.cat, old.g.Timeline().Len())
+			s.deltaApplies.Inc()
+			s.storeRebuilds.Add(int64(stats.Rebuilt))
+			s.observeVisibility(gen)
+			s.log.Info("serving state advanced", "points", gen,
+				"new_points", stats.NewPoints, "stores_extended", stats.Extended,
+				"stores_rebuilt", stats.Rebuilt)
+			return st, nil
+		} else {
+			s.log.Warn("catalog delta refused, rebuilding", "points", gen, "err", aerr)
+		}
+	}
+	if old != nil {
 		// Fold the retiring catalog's counters into the cumulative base so
 		// /metrics stays monotonic across rebuilds.
 		os := old.cat.Stats()
@@ -231,11 +268,53 @@ func (s *Server) current() (*state, error) {
 		s.retired.DDistributive += os.DDistributive
 		s.retired.CacheEvictions += os.CacheEvictions
 		s.retired.CacheDeduped += os.CacheDeduped
+		s.fullRebuilds.Inc()
 	}
 	st = &state{g: g, cat: s.newCatalog(g), gen: gen}
 	s.cur.Store(st)
+	s.plans.Reset(g, st.cat)
+	s.observeVisibility(gen)
 	s.log.Info("serving state rebuilt", "points", gen, "nodes", g.NumNodes(), "edges", g.NumEdges())
 	return st, nil
+}
+
+// visEntry is one acknowledged ingest awaiting visibility: the series
+// generation it produced and the acknowledgement time.
+type visEntry struct {
+	gen int
+	at  time.Time
+}
+
+// trackVisibility records the acknowledgement of an ingest that grew the
+// series to gen points; the pending entry is resolved by the swap that
+// makes that generation queryable.
+func (s *Server) trackVisibility(gen int) {
+	if s.visibility == nil {
+		return
+	}
+	s.visMu.Lock()
+	s.visPending = append(s.visPending, visEntry{gen: gen, at: time.Now()})
+	s.visMu.Unlock()
+}
+
+// observeVisibility resolves every pending ingest at or below the
+// generation that just became queryable into the freshness histogram.
+func (s *Server) observeVisibility(gen int) {
+	if s.visibility == nil {
+		return
+	}
+	now := time.Now()
+	s.visMu.Lock()
+	kept := s.visPending[:0]
+	for _, e := range s.visPending {
+		if e.gen <= gen {
+			s.visibility.Observe(now.Sub(e.at).Seconds())
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	s.visPending = kept
+	s.visMu.Unlock()
 }
 
 // catalogStats returns the cumulative catalog counters: the live catalog
@@ -278,6 +357,10 @@ func (s *Server) catalogStats() materialize.Stats {
 //	graphtempod_planner_selections_total{op}    counter (planner choices)
 //	graphtempod_plan_cache_total{result}        counter (hit/miss)
 //	graphtempod_ingested_points                 gauge (stream mode)
+//	graphtempod_catalog_delta_applies_total     counter (stream mode)
+//	graphtempod_catalog_full_rebuilds_total     counter (stream mode)
+//	graphtempod_catalog_store_rebuilds_total    counter (stream mode)
+//	graphtempod_ingest_visibility_seconds       histogram (stream mode)
 //	graphtempod_uptime_seconds                  gauge
 //
 // With durable storage (stream mode + -data-dir) the persistence family is
@@ -289,6 +372,7 @@ func (s *Server) catalogStats() materialize.Stats {
 //	graphtempod_storage_snapshot_generation     gauge
 //	graphtempod_storage_wal_{records,bytes}_total counters
 //	graphtempod_storage_fsyncs_total            counter
+//	graphtempod_storage_coalesced_syncs_total   counter (group commit)
 //	graphtempod_storage_checkpoints_total       counter
 //	graphtempod_storage_checkpoint_errors_total counter
 //	graphtempod_storage_last_checkpoint_ms      gauge
@@ -358,6 +442,18 @@ func (s *Server) registerMetrics() {
 	if s.series != nil {
 		r.GaugeFunc("graphtempod_ingested_points", "Time points ingested.",
 			func() float64 { return float64(s.series.Len()) })
+		r.RegisterCounter("graphtempod_catalog_delta_applies_total",
+			"Serving snapshots advanced in place by incremental delta application.",
+			&s.deltaApplies)
+		r.RegisterCounter("graphtempod_catalog_full_rebuilds_total",
+			"Serving snapshots replaced by a from-scratch rebuild after the initial build.",
+			&s.fullRebuilds)
+		r.RegisterCounter("graphtempod_catalog_store_rebuilds_total",
+			"Materialized stores rebuilt during delta application (attribute dictionary grew).",
+			&s.storeRebuilds)
+		s.visibility = r.Histogram("graphtempod_ingest_visibility_seconds",
+			"Latency from ingest acknowledgement to the point being queryable.",
+			[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1, 5})
 	}
 	if eng := s.storage; eng != nil {
 		r.CounterFunc("graphtempod_storage_recovery_records_total",
@@ -378,6 +474,9 @@ func (s *Server) registerMetrics() {
 			func() float64 { return float64(eng.Stats().WALBytes) })
 		r.CounterFunc("graphtempod_storage_fsyncs_total", "WAL fsync calls.",
 			func() float64 { return float64(eng.Stats().Fsyncs) })
+		r.CounterFunc("graphtempod_storage_coalesced_syncs_total",
+			"Appends whose durability rode another append's fsync (group commit).",
+			func() float64 { return float64(eng.Stats().CoalescedSyncs) })
 		r.CounterFunc("graphtempod_storage_checkpoints_total",
 			"Completed WAL-to-snapshot compactions.",
 			func() float64 { return float64(eng.Stats().Checkpoints) })
@@ -444,9 +543,24 @@ func (s *Server) routes() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
 		}
-		if _, err := s.current(); err != nil {
+		st, err := s.current()
+		if err != nil {
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
+		}
+		// ?gen=N lets ingest clients poll for a specific series generation
+		// becoming queryable (static mode is always at its only generation).
+		if q := r.URL.Query().Get("gen"); q != "" && s.series != nil {
+			want, perr := strconv.Atoi(q)
+			if perr != nil {
+				http.Error(w, "gen must be an integer", http.StatusBadRequest)
+				return
+			}
+			if st.gen < want {
+				http.Error(w, fmt.Sprintf("at generation %d, waiting for %d", st.gen, want),
+					http.StatusServiceUnavailable)
+				return
+			}
 		}
 		fmt.Fprintln(w, "ready")
 	})

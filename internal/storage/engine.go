@@ -86,8 +86,17 @@ type Engine struct {
 	mu         sync.Mutex // serializes appends, rotation, close
 	wal        *walWriter
 	gen        uint64
-	segRecords int // records in the active segment
+	seq        uint64 // records appended since Open (durability watermark domain)
+	segRecords int    // records in the active segment
 	closed     bool
+
+	// Group commit (FsyncAlways): concurrent appends coalesce into one
+	// fsync. A leader syncs the WAL for every record appended so far;
+	// followers wait until the durable watermark covers their record.
+	gcMu      sync.Mutex
+	gcCond    *sync.Cond
+	syncedSeq uint64 // highest seq known durable (under gcMu)
+	syncing   bool   // a leader's fsync is in flight (under gcMu)
 
 	cpRunning atomic.Bool
 	stopc     chan struct{}
@@ -123,6 +132,7 @@ func Open(dir string, attrs []core.AttrSpec, opts Options) (*Engine, error) {
 		attrs: append([]core.AttrSpec(nil), attrs...),
 		stopc: make(chan struct{}),
 	}
+	e.gcCond = sync.NewCond(&e.gcMu)
 	if err := e.recover(attrs); err != nil {
 		return nil, err
 	}
@@ -154,44 +164,109 @@ func (e *Engine) Stats() Stats {
 		WALRecords:       e.ctr.walRecords.Load(),
 		WALBytes:         e.ctr.walBytes.Load(),
 		Fsyncs:           e.ctr.fsyncs.Load(),
+		CoalescedSyncs:   e.ctr.coalescedSyncs.Load(),
 		Checkpoints:      e.ctr.checkpoints.Load(),
 		CheckpointErrors: e.ctr.checkpointErrors.Load(),
 		LastCheckpointMs: float64(e.ctr.lastCheckpointUs.Load()) / 1000,
 	}
 }
 
+// testHookSyncDelay, when non-nil, runs after a group-commit leader claims
+// the fsync slot and before it syncs — tests use it to widen the
+// coalescing window deterministically.
+var testHookSyncDelay func()
+
 // Append durably ingests one time point: it validates and applies the
 // batch to the in-memory series, appends the record to the WAL, and — under
-// FsyncAlways — syncs before returning. Validation failures leave no state
-// behind and are returned verbatim; a WAL write failure is wrapped in
-// ErrWAL (the in-memory state is then ahead of disk, which the caller
+// FsyncAlways — syncs before returning. Concurrent appends group-commit:
+// the write lock is released before the fsync, one leader syncs the
+// segment for every record written so far, and the other appends ride the
+// same flush instead of issuing their own. Validation failures leave no
+// state behind and are returned verbatim; a WAL write failure is wrapped
+// in ErrWAL (the in-memory state is then ahead of disk, which the caller
 // should surface as a server-side error).
 func (e *Engine) Append(label string, snap stream.Snapshot) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		return fmt.Errorf("storage: engine closed")
 	}
 	if err := e.series.Append(label, snap); err != nil {
+		e.mu.Unlock()
 		return err
 	}
 	n, err := e.wal.append(encodeIngest(label, snap))
 	if err != nil {
+		e.mu.Unlock()
 		return fmt.Errorf("%w: %v", ErrWAL, err)
 	}
-	if e.opts.Fsync == FsyncAlways {
-		if err := e.wal.sync(); err != nil {
-			return fmt.Errorf("%w: %v", ErrWAL, err)
-		}
-		e.ctr.fsyncs.Add(1)
-	}
+	e.seq++
+	seq := e.seq
 	e.ctr.walRecords.Add(1)
 	e.ctr.walBytes.Add(int64(n))
 	e.segRecords++
 	if e.opts.CheckpointRecords > 0 && e.segRecords >= e.opts.CheckpointRecords {
 		e.triggerCheckpoint()
 	}
+	e.mu.Unlock()
+
+	if e.opts.Fsync == FsyncAlways {
+		if err := e.syncTo(seq); err != nil {
+			return fmt.Errorf("%w: %v", ErrWAL, err)
+		}
+	}
 	return nil
+}
+
+// syncTo blocks until record seq is durable. The first caller to find no
+// flush in flight becomes the leader and fsyncs the WAL once for every
+// record appended so far; callers whose record that flush (or a rotation's)
+// already covered return without touching the disk and are counted as
+// coalesced.
+func (e *Engine) syncTo(seq uint64) error {
+	e.gcMu.Lock()
+	for {
+		if e.syncedSeq >= seq {
+			e.gcMu.Unlock()
+			e.ctr.coalescedSyncs.Add(1)
+			return nil
+		}
+		if !e.syncing {
+			break
+		}
+		e.gcCond.Wait()
+	}
+	e.syncing = true
+	e.gcMu.Unlock()
+
+	if hook := testHookSyncDelay; hook != nil {
+		hook()
+	}
+
+	e.mu.Lock()
+	target := e.seq
+	closed := e.closed
+	var err error
+	if !closed {
+		// Records in rotated-out segments were synced at rotation, so one
+		// sync of the active segment covers everything up to target. When
+		// the engine closed in the meantime, durability is Close's final
+		// sync's job (it runs under e.mu and reports its own error).
+		err = e.wal.sync()
+	}
+	e.mu.Unlock()
+	if err == nil && !closed {
+		e.ctr.fsyncs.Add(1)
+	}
+
+	e.gcMu.Lock()
+	e.syncing = false
+	if err == nil && target > e.syncedSeq {
+		e.syncedSeq = target
+	}
+	e.gcCond.Broadcast()
+	e.gcMu.Unlock()
+	return err
 }
 
 // triggerCheckpoint starts a background checkpoint unless one is already

@@ -1,0 +1,85 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGroupCommitCoalesces hammers FsyncAlways with concurrent appends and
+// checks the group-commit invariants: every append is made durable by its
+// own fsync or by one it coalesced onto (fsyncs + coalesced covers every
+// append), at least some appends actually coalesced, and a reopen recovers
+// every acknowledged record. A sync-delay hook widens the flush window so
+// coalescing happens deterministically, and a small checkpoint threshold
+// forces segment rotation to race the group commit.
+func TestGroupCommitCoalesces(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 8
+		total   = writers * perW
+	)
+	testHookSyncDelay = func() { time.Sleep(time.Millisecond) }
+	t.Cleanup(func() { testHookSyncDelay = nil })
+
+	dir := t.TempDir()
+	e := openTestEngine(t, dir, Options{Fsync: FsyncAlways, CheckpointRecords: 10})
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				label, snap := testBatch(int(next.Add(1) - 1))
+				if err := e.Append(label, snap); err != nil {
+					t.Errorf("append %s: %v", label, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := e.Stats()
+	if st.WALRecords != total {
+		t.Fatalf("wal records = %d, want %d", st.WALRecords, total)
+	}
+	if st.Fsyncs+st.CoalescedSyncs < total {
+		t.Errorf("fsyncs (%d) + coalesced (%d) < appends (%d): an append returned without durability",
+			st.Fsyncs, st.CoalescedSyncs, total)
+	}
+	if st.CoalescedSyncs == 0 {
+		t.Error("no appends coalesced under concurrent FsyncAlways load")
+	}
+	if st.Fsyncs >= total {
+		t.Errorf("fsyncs = %d for %d appends: group commit saved nothing", st.Fsyncs, total)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every acknowledged record survives the reopen.
+	e2 := openTestEngine(t, dir, Options{})
+	defer e2.Close()
+	if got := e2.Series().Len(); got != total {
+		t.Fatalf("recovered %d points, want %d", got, total)
+	}
+}
+
+// TestGroupCommitSequential pins the uncontended path: a lone appender
+// never waits on the group-commit machinery and still fsyncs every record.
+func TestGroupCommitSequential(t *testing.T) {
+	e := openTestEngine(t, t.TempDir(), Options{Fsync: FsyncAlways})
+	defer e.Close()
+	appendN(t, e, 0, 5)
+	st := e.Stats()
+	if st.Fsyncs < 5 {
+		t.Errorf("sequential appends fsynced %d times, want >= 5", st.Fsyncs)
+	}
+	if st.CoalescedSyncs != 0 {
+		t.Errorf("sequential appends coalesced %d times, want 0", st.CoalescedSyncs)
+	}
+}

@@ -38,6 +38,9 @@ type Stats struct {
 	WALBytes   int64
 	// Fsyncs counts WAL fsync calls (policy-driven and rotation-driven).
 	Fsyncs int64
+	// CoalescedSyncs counts appends whose durability rode another append's
+	// fsync (group commit under FsyncAlways) instead of issuing their own.
+	CoalescedSyncs int64
 	// Checkpoints counts completed WAL → snapshot compactions;
 	// CheckpointErrors counts attempts that failed (the engine keeps
 	// serving from the previous generation when one does).
@@ -53,6 +56,7 @@ type counters struct {
 	walRecords       atomic.Int64
 	walBytes         atomic.Int64
 	fsyncs           atomic.Int64
+	coalescedSyncs   atomic.Int64
 	checkpoints      atomic.Int64
 	checkpointErrors atomic.Int64
 	lastCheckpointUs atomic.Int64

@@ -10,7 +10,12 @@
 //
 // A full core.Graph over everything ingested so far can be materialized at
 // any time (and is cached between appends) for operators and explorations
-// that need the complete model.
+// that need the complete model. The series feeds every append into a
+// core.Accumulator, so materializing after an append costs O(batch + V + E)
+// — a snapshot of shared columns — rather than a replay of the whole
+// history. Validation is two-phase: a batch is checked completely (including
+// static-attribute conflicts with earlier points) before any state changes,
+// so a rejected batch leaves no trace and never reaches a write-ahead log.
 package stream
 
 import (
@@ -18,7 +23,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
-	"repro/internal/timeline"
+	"repro/internal/dict"
 )
 
 // NodeRecord describes one node alive at the appended time point.
@@ -65,12 +70,17 @@ type Series struct {
 
 	aggs map[string]*aggSpec
 
-	cached *core.Graph // full graph; nil when stale
+	acc    *core.Accumulator
+	cached *core.Graph // latest snapshot; nil when stale
 }
 
 // New returns an empty series with the given attribute schema.
 func New(attrs ...core.AttrSpec) *Series {
-	return &Series{attrs: append([]core.AttrSpec(nil), attrs...), aggs: map[string]*aggSpec{}}
+	return &Series{
+		attrs: append([]core.AttrSpec(nil), attrs...),
+		aggs:  map[string]*aggSpec{},
+		acc:   core.NewAccumulator(attrs...),
+	}
 }
 
 // Len returns the number of time points ingested.
@@ -124,10 +134,22 @@ func (s *Series) RegisterAggregation(name string, attrNames ...string) error {
 // Append ingests the next time point. The label must be new; edges must
 // reference snapshot nodes; nodes must carry values for every attribute of
 // the schema (static values may be omitted after the node's first
-// appearance).
+// appearance, and must not contradict the value recorded at an earlier
+// point). The whole batch is validated before any state changes: a
+// returned error means the series is exactly as it was.
 func (s *Series) Append(label string, snap Snapshot) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.validate(label, snap); err != nil {
+		return err
+	}
+	s.apply(label, snap)
+	return nil
+}
+
+// validate checks a batch against the schema and the accumulated state
+// without mutating anything. Called with the write lock held.
+func (s *Series) validate(label string, snap Snapshot) error {
 	for _, l := range s.labels {
 		if l == label {
 			return fmt.Errorf("stream: duplicate time point label %q", label)
@@ -142,12 +164,36 @@ func (s *Series) Append(label string, snap Snapshot) error {
 			return fmt.Errorf("stream: node %q appears twice at %s", n.Label, label)
 		}
 		present[n.Label] = true
+		for ai, spec := range s.attrs {
+			if spec.Kind != core.Static {
+				continue
+			}
+			v, ok := n.Static[spec.Name]
+			if !ok {
+				continue
+			}
+			id, seen := s.acc.NodeID(n.Label)
+			if !seen {
+				continue
+			}
+			prev := s.acc.StaticValue(core.AttrID(ai), id)
+			if prev != dict.None && prev != s.acc.StaticCode(core.AttrID(ai), v) {
+				return fmt.Errorf("stream: node %s static attribute %s changed from %q to %q",
+					n.Label, spec.Name, s.acc.ValueString(core.AttrID(ai), prev), v)
+			}
+		}
 	}
 	for _, e := range snap.Edges {
 		if !present[e.U] || !present[e.V] {
 			return fmt.Errorf("stream: edge (%s,%s) references a node not in the %s snapshot", e.U, e.V, label)
 		}
 	}
+	return nil
+}
+
+// apply folds a validated batch into the series. Called with the write
+// lock held; must not fail.
+func (s *Series) apply(label string, snap Snapshot) {
 	s.labels = append(s.labels, label)
 	s.snaps = append(s.snaps, snap)
 	s.cached = nil
@@ -156,7 +202,26 @@ func (s *Series) Append(label string, snap Snapshot) error {
 		spec.nodes = append(spec.nodes, nodes)
 		spec.edges = append(spec.edges, edges)
 	}
-	return nil
+
+	s.acc.AddPoint(label)
+	for _, n := range snap.Nodes {
+		id := s.acc.EnsureNode(n.Label)
+		s.acc.SetNodeTime(id)
+		for ai, spec := range s.attrs {
+			if spec.Kind == core.Static {
+				if v, ok := n.Static[spec.Name]; ok {
+					s.acc.SetStatic(core.AttrID(ai), id, v)
+				}
+			} else if v, ok := n.Varying[spec.Name]; ok && v != "" {
+				s.acc.SetVarying(core.AttrID(ai), id, v)
+			}
+		}
+	}
+	for _, e := range snap.Edges {
+		u, _ := s.acc.NodeID(e.U)
+		v, _ := s.acc.NodeID(e.V)
+		s.acc.SetEdgeTime(s.acc.EnsureEdge(u, v))
+	}
 }
 
 // aggregateSnapshot computes the single-point ALL aggregate of a snapshot
@@ -244,8 +309,10 @@ func (s *Series) Attrs() []core.AttrSpec {
 }
 
 // Graph materializes (and caches) the full temporal attributed graph over
-// every ingested time point. Static attribute conflicts across snapshots
-// surface as an error here; the first seen value is authoritative.
+// every ingested time point. With the accumulator maintained at every
+// Append, this is an O(nodes + edges) snapshot of shared state, not a
+// replay of history. Static attribute conflicts are rejected by Append, so
+// the only error here is an empty series.
 func (s *Series) Graph() (*core.Graph, error) {
 	s.mu.RLock()
 	if g := s.cached; g != nil {
@@ -253,8 +320,8 @@ func (s *Series) Graph() (*core.Graph, error) {
 		return g, nil
 	}
 	s.mu.RUnlock()
-	// Materialize under the write lock; re-check in case another
-	// goroutine built the graph while we waited.
+	// Snapshot under the write lock; re-check in case another goroutine
+	// snapshotted while we waited.
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.cached != nil {
@@ -263,50 +330,6 @@ func (s *Series) Graph() (*core.Graph, error) {
 	if len(s.labels) == 0 {
 		return nil, fmt.Errorf("stream: no time points ingested")
 	}
-	tl, err := timeline.New(s.labels...)
-	if err != nil {
-		return nil, err
-	}
-	b := core.NewBuilder(tl, s.attrs...)
-	staticSeen := map[string]map[string]string{} // node → attr → value
-	for t, snap := range s.snaps {
-		for _, n := range snap.Nodes {
-			id := b.AddNode(n.Label)
-			b.SetNodeTime(id, timeline.Time(t))
-			for ai, spec := range s.attrs {
-				if spec.Kind == core.Static {
-					v, ok := n.Static[spec.Name]
-					if !ok {
-						continue
-					}
-					if prev, seen := staticSeen[n.Label][spec.Name]; seen {
-						if prev != v {
-							return nil, fmt.Errorf("stream: node %s static attribute %s changed from %q to %q",
-								n.Label, spec.Name, prev, v)
-						}
-						continue
-					}
-					if staticSeen[n.Label] == nil {
-						staticSeen[n.Label] = map[string]string{}
-					}
-					staticSeen[n.Label][spec.Name] = v
-					b.SetStatic(core.AttrID(ai), id, v)
-				} else if v, ok := n.Varying[spec.Name]; ok && v != "" {
-					b.SetVarying(core.AttrID(ai), id, timeline.Time(t), v)
-				}
-			}
-		}
-		for _, e := range snap.Edges {
-			u, _ := b.NodeID(e.U)
-			v, _ := b.NodeID(e.V)
-			id := b.AddEdge(u, v)
-			b.SetEdgeTime(id, timeline.Time(t))
-		}
-	}
-	g, err := b.Build()
-	if err != nil {
-		return nil, err
-	}
-	s.cached = g
-	return g, nil
+	s.cached = s.acc.Snapshot()
+	return s.cached, nil
 }

@@ -167,10 +167,27 @@ func TestSeriesValidation(t *testing.T) {
 
 func TestStaticConflictDetected(t *testing.T) {
 	s := New(core.AttrSpec{Name: "gender", Kind: core.Static})
-	_ = s.Append("t0", Snapshot{Nodes: []NodeRecord{{Label: "a", Static: map[string]string{"gender": "m"}}}})
-	_ = s.Append("t1", Snapshot{Nodes: []NodeRecord{{Label: "a", Static: map[string]string{"gender": "f"}}}})
-	if _, err := s.Graph(); err == nil {
-		t.Error("static attribute conflict should fail Graph()")
+	if err := s.Append("t0", Snapshot{Nodes: []NodeRecord{{Label: "a", Static: map[string]string{"gender": "m"}}}}); err != nil {
+		t.Fatal(err)
+	}
+	// The conflicting batch is rejected at Append time (two-phase
+	// validation), leaving the series untouched.
+	if err := s.Append("t1", Snapshot{Nodes: []NodeRecord{{Label: "a", Static: map[string]string{"gender": "f"}}}}); err == nil {
+		t.Error("static attribute conflict should fail Append")
+	}
+	if got := s.Len(); got != 1 {
+		t.Errorf("rejected batch must not extend the series: Len()=%d", got)
+	}
+	g, err := s.Graph()
+	if err != nil {
+		t.Fatalf("Graph() after rejected batch: %v", err)
+	}
+	if g.Timeline().Len() != 1 {
+		t.Errorf("graph has %d points, want 1", g.Timeline().Len())
+	}
+	// Repeating the original (consistent) value is fine.
+	if err := s.Append("t1", Snapshot{Nodes: []NodeRecord{{Label: "a", Static: map[string]string{"gender": "m"}}}}); err != nil {
+		t.Errorf("consistent static value should be accepted: %v", err)
 	}
 }
 
