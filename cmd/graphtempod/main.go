@@ -49,6 +49,7 @@ import (
 type options struct {
 	addr         string
 	dataset      string
+	mmap         bool
 	scale        float64
 	seed         int64
 	streamSpec   string
@@ -69,6 +70,7 @@ func parseFlags(args []string) (*options, error) {
 	o := &options{}
 	fs.StringVar(&o.addr, "addr", ":8089", "listen address")
 	fs.StringVar(&o.dataset, "dataset", "", "dataset to serve: paper, dblp, movielens, or a graph directory path")
+	fs.BoolVar(&o.mmap, "mmap", false, "serve a -dataset snapshot file zero-copy via mmap (decode fallback for v1 files and unsupported platforms)")
 	fs.Float64Var(&o.scale, "scale", 1.0, "size factor for synthetic datasets")
 	fs.Int64Var(&o.seed, "seed", 42, "generator seed for synthetic datasets")
 	fs.StringVar(&o.streamSpec, "stream", "", "run in stream mode with this schema, e.g. gender:static,publications:varying")
@@ -90,6 +92,9 @@ func parseFlags(args []string) (*options, error) {
 	}
 	if o.dataDir != "" && o.streamSpec == "" {
 		return nil, errors.New("-data-dir requires -stream (static datasets are already durable)")
+	}
+	if o.mmap && o.dataset == "" {
+		return nil, errors.New("-mmap requires -dataset pointing at a binary snapshot file")
 	}
 	if _, err := storage.ParseFsyncPolicy(o.fsync); err != nil {
 		return nil, err
@@ -120,14 +125,18 @@ func parseStreamSpec(spec string) ([]core.AttrSpec, error) {
 }
 
 // loadGraph resolves the -dataset flag. A path naming a regular file is
-// loaded as a binary snapshot (gtgen -format=binary); a directory uses the
-// CSV labeled-array layout.
-func loadGraph(o *options, log *slog.Logger) (*core.Graph, error) {
+// loaded as a binary snapshot (gtgen -format=binary) — zero-copy via mmap
+// when -mmap is set — and a directory uses the CSV labeled-array layout.
+// The returned mapping is non-nil when the graph aliases a file mapping;
+// it must stay open for the graph's lifetime.
+func loadGraph(o *options, log *slog.Logger) (*core.Graph, *storage.Mapped, error) {
 	start := time.Now()
 	var (
 		g   *core.Graph
+		m   *storage.Mapped
 		err error
 	)
+	source := "decode"
 	switch o.dataset {
 	case "paper":
 		g = core.PaperExample()
@@ -137,24 +146,34 @@ func loadGraph(o *options, log *slog.Logger) (*core.Graph, error) {
 		g = dataset.MovieLensScaled(o.seed, o.scale)
 	default:
 		if fi, serr := os.Stat(o.dataset); serr == nil && fi.Mode().IsRegular() {
-			g, err = storage.LoadGraph(o.dataset)
+			if o.mmap {
+				g, m, err = storage.MappedGraph(o.dataset)
+				if m != nil {
+					source = m.Source
+				}
+			} else {
+				g, err = storage.LoadGraph(o.dataset)
+			}
+		} else if o.mmap {
+			err = fmt.Errorf("-mmap needs a snapshot file, not %q", o.dataset)
 		} else {
 			g, err = core.ReadDir(o.dataset)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("load %s: %w", o.dataset, err)
+			return nil, nil, fmt.Errorf("load %s: %w", o.dataset, err)
 		}
 	}
-	log.Info("dataset loaded", "dataset", o.dataset, "scale", o.scale,
+	log.Info("dataset loaded", "dataset", o.dataset, "scale", o.scale, "source", source,
 		"nodes", g.NumNodes(), "edges", g.NumEdges(), "points", g.Timeline().Len(),
 		"elapsed", time.Since(start).Round(time.Millisecond).String())
-	return g, nil
+	return g, m, nil
 }
 
 // newServer builds the server.Config for the parsed options. The returned
-// engine is non-nil when -data-dir enabled durable storage; the caller
-// must Close it after the HTTP server drains.
-func newServer(o *options, log *slog.Logger) (*server.Server, *storage.Engine, error) {
+// engine is non-nil when -data-dir enabled durable storage; the returned
+// mapping is non-nil when -mmap serves the dataset out of a file mapping.
+// The caller must Close both after the HTTP server drains.
+func newServer(o *options, log *slog.Logger) (*server.Server, *storage.Engine, *storage.Mapped, error) {
 	cfg := server.Config{
 		MaxInflight:    o.maxInflight,
 		MaxQueue:       o.maxQueue,
@@ -162,16 +181,19 @@ func newServer(o *options, log *slog.Logger) (*server.Server, *storage.Engine, e
 		CacheBytes:     o.cacheBytes,
 		Logger:         log,
 	}
-	var eng *storage.Engine
+	var (
+		eng    *storage.Engine
+		mapped *storage.Mapped
+	)
 	if o.streamSpec != "" {
 		attrs, err := parseStreamSpec(o.streamSpec)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if o.dataDir != "" {
 			policy, err := storage.ParseFsyncPolicy(o.fsync)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			eng, err = storage.Open(o.dataDir, attrs, storage.Options{
 				Fsync:             policy,
@@ -180,7 +202,7 @@ func newServer(o *options, log *slog.Logger) (*server.Server, *storage.Engine, e
 				Logger:            log,
 			})
 			if err != nil {
-				return nil, nil, fmt.Errorf("open data dir %s: %w", o.dataDir, err)
+				return nil, nil, nil, fmt.Errorf("open data dir %s: %w", o.dataDir, err)
 			}
 			cfg.Storage = eng
 			ri := eng.Recovery()
@@ -192,20 +214,24 @@ func newServer(o *options, log *slog.Logger) (*server.Server, *storage.Engine, e
 			log.Info("stream mode", "schema", o.streamSpec)
 		}
 	} else {
-		g, err := loadGraph(o, log)
+		g, m, err := loadGraph(o, log)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		cfg.Graph = g
+		mapped = m
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
 		if eng != nil {
 			eng.Close()
 		}
-		return nil, nil, err
+		if mapped != nil {
+			mapped.Close()
+		}
+		return nil, nil, nil, err
 	}
-	return srv, eng, nil
+	return srv, eng, mapped, nil
 }
 
 func newLogger(format string) *slog.Logger {
@@ -221,7 +247,7 @@ func run(args []string) error {
 		return err
 	}
 	log := newLogger(o.logFormat)
-	srv, eng, err := newServer(o, log)
+	srv, eng, mapped, err := newServer(o, log)
 	if err != nil {
 		return err
 	}
@@ -265,6 +291,12 @@ func run(args []string) error {
 			return fmt.Errorf("close storage: %w", err)
 		}
 		log.Info("storage closed", "generation", eng.Stats().Generation)
+	}
+	if mapped != nil {
+		// Queries have drained, so nothing references the mapping anymore.
+		if err := mapped.Close(); err != nil {
+			return fmt.Errorf("unmap dataset: %w", err)
+		}
 	}
 	log.Info("drained, exiting")
 	return nil

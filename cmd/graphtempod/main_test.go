@@ -52,21 +52,21 @@ func TestNewServerModes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := newServer(o, log); err != nil {
+	if _, _, _, err := newServer(o, log); err != nil {
 		t.Fatalf("static mode: %v", err)
 	}
 	o, err = parseFlags([]string{"-stream", "gender:static"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := newServer(o, log); err != nil {
+	if _, _, _, err := newServer(o, log); err != nil {
 		t.Fatalf("stream mode: %v", err)
 	}
 	o, err = parseFlags([]string{"-stream", "gender:static", "-data-dir", t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, eng, err := newServer(o, log)
+	_, eng, _, err := newServer(o, log)
 	if err != nil {
 		t.Fatalf("durable stream mode: %v", err)
 	}
@@ -78,7 +78,7 @@ func TestNewServerModes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := newServer(o, log); err == nil {
+	if _, _, _, err := newServer(o, log); err == nil {
 		t.Fatal("bad graph dir accepted")
 	}
 }

@@ -133,6 +133,14 @@ func experiments() []experiment {
 			return one(ingestFreshness("Ingest", "DBLP replay through /v1/ingest: visibility latency and refresh counters",
 				env.DBLP(), "gender", 4))
 		}},
+		{"boot", "Cold-start: decode-on-load vs zero-copy mmap snapshot serving", func(env *environment) []benchutil.Printable {
+			return one(bootColdStart("Boot", "DBLP snapshot cold start: LoadFile (decode) vs OpenMapped (zero-copy)",
+				env, []float64{1, 2, 4}))
+		}},
+		{"compress", "Operator kernels over dense vs run-compressed timestamp vectors", func(env *environment) []benchutil.Printable {
+			return one(compressKernels("Compress", "Stretched timeline (T=1024): kernel time and bytes, dense vs run-compressed",
+				env))
+		}},
 		{"fig11a", "DBLP attribute roll-up speedup (Fig. 11a)", func(env *environment) []benchutil.Printable {
 			return one(benchutil.Fig11("Fig. 11a", "DBLP: gender and publications from (gender,publications)",
 				env.DBLP(), []string{"gender", "publications"},

@@ -1,0 +1,246 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/benchutil"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ops"
+	"repro/internal/storage"
+	"repro/internal/timeline"
+)
+
+// bootColdStart measures ingest-free cold start: the same snapshot file
+// opened through the full decode path (LoadFile: checksum + column decode
+// + per-entity rebuild) and through the zero-copy path (OpenMapped: map,
+// validate section structure, alias columns in place). Three dataset
+// sizes show how the decode path scales with the graph while the mapped
+// path stays flat. Heap columns are live bytes retained by the opened
+// snapshot (runtime heap delta after GC) — the mapped file itself stays
+// in the page cache, off the Go heap.
+func bootColdStart(id, title string, env *environment, mults []float64) *benchutil.Experiment {
+	exp := &benchutil.Experiment{
+		ID:     id,
+		Title:  title,
+		XLabel: "scale",
+		Series: []string{"nodes", "edges", "file MB", "decode ms", "mmap ms", "speedup", "decode heap MB", "mmap heap MB"},
+	}
+	dir, err := os.MkdirTemp("", "gtbench-boot")
+	if err != nil {
+		panic(fmt.Sprintf("boot bench: %v", err))
+	}
+	defer os.RemoveAll(dir)
+	for _, m := range mults {
+		scale := env.scale * m
+		g := dataset.DBLPScaled(env.seed, scale)
+		path := filepath.Join(dir, fmt.Sprintf("dblp-%g.gts", scale))
+		if err := storage.SaveFile(path, g); err != nil {
+			panic(fmt.Sprintf("boot bench: save %s: %v", path, err))
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			panic(fmt.Sprintf("boot bench: %v", err))
+		}
+
+		decodeMS, decodeHeap := measureBoot(func() (any, error) { return storage.LoadFile(path) }, nil)
+		mmapMS, mmapHeap := measureBoot(func() (any, error) { return storage.OpenMapped(path) },
+			func(v any) { v.(*storage.Mapped).Close() })
+
+		speedup := 0.0
+		if mmapMS > 0 {
+			speedup = decodeMS / mmapMS
+		}
+		exp.Add(fmt.Sprintf("%g", scale),
+			float64(g.NumNodes()), float64(g.NumEdges()),
+			float64(fi.Size())/(1<<20),
+			decodeMS, mmapMS, speedup,
+			decodeHeap/(1<<20), mmapHeap/(1<<20))
+	}
+	return exp
+}
+
+// measureBoot opens a snapshot several times and returns the fastest
+// wall-clock open in milliseconds plus the live heap the opened snapshot
+// retains (delta of HeapAlloc across a forced GC, so transient decode
+// garbage does not count).
+func measureBoot(open func() (any, error), closeFn func(any)) (ms, heapBytes float64) {
+	const reps = 3
+	best := -1.0
+	for i := 0; i < reps; i++ {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		v, err := open()
+		if err != nil {
+			panic(fmt.Sprintf("boot bench: open: %v", err))
+		}
+		elapsed := float64(time.Since(start).Microseconds()) / 1000
+		runtime.GC()
+		runtime.ReadMemStats(&m1)
+		if d := float64(m1.HeapAlloc) - float64(m0.HeapAlloc); d > heapBytes {
+			heapBytes = d
+		}
+		runtime.KeepAlive(v)
+		if closeFn != nil {
+			closeFn(v)
+		}
+		if best < 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best, heapBytes
+}
+
+// compressKernels compares operator kernels over dense versus
+// run-compressed timestamp vectors on a stretched synthetic timeline
+// (T = 1024 points — DBLP's 21 yearly points never cross the ≥4-words
+// density threshold, so long timelines are where the representation
+// matters). Every node lives one contiguous run, the shape bulk loads
+// and archival graphs exhibit; the dense rows use the same graph pinned
+// to dense reads (DisableTauCompression), so both engines see identical
+// data and the result equality is asserted as a side effect.
+func compressKernels(id, title string, env *environment) *benchutil.Experiment {
+	const T = 1024
+	nodes := int(20000 * env.scale)
+	if nodes < 2000 {
+		nodes = 2000
+	}
+	dense := stretchedGraph(env.seed, nodes, T)
+	dense.DisableTauCompression()
+	comp := stretchedGraph(env.seed, nodes, T)
+
+	st := comp.TauStats()
+	exp := &benchutil.Experiment{
+		ID:     id,
+		Title:  title,
+		XLabel: "kernel",
+		Series: []string{"dense ms", "compressed ms", "speedup", "dense MB", "compressed MB", "bytes ratio"},
+	}
+	denseMB := float64(st.DenseBytes) / (1 << 20)
+	compMB := float64(st.CompressedBytes) / (1 << 20)
+
+	tl := comp.Timeline()
+	full := tl.Range(0, timeline.Time(T-1))
+	h1 := tl.Range(0, timeline.Time(T/2-1))
+	h2 := tl.Range(timeline.Time(T/2), timeline.Time(T-1))
+	schemaDense, err := agg.ByName(dense, "team")
+	if err != nil {
+		panic(fmt.Sprintf("compress bench: %v", err))
+	}
+	schemaComp, err := agg.ByName(comp, "team")
+	if err != nil {
+		panic(fmt.Sprintf("compress bench: %v", err))
+	}
+
+	kernels := []struct {
+		name string
+		run  func(g *core.Graph, s *agg.Schema) float64
+	}{
+		{"project-full", func(g *core.Graph, _ *agg.Schema) float64 {
+			return float64(ops.Project(g, full).NumNodes())
+		}},
+		{"union-halves", func(g *core.Graph, _ *agg.Schema) float64 {
+			v := ops.Union(g, h1, h2)
+			return float64(v.NumNodes() + v.NumEdges())
+		}},
+		{"intersect-halves", func(g *core.Graph, _ *agg.Schema) float64 {
+			v := ops.Intersection(g, h1, h2)
+			return float64(v.NumNodes() + v.NumEdges())
+		}},
+		{"union-agg-all", func(g *core.Graph, s *agg.Schema) float64 {
+			ag := agg.Aggregate(ops.Union(g, h1, h2), s, agg.All)
+			sum := 0.0
+			for _, w := range ag.Nodes {
+				sum += float64(w)
+			}
+			return sum
+		}},
+	}
+	for _, k := range kernels {
+		dMS, dChk := kernelTime(func() float64 { return k.run(dense, schemaDense) })
+		cMS, cChk := kernelTime(func() float64 { return k.run(comp, schemaComp) })
+		if dChk != cChk {
+			panic(fmt.Sprintf("compress bench: %s: dense result %v != compressed %v", k.name, dChk, cChk))
+		}
+		speedup := 0.0
+		if cMS > 0 {
+			speedup = dMS / cMS
+		}
+		exp.Add(k.name, dMS, cMS, speedup, denseMB, compMB, st.Ratio())
+	}
+	return exp
+}
+
+// kernelTime runs fn a few times and returns the fastest wall time in
+// milliseconds (noise-floor comparison) plus fn's checksum (for
+// dense/compressed equality).
+func kernelTime(fn func() float64) (ms, checksum float64) {
+	const reps = 7
+	best := -1.0
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		checksum = fn()
+		if t := float64(time.Since(start).Microseconds()) / 1000; best < 0 || t < best {
+			best = t
+		}
+	}
+	return best, checksum
+}
+
+// stretchedGraph builds a synthetic archival-shaped graph: T time points,
+// each node alive for one long contiguous run, chain edges alive on the
+// overlap of their endpoints' runs. Run-length compression represents
+// each such vector in one 8-byte run against T/8 dense bytes.
+func stretchedGraph(seed int64, nodes, T int) *core.Graph {
+	labels := make([]string, T)
+	for t := range labels {
+		labels[t] = fmt.Sprintf("p%04d", t)
+	}
+	tl := timeline.MustNew(labels...)
+	b := core.NewBuilder(tl, core.AttrSpec{Name: "team", Kind: core.Static})
+	r := rand.New(rand.NewSource(seed))
+	starts := make([]int, nodes)
+	ends := make([]int, nodes)
+	for n := 0; n < nodes; n++ {
+		id := b.AddNode(fmt.Sprintf("n%06d", n))
+		b.SetStatic(0, id, fmt.Sprintf("team%d", r.Intn(8)))
+		start := r.Intn(T / 2)
+		end := start + T/4 + r.Intn(T/4)
+		if end > T {
+			end = T
+		}
+		starts[n], ends[n] = start, end
+		for t := start; t < end; t++ {
+			b.SetNodeTime(id, timeline.Time(t))
+		}
+	}
+	for n := 0; n+1 < nodes; n++ {
+		lo, hi := starts[n], ends[n]
+		if starts[n+1] > lo {
+			lo = starts[n+1]
+		}
+		if ends[n+1] < hi {
+			hi = ends[n+1]
+		}
+		if lo >= hi {
+			continue
+		}
+		e := b.AddEdge(core.NodeID(n), core.NodeID(n+1))
+		for t := lo; t < hi; t++ {
+			b.SetEdgeTime(e, timeline.Time(t))
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("compress bench: build: %v", err))
+	}
+	return g
+}

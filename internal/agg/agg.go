@@ -67,6 +67,7 @@ type Schema struct {
 	radices   []int64
 	domain    int64
 	allStatic bool
+	preferMap bool
 
 	// Dense-kernel state (dense.go): pooled flat accumulators, and the
 	// lazily built per-node static tuple codes for all-static schemas.

@@ -34,8 +34,17 @@ const DenseDomainLimit = 1024
 
 // denseEligible reports whether the dense kernel serves this schema.
 func (s *Schema) denseEligible() bool {
-	return s.domain > 0 && s.domain <= DenseDomainLimit
+	return !s.preferMap && s.domain > 0 && s.domain <= DenseDomainLimit
 }
+
+// PreferMapKernel pins the schema to the map kernels even when the tuple
+// domain is small enough for the dense flat-array kernel. The query
+// planner's feedback loop calls it when observed cardinalities show the
+// domain is sparsely occupied (the d² edge slot space dwarfs the data), so
+// the dense arrays' allocation and clearing cost cannot amortize. Must be
+// set before the schema's first Aggregate use; both kernels produce
+// identical results, so the switch only ever trades performance.
+func (s *Schema) PreferMapKernel() { s.preferMap = true }
 
 // KernelName reports which aggregation kernel Aggregate would select for
 // this schema: "dense" (flat-array accumulators), "static" (map kernel over
@@ -189,17 +198,17 @@ func denseStatic(v *ops.View, s *Schema, kind Kind, sc *denseScratch, nLo, nHi, 
 }
 
 // denseVarying handles time-varying schemas: tuples are collected per time
-// point of each entity's restricted timestamp via word-level intersection
-// of τ(x) with the view interval (no bitset materialization); DIST
+// point of each entity's restricted timestamp through the view's
+// representation-aware iteration (run walks on compressed vectors,
+// word-level intersection on dense ones — no bitset materialization); DIST
 // deduplicates per entity with generation stamps instead of per-entity
 // maps.
 func denseVarying(v *ops.View, s *Schema, kind Kind, sc *denseScratch, nLo, nHi, eLo, eHi int) {
 	g := s.g
-	mask := v.Times().Mask()
 	dist := kind == Distinct
 	v.ForEachNodeIn(nLo, nHi, func(n core.NodeID) {
 		sc.gen++
-		g.NodeTau(n).ForEachAnd(mask, func(t int) {
+		v.ForEachNodeTime(n, func(t int) {
 			tu, ok := s.TupleAt(n, timeline.Time(t))
 			if !ok {
 				return
@@ -220,7 +229,7 @@ func denseVarying(v *ops.View, s *Schema, kind Kind, sc *denseScratch, nLo, nHi,
 	v.ForEachEdgeIn(eLo, eHi, func(e core.EdgeID) {
 		sc.gen++
 		ep := g.Edge(e)
-		g.EdgeTau(e).ForEachAnd(mask, func(t int) {
+		v.ForEachEdgeTime(e, func(t int) {
 			fu, ok1 := s.TupleAt(ep.U, timeline.Time(t))
 			tu, ok2 := s.TupleAt(ep.V, timeline.Time(t))
 			if !ok1 || !ok2 {

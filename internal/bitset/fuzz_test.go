@@ -1,0 +1,48 @@
+package bitset_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+// FuzzDecodeRuns is the codec round-trip fuzz target of satellite 1:
+// arbitrary input must either decode into a vector whose re-encoding is
+// canonical (byte-identical to AppendBinary of the decoded form) or fail
+// with an error wrapping ErrCorrupt — it must never panic.
+func FuzzDecodeRuns(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(bitset.RunsOf(bitset.FromIndices(0)).AppendBinary(nil))
+	f.Add(bitset.RunsOf(bitset.FromIndices(100, 1, 2, 3, 40, 41, 90)).AppendBinary(nil))
+	full := bitset.New(200)
+	full.SetAll()
+	f.Add(bitset.RunsOf(full).AppendBinary(nil))
+	f.Add([]byte{10, 200, 1})
+	f.Add([]byte{20, 2, 1, 2, 0, 2})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, used, err := bitset.DecodeRuns(data)
+		if err != nil {
+			if !errors.Is(err, bitset.ErrCorrupt) {
+				t.Fatalf("decode error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		if used > len(data) {
+			t.Fatalf("consumed %d of %d bytes", used, len(data))
+		}
+		// Canonical re-encode: decode(encode(decode(x))) is a fixpoint.
+		enc := r.AppendBinary(nil)
+		if !bytes.Equal(enc, data[:used]) {
+			t.Fatalf("re-encode not canonical:\n got %x\nwant %x", enc, data[:used])
+		}
+		// The decoded vector must agree with its own dense form.
+		d := r.Dense()
+		if r.Count() != d.Count() || r.String() != d.String() {
+			t.Fatalf("decoded vector inconsistent with dense form")
+		}
+	})
+}

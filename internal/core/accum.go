@@ -77,6 +77,25 @@ type Accumulator struct {
 	edgeTau    []*bitset.Set
 	edgeTauGen []uint64
 
+	// The tau pointer slices are shared with the newest snapshot up to the
+	// frozen length: appends land beyond it and are invisible to the
+	// length-clipped snapshot header, and the first pointer replacement
+	// below it copies the slice (copy-on-write). This makes Snapshot itself
+	// O(1) on the tau slices — the per-batch copy happens at most once per
+	// side, and only for batches that re-touch pre-snapshot entities.
+	nodeTauShared bool
+	nodeTauFrozen int
+	edgeTauShared bool
+	edgeTauFrozen int
+
+	// Per-snapshot clone caches: a dictionary (or the timeline) that did
+	// not grow since the previous snapshot is shared with it instead of
+	// being cloned again — published clones are never mutated, so reuse is
+	// safe.
+	dictSnap    []*dict.Dict
+	dictSnapLen []int
+	tlSnap      *timeline.Timeline
+
 	// static[a] is the per-node value column of static attribute a (nil for
 	// time-varying attributes). staticFrozen[a] is the column length visible
 	// to the newest snapshot: writes below it copy the column first.
@@ -104,6 +123,8 @@ func NewAccumulator(attrs ...AttrSpec) *Accumulator {
 		staticFrozen: make([]int, len(attrs)),
 		varyingT:     make([][][]dict.Code, len(attrs)),
 		curVarying:   make([]map[NodeID]dict.Code, len(attrs)),
+		dictSnap:     make([]*dict.Dict, len(attrs)),
+		dictSnapLen:  make([]int, len(attrs)),
 	}
 	seen := make(map[string]bool, len(attrs))
 	for i, spec := range attrs {
@@ -206,8 +227,17 @@ func (a *Accumulator) EnsureNode(label string) NodeID {
 
 // SetNodeTime marks node n as existing at the current point.
 func (a *Accumulator) SetNodeTime(n NodeID) {
-	a.nodeTau[n] = a.touch(a.nodeTau[n], &a.nodeTauGen[n])
-	a.nodeTau[n].Add(len(a.labels) - 1)
+	s := a.touch(a.nodeTau[n], &a.nodeTauGen[n])
+	if s != a.nodeTau[n] {
+		// Replacing a pointer below the frozen length would mutate the
+		// newest snapshot's view: copy the slice first (once per batch).
+		if a.nodeTauShared && int(n) < a.nodeTauFrozen {
+			a.nodeTau = append([]*bitset.Set(nil), a.nodeTau...)
+			a.nodeTauShared = false
+		}
+		a.nodeTau[n] = s
+	}
+	s.Add(len(a.labels) - 1)
 }
 
 // touch prepares a timestamp bitset for mutation at the current point:
@@ -239,8 +269,15 @@ func (a *Accumulator) EnsureEdge(u, v NodeID) EdgeID {
 
 // SetEdgeTime marks edge e as existing at the current point.
 func (a *Accumulator) SetEdgeTime(e EdgeID) {
-	a.edgeTau[e] = a.touch(a.edgeTau[e], &a.edgeTauGen[e])
-	a.edgeTau[e].Add(len(a.labels) - 1)
+	s := a.touch(a.edgeTau[e], &a.edgeTauGen[e])
+	if s != a.edgeTau[e] {
+		if a.edgeTauShared && int(e) < a.edgeTauFrozen {
+			a.edgeTau = append([]*bitset.Set(nil), a.edgeTau...)
+			a.edgeTauShared = false
+		}
+		a.edgeTau[e] = s
+	}
+	s.Add(len(a.labels) - 1)
 }
 
 // SetStatic records the value of static attribute attr for node n. Writing
@@ -270,33 +307,46 @@ func (a *Accumulator) SetVarying(attr AttrID, n NodeID, value string) {
 	a.curVarying[attr][n] = a.dicts[attr].Put(value)
 }
 
-// Snapshot freezes the accumulated state into an immutable Graph. The cost
-// is O(nodes + edges) pointer copies plus O(points) for the timeline —
-// independent of how much history each entity carries. It panics when no
-// point has been appended (a graph needs a non-empty timeline).
+// Snapshot freezes the accumulated state into an immutable Graph. The tau
+// pointer slices, the timeline and the dictionaries are shared with the
+// accumulator (and re-cloned lazily only when a later batch actually
+// dirties them), so the cost is O(new entities + new points) per batch
+// instead of O(nodes + edges) — independent of how much history each
+// entity carries. It panics when no point has been appended (a graph
+// needs a non-empty timeline).
 func (a *Accumulator) Snapshot() *Graph {
 	if len(a.labels) == 0 {
 		panic("core: snapshot of an accumulator with no time points")
 	}
 	a.finishPoint()
-	tl, err := timeline.New(a.labels...)
-	if err != nil {
-		panic("core: " + err.Error()) // duplicate labels are rejected at AddPoint by callers
+	tl := a.tlSnap
+	if tl == nil || tl.Len() != len(a.labels) {
+		var err error
+		if tl, err = timeline.New(a.labels...); err != nil {
+			panic("core: " + err.Error()) // duplicate labels are rejected at AddPoint by callers
+		}
+		a.tlSnap = tl
 	}
 	g := &Graph{
 		tl:         tl,
 		attrs:      a.attrs,
 		dicts:      make([]*dict.Dict, len(a.dicts)),
 		nodeLabels: a.nodeLabels[:len(a.nodeLabels):len(a.nodeLabels)],
-		nodeTau:    append([]*bitset.Set(nil), a.nodeTau...),
+		nodeTau:    a.nodeTau[:len(a.nodeTau):len(a.nodeTau)],
 		edges:      a.edges[:len(a.edges):len(a.edges)],
-		edgeTau:    append([]*bitset.Set(nil), a.edgeTau...),
+		edgeTau:    a.edgeTau[:len(a.edgeTau):len(a.edgeTau)],
 		static:     make([][]dict.Code, len(a.attrs)),
 		varyingT:   make([][][]dict.Code, len(a.attrs)),
 		shared:     a.index,
 	}
+	a.nodeTauShared, a.nodeTauFrozen = true, len(a.nodeTau)
+	a.edgeTauShared, a.edgeTauFrozen = true, len(a.edgeTau)
 	for i, d := range a.dicts {
-		g.dicts[i] = d.Clone()
+		if a.dictSnap[i] == nil || a.dictSnapLen[i] != d.Len() {
+			a.dictSnap[i] = d.Clone()
+			a.dictSnapLen[i] = d.Len()
+		}
+		g.dicts[i] = a.dictSnap[i]
 	}
 	for ai := range a.attrs {
 		if a.attrs[ai].Kind == Static {

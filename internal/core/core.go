@@ -16,6 +16,8 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/dict"
@@ -92,6 +94,26 @@ type Graph struct {
 	// the accumulator's lock-guarded index, clipped to this snapshot's
 	// node/edge counts. nodeIndex/edgeIndex are nil in that case.
 	shared *sharedIndex
+
+	// idxOnce builds nodeIndex/edgeIndex lazily for FromColumns graphs
+	// (mmap boot must not pay an O(V+E) map build before first lookup).
+	idxOnce sync.Once
+
+	// Run-compressed timestamp forms (columns.go): built once on first
+	// NodeTauVec/EdgeTauVec call, per-vector by the bitset density
+	// heuristic. nil slices mean "serve the dense sets".
+	vecOnce  sync.Once
+	vecBuilt atomic.Bool
+	nodeVec  []bitset.Vector
+	edgeVec  []bitset.Vector
+	tauStats TauStats
+	// noCompress pins every vector to dense form: the cross-checked
+	// reference configuration (tests, planner compressed-vs-dense choice).
+	noCompress bool
+	// preNodeVec/preEdgeVec hold decoded run forms injected by the
+	// snapshot reader (secTauRuns), so loading skips the compression scan.
+	preNodeVec []bitset.Vector
+	preEdgeVec []bitset.Vector
 }
 
 // Timeline returns the graph's time domain.
@@ -144,6 +166,7 @@ func (g *Graph) NodeByLabel(label string) (NodeID, bool) {
 	if g.shared != nil {
 		return g.shared.nodeByLabel(label, len(g.nodeLabels))
 	}
+	g.idxOnce.Do(g.buildIndexes)
 	n, ok := g.nodeIndex[label]
 	return n, ok
 }
@@ -160,6 +183,7 @@ func (g *Graph) EdgeByEndpoints(u, v NodeID) (EdgeID, bool) {
 	if g.shared != nil {
 		return g.shared.edgeByEndpoints(Endpoints{u, v}, len(g.edges))
 	}
+	g.idxOnce.Do(g.buildIndexes)
 	e, ok := g.edgeIndex[Endpoints{u, v}]
 	return e, ok
 }
@@ -338,6 +362,16 @@ func (b *Builder) AddEdge(u, v NodeID) EdgeID {
 // SetEdgeTime marks edge e as existing at time t.
 func (b *Builder) SetEdgeTime(e EdgeID, t timeline.Time) {
 	b.edgeTau[e].Add(int(t))
+}
+
+// InternValues pre-loads attribute a's dictionary with values in order,
+// pinning their code assignment. The snapshot reader uses it so a reloaded
+// graph reproduces the exact dictionary (and therefore tuple-code) layout
+// of the saved one; later SetStatic/SetVarying calls re-intern idempotently.
+func (b *Builder) InternValues(a AttrID, values ...string) {
+	for _, v := range values {
+		b.dicts[a].Put(v)
+	}
 }
 
 // SetStatic assigns the value of static attribute a for node n.

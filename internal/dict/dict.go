@@ -43,6 +43,20 @@ func (d *Dict) Put(v string) Code {
 	return c
 }
 
+// FromValues returns a dictionary whose codes are the positions of values,
+// in order — the code assignment a snapshot reader must reproduce exactly
+// so persisted tuple codes keep their meaning. values must be distinct.
+func FromValues(values []string) *Dict {
+	d := &Dict{codes: make(map[string]Code, len(values)), values: append([]string(nil), values...)}
+	for i, v := range values {
+		if _, dup := d.codes[v]; dup {
+			panic(fmt.Sprintf("dict: duplicate value %q in FromValues", v))
+		}
+		d.codes[v] = Code(i)
+	}
+	return d
+}
+
 // Code returns the code for v, or None if v has never been interned.
 func (d *Dict) Code(v string) Code {
 	if c, ok := d.codes[v]; ok {

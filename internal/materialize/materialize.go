@@ -53,16 +53,18 @@ type Store struct {
 }
 
 // NewStore materializes the per-time-point ALL aggregates of g under s.
+// All-static schemas (the common materialization unit) are built by one
+// pass over the entities' timestamp runs (static.go) instead of one
+// aggregation per time point; time-varying schemas take the per-point
+// loop.
 func NewStore(g *core.Graph, s *agg.Schema) *Store {
 	if s.Graph() != g {
 		panic("materialize: schema built on a different graph")
 	}
-	n := g.Timeline().Len()
-	st := &Store{schema: s, perPoint: make([]*agg.Graph, n)}
-	for t := 0; t < n; t++ {
-		st.perPoint[t] = agg.Aggregate(ops.At(g, timeline.Time(t)), s, agg.All)
+	if s.AllStatic() {
+		return &Store{schema: s, perPoint: buildPointsStatic(g, s)}
 	}
-	return st
+	return &Store{schema: s, perPoint: referencePointsLoop(g, s)}
 }
 
 // Append returns a new store extending st with the time points newG has

@@ -130,7 +130,7 @@ func (iv *IncrementalView) Edges() *bitset.Set { return iv.edges }
 // The view aliases the IncrementalView's bitsets: it is valid until the
 // next Extend/Reset call.
 func (iv *IncrementalView) View() *View {
-	return &View{g: iv.ix.g, nodes: iv.nodes, edges: iv.edges, times: iv.times}
+	return newView(iv.ix.g, iv.nodes, iv.edges, iv.times)
 }
 
 // PairView combines two IncrementalViews into the stability or difference

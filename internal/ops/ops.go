@@ -23,6 +23,71 @@ type View struct {
 	nodes *bitset.Set // over node ids
 	edges *bitset.Set // over edge ids
 	times timeline.Interval
+
+	// contig/rlo/rhi cache the contiguity of times, computed once at view
+	// construction: when the interval is one contiguous range [rlo, rhi),
+	// per-entity timestamp work uses the Vector range fast paths (O(runs)
+	// on compressed vectors) instead of mask scans.
+	contig   bool
+	rlo, rhi int
+	// denseTaus pins this view's timestamp reads to the dense sets — the
+	// planner's compressed-vs-dense escape hatch and the reference engine
+	// of the equivalence suite.
+	denseTaus bool
+}
+
+// newView computes the contiguity cache for the interval.
+func newView(g *core.Graph, nodes, edges *bitset.Set, times timeline.Interval) *View {
+	v := &View{g: g, nodes: nodes, edges: edges, times: times}
+	v.rlo, v.rhi, v.contig = contigRange(times.Mask())
+	return v
+}
+
+// contigRange reports whether mask is one contiguous run [lo, hi); a nil
+// or empty mask is the empty range [0, 0).
+func contigRange(mask *bitset.Set) (lo, hi int, ok bool) {
+	if mask == nil {
+		return 0, 0, true
+	}
+	lo = mask.Next(0)
+	if lo < 0 {
+		return 0, 0, true
+	}
+	if c := mask.Count(); mask.ContainsRange(lo, lo+c) {
+		return lo, lo + c, true
+	}
+	return 0, 0, false
+}
+
+// intersectsPred returns the τ ∩ mask ≠ ∅ test, routed through the range
+// fast path (O(runs) on compressed vectors) when mask is contiguous —
+// the same dispatch Project and Union inline via the view's cache.
+func intersectsPred(mask *bitset.Set) func(bitset.Vector) bool {
+	if lo, hi, ok := contigRange(mask); ok {
+		return func(v bitset.Vector) bool { return v.IntersectsRange(lo, hi) }
+	}
+	return func(v bitset.Vector) bool { return v.Intersects(mask) }
+}
+
+// ForceDenseTaus makes every timestamp read of this view use the dense
+// bitsets even when the graph chose compressed forms. Call before sharing
+// the view across goroutines.
+func (v *View) ForceDenseTaus() { v.denseTaus = true }
+
+// nodeVec returns node n's timestamp in the representation this view reads.
+func (v *View) nodeVec(n core.NodeID) bitset.Vector {
+	if v.denseTaus {
+		return v.g.NodeTau(n)
+	}
+	return v.g.NodeTauVec(n)
+}
+
+// edgeVec returns edge e's timestamp in the representation this view reads.
+func (v *View) edgeVec(e core.EdgeID) bitset.Vector {
+	if v.denseTaus {
+		return v.g.EdgeTau(e)
+	}
+	return v.g.EdgeTauVec(e)
 }
 
 // Graph returns the base graph the view selects from.
@@ -82,32 +147,59 @@ func (v *View) EdgeTimes(e core.EdgeID) *bitset.Set {
 // NodeTimesCount returns |τu'(n)| without materializing the intersection;
 // it is the appearance count ALL aggregation needs on static schemas.
 func (v *View) NodeTimesCount(n core.NodeID) int {
-	return v.g.NodeTau(n).CountAnd(v.times.Mask())
+	if v.contig {
+		return v.nodeVec(n).CountRange(v.rlo, v.rhi)
+	}
+	return v.nodeVec(n).CountAnd(v.times.Mask())
 }
 
 // EdgeTimesCount returns |τe'(e)| without materializing the intersection.
 func (v *View) EdgeTimesCount(e core.EdgeID) int {
-	return v.g.EdgeTau(e).CountAnd(v.times.Mask())
+	if v.contig {
+		return v.edgeVec(e).CountRange(v.rlo, v.rhi)
+	}
+	return v.edgeVec(e).CountAnd(v.times.Mask())
+}
+
+// ForEachNodeTime calls fn for every t ∈ τu'(n), in increasing order,
+// without materializing the intersection — the per-appearance loop of ALL
+// aggregation over time-varying schemas.
+func (v *View) ForEachNodeTime(n core.NodeID, fn func(t int)) {
+	if v.contig {
+		v.nodeVec(n).ForEachInRange(v.rlo, v.rhi, fn)
+		return
+	}
+	v.nodeVec(n).ForEachAnd(v.times.Mask(), fn)
+}
+
+// ForEachEdgeTime calls fn for every t ∈ τe'(e), in increasing order.
+func (v *View) ForEachEdgeTime(e core.EdgeID, fn func(t int)) {
+	if v.contig {
+		v.edgeVec(e).ForEachInRange(v.rlo, v.rhi, fn)
+		return
+	}
+	v.edgeVec(e).ForEachAnd(v.times.Mask(), fn)
 }
 
 // Project implements the time project operator (Definition 2.2): the
 // subgraph containing the nodes and edges that exist throughout T1
 // (T1 ⊆ τ(x)), with timestamps restricted to T1.
 func Project(g *core.Graph, t1 timeline.Interval) *View {
+	v := newView(g, bitset.New(g.NumNodes()), bitset.New(g.NumEdges()), t1)
 	mask := t1.Mask()
-	nodes := bitset.New(g.NumNodes())
 	for n := 0; n < g.NumNodes(); n++ {
-		if g.NodeTau(core.NodeID(n)).ContainsAll(mask) {
-			nodes.Add(n)
+		tau := g.NodeTauVec(core.NodeID(n))
+		if v.contig && tau.ContainsRange(v.rlo, v.rhi) || !v.contig && tau.ContainsAll(mask) {
+			v.nodes.Add(n)
 		}
 	}
-	edges := bitset.New(g.NumEdges())
 	for e := 0; e < g.NumEdges(); e++ {
-		if g.EdgeTau(core.EdgeID(e)).ContainsAll(mask) {
-			edges.Add(e)
+		tau := g.EdgeTauVec(core.EdgeID(e))
+		if v.contig && tau.ContainsRange(v.rlo, v.rhi) || !v.contig && tau.ContainsAll(mask) {
+			v.edges.Add(e)
 		}
 	}
-	return &View{g: g, nodes: nodes, edges: edges, times: t1}
+	return v
 }
 
 // At is shorthand for Project on the single time point t — the per-time-
@@ -121,42 +213,42 @@ func At(g *core.Graph, t timeline.Time) *View {
 // T2, with timestamps restricted to T1 ∪ T2.
 func Union(g *core.Graph, t1, t2 timeline.Interval) *View {
 	both := t1.Union(t2)
+	v := newView(g, bitset.New(g.NumNodes()), bitset.New(g.NumEdges()), both)
 	mask := both.Mask()
-	nodes := bitset.New(g.NumNodes())
 	for n := 0; n < g.NumNodes(); n++ {
-		if g.NodeTau(core.NodeID(n)).Intersects(mask) {
-			nodes.Add(n)
+		tau := g.NodeTauVec(core.NodeID(n))
+		if v.contig && tau.IntersectsRange(v.rlo, v.rhi) || !v.contig && tau.Intersects(mask) {
+			v.nodes.Add(n)
 		}
 	}
-	edges := bitset.New(g.NumEdges())
 	for e := 0; e < g.NumEdges(); e++ {
-		if g.EdgeTau(core.EdgeID(e)).Intersects(mask) {
-			edges.Add(e)
+		tau := g.EdgeTauVec(core.EdgeID(e))
+		if v.contig && tau.IntersectsRange(v.rlo, v.rhi) || !v.contig && tau.Intersects(mask) {
+			v.edges.Add(e)
 		}
 	}
-	return &View{g: g, nodes: nodes, edges: edges, times: both}
+	return v
 }
 
 // Intersection implements the intersection operator (Definition 2.4): the
 // stable part of the graph — nodes and edges existing at some point of T1
 // and at some point of T2 — with timestamps restricted to T1 ∪ T2.
 func Intersection(g *core.Graph, t1, t2 timeline.Interval) *View {
-	m1, m2 := t1.Mask(), t2.Mask()
-	nodes := bitset.New(g.NumNodes())
+	in1, in2 := intersectsPred(t1.Mask()), intersectsPred(t2.Mask())
+	v := newView(g, bitset.New(g.NumNodes()), bitset.New(g.NumEdges()), t1.Union(t2))
 	for n := 0; n < g.NumNodes(); n++ {
-		tau := g.NodeTau(core.NodeID(n))
-		if tau.Intersects(m1) && tau.Intersects(m2) {
-			nodes.Add(n)
+		tau := g.NodeTauVec(core.NodeID(n))
+		if in1(tau) && in2(tau) {
+			v.nodes.Add(n)
 		}
 	}
-	edges := bitset.New(g.NumEdges())
 	for e := 0; e < g.NumEdges(); e++ {
-		tau := g.EdgeTau(core.EdgeID(e))
-		if tau.Intersects(m1) && tau.Intersects(m2) {
-			edges.Add(e)
+		tau := g.EdgeTauVec(core.EdgeID(e))
+		if in1(tau) && in2(tau) {
+			v.edges.Add(e)
 		}
 	}
-	return &View{g: g, nodes: nodes, edges: edges, times: t1.Union(t2)}
+	return v
 }
 
 // Difference implements the difference operator (Definition 2.5) for
@@ -166,12 +258,12 @@ func Intersection(g *core.Graph, t1, t2 timeline.Interval) *View {
 // Timestamps are restricted to T1. The operator is not symmetric: T2 − T1
 // (with T1 preceding T2) captures growth instead of shrinkage (§2.1).
 func Difference(g *core.Graph, t1, t2 timeline.Interval) *View {
-	m1, m2 := t1.Mask(), t2.Mask()
+	in1, in2 := intersectsPred(t1.Mask()), intersectsPred(t2.Mask())
 	edges := bitset.New(g.NumEdges())
 	endpoint := bitset.New(g.NumNodes())
 	for e := 0; e < g.NumEdges(); e++ {
-		tau := g.EdgeTau(core.EdgeID(e))
-		if tau.Intersects(m1) && !tau.Intersects(m2) {
+		tau := g.EdgeTauVec(core.EdgeID(e))
+		if in1(tau) && !in2(tau) {
 			edges.Add(e)
 			ep := g.Edge(core.EdgeID(e))
 			endpoint.Add(int(ep.U))
@@ -180,12 +272,12 @@ func Difference(g *core.Graph, t1, t2 timeline.Interval) *View {
 	}
 	nodes := bitset.New(g.NumNodes())
 	for n := 0; n < g.NumNodes(); n++ {
-		tau := g.NodeTau(core.NodeID(n))
-		if tau.Intersects(m1) && (!tau.Intersects(m2) || endpoint.Contains(n)) {
+		tau := g.NodeTauVec(core.NodeID(n))
+		if in1(tau) && (!in2(tau) || endpoint.Contains(n)) {
 			nodes.Add(n)
 		}
 	}
-	return &View{g: g, nodes: nodes, edges: edges, times: t1}
+	return newView(g, nodes, edges, t1)
 }
 
 // Materialize copies a view out into a standalone graph, as the paper's

@@ -55,7 +55,7 @@ func StabilityView(g *core.Graph, old, new Sel) *View {
 			edges.Add(e)
 		}
 	}
-	return &View{g: g, nodes: nodes, edges: edges, times: old.Interval.Union(new.Interval)}
+	return newView(g, nodes, edges, old.Interval.Union(new.Interval))
 }
 
 // DifferenceView generalizes the difference operator (Definition 2.5) to
@@ -85,5 +85,5 @@ func DifferenceView(g *core.Graph, pos, neg Sel) *View {
 			nodes.Add(n)
 		}
 	}
-	return &View{g: g, nodes: nodes, edges: edges, times: pos.Interval}
+	return newView(g, nodes, edges, pos.Interval)
 }

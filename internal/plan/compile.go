@@ -35,6 +35,10 @@ type Env struct {
 	// Cache, when set, memoizes compiled plans on the canonical query text
 	// (generation-keyed on Graph/Catalog identity).
 	Cache *Cache
+	// Feedback, when set, records observed cardinalities and run ratios
+	// from executed plans and adapts Compile's selections (serial vs
+	// parallel, dense vs map kernel, catalog vs direct scan) to them.
+	Feedback *Feedback
 }
 
 // Result holds the output of one executed plan; the fields mirror the
@@ -107,6 +111,11 @@ func Compile(env Env, node Logical) (*Plan, error) {
 	var key string
 	if env.Cache != nil {
 		key = cacheKey(node, workers)
+		if env.Feedback != nil {
+			// New observations bump the epoch, so an adapted selection takes
+			// effect on the next compile instead of hiding behind the cache.
+			key += "|fb=" + strconv.Itoa(env.Feedback.epochFor(node.Key()))
+		}
 		if p := env.Cache.lookup(env.Graph, env.Catalog, key); p != nil {
 			CacheHits.Inc()
 			return p, nil
@@ -228,7 +237,17 @@ func compileAggregate(env Env, workers int, q *Aggregate) (physOp, int, error) {
 	// scratch) instead of recomputing from the base graph. DIST aggregates
 	// are not T-distributive (distinct entities cannot be identified
 	// across precomputed per-point graphs), so they always recompute.
-	if q.Op.Op == OpUnion && kind == agg.All && env.Catalog != nil {
+	// Recorded feedback can override both the catalog choice (when
+	// compressed timestamp scans make direct recompute decisively cheaper
+	// than composition) and the view operator's engine selections.
+	useCatalog := q.Op.Op == OpUnion && kind == agg.All && env.Catalog != nil
+	var composeCost int64
+	if useCatalog {
+		composeCost = int64(a.Union(b).Len()) * schema.Domain()
+	}
+	ad := adaptAggregate(env.Feedback, q.Key(), workers,
+		agg.ParallelMinEntities(), schema.Domain(), scanCost(g), composeCost)
+	if useCatalog && !ad.bypassCatalog {
 		return &catalogAggOp{
 			cat:    env.Catalog,
 			iv:     a.Union(b),
@@ -237,12 +256,20 @@ func compileAggregate(env Env, workers int, q *Aggregate) (physOp, int, error) {
 			g:      g,
 		}, maxTime, nil
 	}
+	if ad.preferMap {
+		// The schema is freshly resolved for this compile, so pinning its
+		// kernel here affects exactly the plans built from it.
+		schema.PreferMapKernel()
+	}
 	return &viewAggOp{
 		view:    newViewOp(g, q.Op.Op, a, b),
 		schema:  schema,
 		kind:    kind,
-		workers: workers,
-		cost:    scanCost(g),
+		workers: ad.workers,
+		cost:    ad.scanCost,
+		fb:      env.Feedback,
+		fbKey:   q.Key(),
+		note:    ad.note(),
 	}, maxTime, nil
 }
 

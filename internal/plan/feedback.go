@@ -1,0 +1,256 @@
+package plan
+
+import (
+	"strconv"
+	"sync"
+)
+
+// Feedback closes the planner's loop: executed plans record what they
+// actually observed — the view's selected entity count, the aggregate's
+// output cardinality, the graph's timestamp compression ratio — and
+// Compile consults those observations the next time the same logical query
+// is planned. The cost model alone sees only graph-wide totals (scanCost =
+// |V|+|E|); observations are per-query and per-dataset, so they can demote
+// a parallel plan whose merge dominates, prefer the map kernel for a
+// sparsely occupied tuple domain, or bypass the catalog when compressed
+// timestamp scans make direct recompute cheaper than composition.
+//
+// Observations are advisory: a stale or wrong one costs performance, never
+// correctness (every operator computes the same result on every engine).
+// They are keyed on the canonical logical text (Logical.Key, without the
+// workers suffix the plan cache adds — the data shape of a query does not
+// depend on the requested parallelism) and bounded FIFO like the plan
+// cache. Safe for concurrent use.
+type Feedback struct {
+	mu    sync.Mutex
+	obs   map[string]*Observation
+	order []string
+	max   int
+
+	ratio      float64 // latest observed TauStats.Ratio
+	hasRatio   bool
+	ratioEpoch int
+}
+
+// Observation is what one executed plan reported about a logical query.
+type Observation struct {
+	// Entities is the entity count (nodes + edges) the plan's view selected.
+	Entities int
+	// Results is the output cardinality: distinct aggregate node tuples
+	// plus edge tuple pairs. Against Entities it bounds the per-worker
+	// merge cost of the parallel engine.
+	Results int
+	// Executions counts how many runs reported this key.
+	Executions int64
+
+	// epoch increments when an observation materially changes the decision
+	// inputs (first record, or a ≥2x move in either cardinality). The plan
+	// cache key includes it, so adapted selections take effect on the next
+	// compile instead of being pinned behind a stale cached plan.
+	epoch int
+}
+
+// feedbackMaxKeys bounds the observation map; FIFO eviction past it.
+const feedbackMaxKeys = 1024
+
+// NewFeedback returns an empty feedback store.
+func NewFeedback() *Feedback {
+	return &Feedback{obs: make(map[string]*Observation), max: feedbackMaxKeys}
+}
+
+// materially reports whether b is a ≥2x move from a in either direction —
+// the hysteresis that keeps repeated executions of a stable query from
+// bumping epochs (and re-compiling) forever.
+func materially(a, b int) bool {
+	if a == b {
+		return false
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return lo*2 <= hi
+}
+
+// observe records one execution's cardinalities for a logical key.
+func (f *Feedback) observe(key string, entities, results int) {
+	if f == nil {
+		return
+	}
+	Feedbacks.Cardinality.Inc()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	o := f.obs[key]
+	if o == nil {
+		for len(f.order) >= f.max {
+			delete(f.obs, f.order[0])
+			f.order = f.order[1:]
+		}
+		o = &Observation{epoch: 1}
+		f.obs[key] = o
+		f.order = append(f.order, key)
+	} else if materially(o.Entities, entities) || materially(o.Results, results) {
+		o.epoch++
+	}
+	o.Entities, o.Results = entities, results
+	o.Executions++
+}
+
+// observeRatio records the graph's timestamp compression ratio
+// (TauStats.Ratio: compressed bytes over dense bytes, 1 = nothing
+// compressed) as reported after an execution. The first record and any
+// ≥25% relative move bump the ratio epoch.
+func (f *Feedback) observeRatio(r float64) {
+	if f == nil {
+		return
+	}
+	Feedbacks.RunRatio.Inc()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.hasRatio || r < f.ratio*0.75 || r > f.ratio*1.25 {
+		f.ratioEpoch++
+	}
+	f.ratio, f.hasRatio = r, true
+}
+
+// Lookup returns the recorded observation for a logical key.
+func (f *Feedback) Lookup(key string) (Observation, bool) {
+	if f == nil {
+		return Observation{}, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if o := f.obs[key]; o != nil {
+		return *o, true
+	}
+	return Observation{}, false
+}
+
+// RunRatio returns the last observed timestamp compression ratio.
+func (f *Feedback) RunRatio() (float64, bool) {
+	if f == nil {
+		return 0, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ratio, f.hasRatio
+}
+
+// Reset drops every observation: the serving snapshot was replaced
+// wholesale, so cardinalities observed against the old graph no longer
+// describe anything. (Append-only advances keep observations — entity
+// counts only grow under the append-only contract, and the hysteresis
+// absorbs the drift.)
+func (f *Feedback) Reset() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	clear(f.obs)
+	f.order = f.order[:0]
+	f.hasRatio, f.ratio, f.ratioEpoch = false, 0, 0
+}
+
+// epochFor is the feedback component of the plan cache key: it changes
+// exactly when a new observation should invalidate the cached plan for
+// this logical key.
+func (f *Feedback) epochFor(key string) int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e := f.ratioEpoch
+	if o := f.obs[key]; o != nil {
+		e += o.epoch
+	}
+	return e
+}
+
+// ---- selection adaptation --------------------------------------------
+
+// Feedback-driven selection thresholds. All three only ever trade one
+// correct engine for another, so the constants are coarse on purpose.
+const (
+	// mergeBoundFactor demotes a parallel aggregation to serial when the
+	// observed output cardinality is within this factor of the selected
+	// entity count: each worker materializes a private partial with ~all
+	// result tuples, so the O(workers × results) merge eats the sharded
+	// scan's win.
+	mergeBoundFactor = 4
+
+	// sparseDomainMinSlots / sparseDomainFactor prefer the map kernel when
+	// the dense kernel's d² edge slot space dwarfs the observed entity
+	// count: the flat arrays are allocated and cleared for a domain the
+	// data barely touches. Small domains (gender² = 4 slots) never demote.
+	sparseDomainMinSlots = 1 << 12
+	sparseDomainFactor   = 16
+
+	// catalogBypassMargin answers union-ALL directly when the catalog's
+	// T-distributive composition (interval × domain slot merges) costs
+	// more than this margin times the observed compressed scan. The margin
+	// keeps the catalog's serving cache in play unless direct recompute
+	// wins decisively.
+	catalogBypassMargin = 4
+)
+
+// aggAdaptation is the outcome of consulting feedback for one aggregate
+// compile: possibly demoted workers, a kernel preference, a catalog
+// bypass, and the Explain notes naming what was applied.
+type aggAdaptation struct {
+	workers       int
+	preferMap     bool
+	bypassCatalog bool
+	scanCost      int64
+	notes         []string
+}
+
+// adaptAggregate consults the feedback store for one aggregate compile.
+// parallelMin is the engine's serial/parallel crossover
+// (agg.ParallelMinEntities), domain the schema's tuple space, composeCost
+// the catalog's estimated composition cost (0 when no catalog applies).
+func adaptAggregate(f *Feedback, key string, workers int, parallelMin int, domain, scan, composeCost int64) aggAdaptation {
+	ad := aggAdaptation{workers: workers, scanCost: scan}
+	if f == nil {
+		return ad
+	}
+	if ratio, ok := f.RunRatio(); ok {
+		// Observed run-compression makes the word-level timestamp scans
+		// proportionally cheaper; reflect that in the direct-scan estimate.
+		ad.scanCost = int64(float64(scan) * ratio)
+		if ad.scanCost < 1 {
+			ad.scanCost = 1
+		}
+		ad.notes = append(ad.notes, "tau-ratio="+strconv.FormatFloat(ratio, 'f', 2, 64))
+		if composeCost > 0 && composeCost > catalogBypassMargin*ad.scanCost {
+			ad.bypassCatalog = true
+			ad.notes = append(ad.notes, "direct-scan(compressed)")
+		}
+	}
+	obs, ok := f.Lookup(key)
+	if !ok {
+		return ad
+	}
+	if workers != 1 && obs.Entities >= parallelMin && obs.Results*mergeBoundFactor >= obs.Entities {
+		ad.workers = 1
+		ad.notes = append(ad.notes, "serial(merge-bound)")
+	}
+	if slots := domain * domain; slots >= sparseDomainMinSlots && slots > sparseDomainFactor*int64(obs.Entities) {
+		ad.preferMap = true
+		ad.notes = append(ad.notes, "map-kernel(sparse-domain)")
+	}
+	return ad
+}
+
+// note renders the applied adaptations for Explain ("" when none).
+func (ad aggAdaptation) note() string {
+	out := ""
+	for i, n := range ad.notes {
+		if i > 0 {
+			out += "+"
+		}
+		out += n
+	}
+	return out
+}

@@ -148,6 +148,13 @@ type viewAggOp struct {
 	kind    agg.Kind
 	workers int
 	cost    int64
+
+	// Feedback loop: run() reports the observed cardinalities (and the
+	// graph's timestamp compression ratio, when already computed) under
+	// fbKey; note names the adaptations this compile applied, for Explain.
+	fb    *Feedback
+	fbKey string
+	note  string
 }
 
 func (o *viewAggOp) name() string { return "ViewAggregate" }
@@ -169,13 +176,19 @@ func workersString(n int) string {
 }
 
 func (o *viewAggOp) describe() []kv {
-	return []kv{
+	attrs := []kv{
 		{"kind", kindString(o.kind)},
 		{"kernel", o.schema.KernelName()},
 		{"mode", o.mode()},
 		{"workers", workersString(o.workers)},
 		{"est_cost", itoa64(o.cost)},
 	}
+	// Only plans compiled with applicable feedback name it, keeping the
+	// golden renderings of feedback-free environments stable.
+	if o.note != "" {
+		attrs = append(attrs, kv{"feedback", o.note})
+	}
+	return attrs
 }
 
 func (o *viewAggOp) children() []physOp { return []physOp{o.view} }
@@ -192,6 +205,14 @@ func (o *viewAggOp) run(ctx context.Context, out *Result) error {
 	ag, err := agg.AggregateParallelCtx(ctx, o.view.view, o.schema, o.kind, o.workers)
 	if err != nil {
 		return err
+	}
+	if o.fb != nil {
+		o.fb.observe(o.fbKey, o.view.entities(), len(ag.Nodes)+len(ag.Edges))
+		// The compression-selection scan runs lazily inside the engines;
+		// report its outcome only when it already happened, never force it.
+		if st, ok := o.view.view.Graph().TauStatsIfBuilt(); ok {
+			o.fb.observeRatio(st.Ratio())
+		}
 	}
 	out.Agg, out.AggSource = ag, materialize.Scratch
 	return nil

@@ -51,11 +51,12 @@ func (sp IntervalSpec) ref() plan.IntervalRef {
 }
 
 // planEnv is the compile environment for queries against one serving
-// snapshot: its graph and catalog, the request's workers budget, and the
+// snapshot: its graph and catalog, the request's workers budget, the
 // server's plan cache (generation-keyed on the snapshot identity, so a
-// stream-mode rebuild flushes it automatically).
+// stream-mode rebuild flushes it automatically), and the feedback store
+// that adapts selections to observed cardinalities.
 func (s *Server) planEnv(st *state, workers int) plan.Env {
-	return plan.Env{Graph: st.g, Catalog: st.cat, Workers: workers, Cache: s.plans}
+	return plan.Env{Graph: st.g, Catalog: st.cat, Workers: workers, Cache: s.plans, Feedback: s.fback}
 }
 
 // execStatus maps an execution error: context errors keep their transport

@@ -108,6 +108,7 @@ type Server struct {
 	series  *stream.Series
 	storage *storage.Engine
 	plans   *plan.Cache
+	fback   *plan.Feedback
 
 	cur       atomic.Pointer[state]
 	rebuildMu sync.Mutex
@@ -170,6 +171,7 @@ func New(cfg Config) (*Server, error) {
 		reg:      metrics.NewRegistry(),
 		series:   cfg.Series,
 		plans:    plan.NewCache(0),
+		fback:    plan.NewFeedback(),
 		reqCount: make(map[string]*metrics.Counter),
 		latency:  make(map[string]*metrics.Histogram),
 		shed:     make(map[string]*metrics.Counter),
@@ -273,6 +275,9 @@ func (s *Server) current() (*state, error) {
 	st = &state{g: g, cat: s.newCatalog(g), gen: gen}
 	s.cur.Store(st)
 	s.plans.Reset(g, st.cat)
+	// Cardinalities observed against the replaced snapshot no longer
+	// describe anything; append-only advances (above) keep them instead.
+	s.fback.Reset()
 	s.observeVisibility(gen)
 	s.log.Info("serving state rebuilt", "points", gen, "nodes", g.NumNodes(), "edges", g.NumEdges())
 	return st, nil
@@ -355,6 +360,7 @@ func (s *Server) catalogStats() materialize.Stats {
 //	graphtempod_explorer_evaluations_total      counter (engine hot path)
 //	graphtempod_kernel_selections_total{kernel} counter (engine hot path)
 //	graphtempod_planner_selections_total{op}    counter (planner choices)
+//	graphtempod_planner_feedback_total{kind}    counter (feedback records)
 //	graphtempod_plan_cache_total{result}        counter (hit/miss)
 //	graphtempod_ingested_points                 gauge (stream mode)
 //	graphtempod_catalog_delta_applies_total     counter (stream mode)
@@ -439,6 +445,11 @@ func (s *Server) registerMetrics() {
 		&plan.CacheHits, metrics.Label{Key: "result", Value: "hit"})
 	r.RegisterCounter("graphtempod_plan_cache_total", "",
 		&plan.CacheMisses, metrics.Label{Key: "result", Value: "miss"})
+	r.RegisterCounter("graphtempod_planner_feedback_total",
+		"Runtime observations recorded into the planner feedback loop.",
+		&plan.Feedbacks.Cardinality, metrics.Label{Key: "kind", Value: "cardinality"})
+	r.RegisterCounter("graphtempod_planner_feedback_total", "",
+		&plan.Feedbacks.RunRatio, metrics.Label{Key: "kind", Value: "run-ratio"})
 	if s.series != nil {
 		r.GaugeFunc("graphtempod_ingested_points", "Time points ingested.",
 			func() float64 { return float64(s.series.Len()) })

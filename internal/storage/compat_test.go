@@ -1,0 +1,119 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/dataset"
+	"repro/internal/materialize"
+)
+
+// TestV1SnapshotStillLoads writes the legacy framed layout with the
+// retained v1 writer and loads it through the version-dispatching reader:
+// files produced by older builds must keep working byte-for-byte.
+func TestV1SnapshotStillLoads(t *testing.T) {
+	g := dataset.DBLPScaled(9, 0.01)
+	st := materialize.NewStore(g, agg.MustSchema(g, g.MustAttr("gender")))
+	var buf bytes.Buffer
+	if err := writeSnapshotV1(&buf, g, []*materialize.Store{st}, nil); err != nil {
+		t.Fatalf("v1 write: %v", err)
+	}
+	if v := binary.LittleEndian.Uint16(buf.Bytes()[8:10]); v != formatVersionV1 {
+		t.Fatalf("v1 writer stamped version %d", v)
+	}
+	snap, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load(v1): %v", err)
+	}
+	graphsEqual(t, g, snap.Graph)
+	if len(snap.Stores) != 1 {
+		t.Fatalf("v1 load dropped stores: got %d", len(snap.Stores))
+	}
+}
+
+// TestUnknownVersionRejected covers the other side of the dispatch: a
+// future version must fail with ErrVersion, not be misparsed.
+func TestUnknownVersionRejected(t *testing.T) {
+	g := dataset.DBLPScaled(9, 0.004)
+	var buf bytes.Buffer
+	if err := Save(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	binary.LittleEndian.PutUint16(data[8:10], 3)
+	if _, err := Load(bytes.NewReader(data)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version 3 load: %v, want ErrVersion", err)
+	}
+	if _, err := OpenMapped(writeTemp(t, data)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version 3 OpenMapped: %v, want ErrVersion", err)
+	}
+}
+
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "snap.gts")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestEngineRecheckpointsV1ToV2 boots an engine from a directory whose
+// snapshot is still in the v1 layout — as left behind by an older build —
+// and verifies that recovery reads it transparently and the next
+// checkpoint rewrites the generation in the current format.
+func TestEngineRecheckpointsV1ToV2(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir, Options{CheckpointRecords: -1})
+	appendN(t, e, 0, 5)
+	if err := e.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	gen := e.Stats().Generation
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Downgrade the snapshot on disk to v1, keeping its content.
+	path := filepath.Join(dir, snapName(gen))
+	snap, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("load checkpoint: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := writeSnapshotV1(&buf, snap.Graph, nil, snap.points); err != nil {
+		t.Fatalf("v1 rewrite: %v", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := openTestEngine(t, dir, Options{CheckpointRecords: -1})
+	defer e2.Close()
+	if e2.Series().Len() != 5 {
+		t.Fatalf("recovered %d points from v1 snapshot, want 5", e2.Series().Len())
+	}
+	appendN(t, e2, 5, 7)
+	if err := e2.Checkpoint(); err != nil {
+		t.Fatalf("re-checkpoint: %v", err)
+	}
+	newPath := filepath.Join(dir, snapName(e2.Stats().Generation))
+	hdr, err := os.ReadFile(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[8:10]); v != formatVersion {
+		t.Fatalf("re-checkpoint wrote version %d, want %d", v, formatVersion)
+	}
+	// And the upgraded generation still recovers.
+	e3 := openTestEngine(t, dir, Options{})
+	defer e3.Close()
+	if e3.Series().Len() != 7 {
+		t.Fatalf("recovered %d points after upgrade, want 7", e3.Series().Len())
+	}
+}

@@ -42,9 +42,15 @@ const (
 	snapMagic = "GTSNAP01"
 	walMagic  = "GTWAL001"
 
-	// formatVersion is bumped on any incompatible layout change; readers
-	// reject files from a different major version with ErrVersion.
-	formatVersion uint16 = 1
+	// Snapshot format versions. Version 1 frames every column inside
+	// varint-encoded records; version 2 moves the fixed-width numeric
+	// columns (existence words, edge endpoints, attribute codes) into an
+	// 8-aligned little-endian blob area described by a directory section,
+	// so a reader can serve them straight out of a file mapping. Writers
+	// emit formatVersion; readers accept both (anything else is
+	// ErrVersion).
+	formatVersionV1 uint16 = 1
+	formatVersion   uint16 = 2
 
 	// maxRecordBytes bounds a single framed record, guarding the reader
 	// against absurd allocations from corrupt length prefixes.
@@ -194,6 +200,19 @@ func (d *dec) byteVal() byte {
 	}
 	v := d.b[d.off]
 	d.off++
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 4 {
+		d.fail("unexpected end in uint32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
 	return v
 }
 

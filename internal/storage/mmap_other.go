@@ -1,0 +1,14 @@
+//go:build !unix
+
+package storage
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile is unavailable on this platform; OpenMapped falls back to
+// reading the file into one buffer and aliasing that instead.
+func mmapFile(*os.File, int64) ([]byte, func([]byte) error, error) {
+	return nil, nil, errors.New("storage: mmap unsupported on this platform")
+}

@@ -1,0 +1,22 @@
+//go:build unix
+
+package storage
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared. The returned release
+// function unmaps.
+func mmapFile(f *os.File, size int64) ([]byte, func([]byte) error, error) {
+	if size <= 0 || size > int64(int(^uint(0)>>1)) {
+		return nil, nil, fmt.Errorf("storage: unmappable file size %d", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, syscall.Munmap, nil
+}

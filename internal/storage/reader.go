@@ -29,7 +29,8 @@ type Snapshot struct {
 	points []seriesPoint
 }
 
-// Load reads a snapshot from r. It never panics on malformed input: every
+// Load reads a snapshot from r, accepting both format versions (v1 framed
+// columns and v2 blob layout). It never panics on malformed input: every
 // failure wraps one of ErrBadMagic, ErrVersion, ErrTruncated, ErrChecksum
 // or ErrCorrupt.
 func Load(r io.Reader) (*Snapshot, error) {
@@ -41,8 +42,18 @@ func Load(r io.Reader) (*Snapshot, error) {
 	if string(hdr[:8]) != snapMagic {
 		return nil, fmt.Errorf("%w: want %q", ErrBadMagic, snapMagic)
 	}
-	if v := binary.LittleEndian.Uint16(hdr[8:10]); v != formatVersion {
-		return nil, fmt.Errorf("%w: file version %d, reader version %d", ErrVersion, v, formatVersion)
+	switch v := binary.LittleEndian.Uint16(hdr[8:10]); v {
+	case formatVersionV1:
+		// fall through to the streaming v1 loader below
+	case formatVersion:
+		rest, err := io.ReadAll(br)
+		if err != nil {
+			return nil, err
+		}
+		return loadV2(append(hdr[:], rest...))
+	default:
+		return nil, fmt.Errorf("%w: file version %d, reader accepts %d and %d",
+			ErrVersion, v, formatVersionV1, formatVersion)
 	}
 
 	ld := &snapLoader{}

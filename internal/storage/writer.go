@@ -39,9 +39,9 @@ type seriesPoint struct {
 }
 
 // Save writes g, and optionally materialized stores over g, to w in the
-// binary snapshot format.
+// current (version 2, mmap-servable) binary snapshot format.
 func Save(w io.Writer, g *core.Graph, stores ...*materialize.Store) error {
-	return writeSnapshot(w, g, stores, nil)
+	return writeSnapshotV2(w, g, stores, nil)
 }
 
 // SaveFile writes the snapshot atomically: a .tmp file in the target
@@ -58,7 +58,7 @@ func saveFile(path string, g *core.Graph, stores []*materialize.Store, points []
 		return err
 	}
 	bw := bufio.NewWriterSize(f, 1<<20)
-	if err := writeSnapshot(bw, g, stores, points); err == nil {
+	if err := writeSnapshotV2(bw, g, stores, points); err == nil {
 		err = bw.Flush()
 	}
 	if err != nil {
@@ -92,7 +92,10 @@ func syncDir(dir string) error {
 	return d.Sync()
 }
 
-func writeSnapshot(w io.Writer, g *core.Graph, stores []*materialize.Store, points []seriesPoint) error {
+// writeSnapshotV1 emits the legacy all-framed layout. It is kept (and
+// exercised by the compatibility tests) so the reader's version-1 path is
+// tested against a real writer, exactly as files produced by older builds.
+func writeSnapshotV1(w io.Writer, g *core.Graph, stores []*materialize.Store, points []seriesPoint) error {
 	for _, st := range stores {
 		if st.Schema().Graph() != g {
 			return fmt.Errorf("storage: store schema built on a different graph")
@@ -100,7 +103,7 @@ func writeSnapshot(w io.Writer, g *core.Graph, stores []*materialize.Store, poin
 	}
 	var hdr [10]byte
 	copy(hdr[:8], snapMagic)
-	binary.LittleEndian.PutUint16(hdr[8:10], formatVersion)
+	binary.LittleEndian.PutUint16(hdr[8:10], formatVersionV1)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
