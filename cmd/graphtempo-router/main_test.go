@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/stream"
+)
+
+func streamSchema() *stream.Series {
+	return stream.New(core.AttrSpec{Name: "gender", Kind: core.Static})
+}
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags([]string{"-shards", "a=http://h1:1;b=http://h2:2", "-max-lag", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.shards != "a=http://h1:1;b=http://h2:2" || o.maxLag != 3 {
+		t.Fatalf("parsed %+v", o)
+	}
+	if _, err := parseFlags(nil); err == nil {
+		t.Fatal("missing -shards accepted")
+	}
+}
+
+// shardServer boots one in-process graphtempod-equivalent stream server
+// and ingests the given time points through its HTTP API.
+func shardServer(t *testing.T, name string, points []string) *httptest.Server {
+	t.Helper()
+	srv, err := server.New(server.Config{
+		Series:    streamSchema(),
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+		ShardName: name,
+		Role:      server.RolePrimary,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	for _, label := range points {
+		body := fmt.Sprintf(`{"label": %q, "nodes": [{"label": "u1", "static": {"gender": "m"}}]}`, label)
+		resp, err := http.Post(hs.URL+"/v1/ingest", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("ingest %s into %s: %d %s", label, name, resp.StatusCode, data)
+		}
+	}
+	return hs
+}
+
+// TestRunServesAndDrains boots the router binary path against two live
+// shards, waits for readiness, runs a boundary-spanning union through the
+// scatter path and a tgql query through the mirror, then drains.
+func TestRunServesAndDrains(t *testing.T) {
+	a := shardServer(t, "a", []string{"t0", "t1"})
+	b := shardServer(t, "b", []string{"t2"})
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", addr,
+			"-shards", "a=" + a.URL + ";b=" + b.URL,
+			"-probe-interval", "25ms",
+			"-drain-timeout", "5s",
+		})
+	}()
+
+	base := "http://" + addr
+	ready := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				ready = true
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !ready {
+		t.Fatal("router never became ready")
+	}
+
+	resp, err := http.Post(base+"/v1/aggregate", "application/json", strings.NewReader(
+		`{"op": "union", "interval": {"from": "t0", "to": "t1"}, "interval2": {"from": "t2"}, "attrs": ["gender"], "kind": "dist"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("aggregate = %d: %s", resp.StatusCode, body)
+	}
+	if route := resp.Header.Get("X-Gt-Route"); route != "scatter" {
+		t.Fatalf("boundary-spanning union routed %q, want scatter (%s)", route, body)
+	}
+	var ar struct {
+		Graph json.RawMessage `json:"graph"`
+	}
+	if err := json.Unmarshal(body, &ar); err != nil || len(ar.Graph) == 0 {
+		t.Fatalf("malformed aggregate response: %s", body)
+	}
+
+	resp, err = http.Post(base+"/v1/tgql", "application/json", strings.NewReader(`{"query": "STATS"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("tgql via mirror = %d: %s", resp.StatusCode, body)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("router did not drain after SIGTERM")
+	}
+}

@@ -9,6 +9,14 @@
 //	graphtempod -dataset /path/to/graphdir           # WriteGraphDir layout
 //	graphtempod -stream gender:static,publications:varying   # live ingestion
 //	graphtempod -stream ... -data-dir /var/lib/graphtempo    # durable ingestion
+//	graphtempod -stream ... -shard a                         # cluster shard primary
+//	graphtempod -stream ... -shard a -follow http://primary:8089  # read replica
+//
+// With -shard the process reports its shard name in /v1/status for the
+// cluster router (cmd/graphtempo-router). With -follow it runs as a read
+// replica: client ingestion is rejected with 409 and the timeline is
+// driven by streaming the primary's WAL (/v1/wal/stream) instead; lag is
+// observable as the Points gap in /v1/status.
 //
 // With -data-dir, ingested snapshots are appended to a write-ahead log
 // (fsync policy selectable with -fsync) and compacted into binary
@@ -39,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/server"
@@ -63,6 +72,8 @@ type options struct {
 	drainTimeout time.Duration
 	cacheBytes   int64
 	logFormat    string
+	shard        string
+	follow       string
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -84,6 +95,8 @@ func parseFlags(args []string) (*options, error) {
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 20*time.Second, "graceful shutdown budget")
 	fs.Int64Var(&o.cacheBytes, "cache-bytes", 0, "materialization cache budget (0 = default)")
 	fs.StringVar(&o.logFormat, "log", "text", "log format: text or json")
+	fs.StringVar(&o.shard, "shard", "", "cluster shard name this process serves (reported in /v1/status)")
+	fs.StringVar(&o.follow, "follow", "", "run as a read replica streaming the WAL from this primary URL (requires -stream)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -95,6 +108,9 @@ func parseFlags(args []string) (*options, error) {
 	}
 	if o.mmap && o.dataset == "" {
 		return nil, errors.New("-mmap requires -dataset pointing at a binary snapshot file")
+	}
+	if o.follow != "" && o.streamSpec == "" {
+		return nil, errors.New("-follow requires -stream (a replica replays the primary's ingest stream)")
 	}
 	if _, err := storage.ParseFsyncPolicy(o.fsync); err != nil {
 		return nil, err
@@ -172,28 +188,38 @@ func loadGraph(o *options, log *slog.Logger) (*core.Graph, *storage.Mapped, erro
 // newServer builds the server.Config for the parsed options. The returned
 // engine is non-nil when -data-dir enabled durable storage; the returned
 // mapping is non-nil when -mmap serves the dataset out of a file mapping.
-// The caller must Close both after the HTTP server drains.
-func newServer(o *options, log *slog.Logger) (*server.Server, *storage.Engine, *storage.Mapped, error) {
+// The caller must Close both after the HTTP server drains. The returned
+// apply/applied pair drives the WAL follower loop under -follow: apply
+// lands one replicated record (through the engine in durable mode, so
+// replicated points hit the replica's own WAL too) and applied reports
+// the local sequence.
+func newServer(o *options, log *slog.Logger) (*server.Server, *storage.Engine, *storage.Mapped, func(string, stream.Snapshot) error, func() int, error) {
 	cfg := server.Config{
 		MaxInflight:    o.maxInflight,
 		MaxQueue:       o.maxQueue,
 		RequestTimeout: o.timeout,
 		CacheBytes:     o.cacheBytes,
 		Logger:         log,
+		ShardName:      o.shard,
+	}
+	if o.follow != "" {
+		cfg.Role = server.RoleReplica
 	}
 	var (
-		eng    *storage.Engine
-		mapped *storage.Mapped
+		eng     *storage.Engine
+		mapped  *storage.Mapped
+		apply   func(string, stream.Snapshot) error
+		applied func() int
 	)
 	if o.streamSpec != "" {
 		attrs, err := parseStreamSpec(o.streamSpec)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, nil, err
 		}
 		if o.dataDir != "" {
 			policy, err := storage.ParseFsyncPolicy(o.fsync)
 			if err != nil {
-				return nil, nil, nil, err
+				return nil, nil, nil, nil, nil, err
 			}
 			eng, err = storage.Open(o.dataDir, attrs, storage.Options{
 				Fsync:             policy,
@@ -202,21 +228,24 @@ func newServer(o *options, log *slog.Logger) (*server.Server, *storage.Engine, *
 				Logger:            log,
 			})
 			if err != nil {
-				return nil, nil, nil, fmt.Errorf("open data dir %s: %w", o.dataDir, err)
+				return nil, nil, nil, nil, nil, fmt.Errorf("open data dir %s: %w", o.dataDir, err)
 			}
 			cfg.Storage = eng
+			apply, applied = eng.Append, eng.Series().Len
 			ri := eng.Recovery()
 			log.Info("durable stream mode", "schema", o.streamSpec, "data-dir", o.dataDir,
 				"fsync", o.fsync, "recovered_points", eng.Series().Len(),
 				"recovered_wal_records", ri.WALRecords)
 		} else {
-			cfg.Series = stream.New(attrs...)
+			series := stream.New(attrs...)
+			cfg.Series = series
+			apply, applied = series.Append, series.Len
 			log.Info("stream mode", "schema", o.streamSpec)
 		}
 	} else {
 		g, m, err := loadGraph(o, log)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, nil, err
 		}
 		cfg.Graph = g
 		mapped = m
@@ -229,9 +258,9 @@ func newServer(o *options, log *slog.Logger) (*server.Server, *storage.Engine, *
 		if mapped != nil {
 			mapped.Close()
 		}
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
 	}
-	return srv, eng, mapped, nil
+	return srv, eng, mapped, apply, applied, nil
 }
 
 func newLogger(format string) *slog.Logger {
@@ -247,7 +276,7 @@ func run(args []string) error {
 		return err
 	}
 	log := newLogger(o.logFormat)
-	srv, eng, mapped, err := newServer(o, log)
+	srv, eng, mapped, apply, applied, err := newServer(o, log)
 	if err != nil {
 		return err
 	}
@@ -260,6 +289,21 @@ func run(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+
+	if o.follow != "" {
+		// Replica: continuously stream the primary's WAL into the local
+		// series. Client ingestion is rejected (409) by Role=replica; the
+		// follower is the only writer.
+		f := &cluster.Follower{
+			Pick:   func() (string, error) { return o.follow, nil },
+			Apply:  apply,
+			Len:    applied,
+			WaitMs: 1000,
+			Log:    log.With("component", "follower", "primary", o.follow),
+		}
+		go f.Run(ctx)
+		log.Info("replica mode", "primary", o.follow)
+	}
 
 	errc := make(chan error, 1)
 	go func() {

@@ -52,21 +52,21 @@ func TestNewServerModes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := newServer(o, log); err != nil {
+	if _, _, _, _, _, err := newServer(o, log); err != nil {
 		t.Fatalf("static mode: %v", err)
 	}
 	o, err = parseFlags([]string{"-stream", "gender:static"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := newServer(o, log); err != nil {
+	if _, _, _, _, _, err := newServer(o, log); err != nil {
 		t.Fatalf("stream mode: %v", err)
 	}
 	o, err = parseFlags([]string{"-stream", "gender:static", "-data-dir", t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, eng, _, err := newServer(o, log)
+	_, eng, _, _, _, err := newServer(o, log)
 	if err != nil {
 		t.Fatalf("durable stream mode: %v", err)
 	}
@@ -78,7 +78,7 @@ func TestNewServerModes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := newServer(o, log); err == nil {
+	if _, _, _, _, _, err := newServer(o, log); err == nil {
 		t.Fatal("bad graph dir accepted")
 	}
 }
@@ -95,6 +95,19 @@ func TestParseFlagsDataDir(t *testing.T) {
 		t.Fatal(err)
 	}
 	if o.dataDir != "/tmp/x" {
+		t.Fatalf("parsed %+v", o)
+	}
+}
+
+func TestParseFlagsCluster(t *testing.T) {
+	if _, err := parseFlags([]string{"-dataset", "paper", "-follow", "http://p:8089"}); err == nil {
+		t.Fatal("-follow without -stream accepted")
+	}
+	o, err := parseFlags([]string{"-stream", "a:static", "-shard", "a", "-follow", "http://p:8089"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.shard != "a" || o.follow != "http://p:8089" {
 		t.Fatalf("parsed %+v", o)
 	}
 }

@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/benchutil"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/server"
+	"repro/internal/stream"
+)
+
+// clusterScaling benchmarks the sharded serving tier end to end: for each
+// shard count it splits g's history into contiguous time-range shards,
+// boots one in-process graphtempod per shard plus a graphtempo-router in
+// front, and drives boundary-spanning union-ALL aggregates through the
+// router's scatter-gather path with `clients` concurrent clients.
+//
+// Reported per shard count: router boot time (dominated by the mirror's
+// synchronous WAL replay of the frozen shards), client-observed scatter
+// latency quantiles and throughput, and the latency breakdown — the p50
+// of a single shard's partial aggregate (the scatter leg, which shrinks
+// as shards multiply because each shard owns less of the timeline) and
+// the router-side gather-merge time (which grows with the fan-in).
+func clusterScaling(id, title string, g *core.Graph, attr string, shardCounts []int, clients, queries int) *benchutil.Experiment {
+	exp := &benchutil.Experiment{
+		ID:     id,
+		Title:  title,
+		XLabel: "shards",
+		Series: []string{"boot ms", "qps", "p50 ms", "p99 ms", "shard p50 ms", "merge ms"},
+	}
+	snaps := decomposeSnapshots(g)
+	for _, n := range shardCounts {
+		row := runClusterScenario(g, snaps, attr, n, clients, queries)
+		exp.Add(fmt.Sprintf("%d", n), row...)
+	}
+	return exp
+}
+
+// runClusterScenario boots an n-shard cluster, measures it, and tears it
+// down. The returned values follow clusterScaling's Series order.
+func runClusterScenario(g *core.Graph, snaps []server.IngestRequest, attr string, n, clients, queries int) []float64 {
+	if n > len(snaps) {
+		panic(fmt.Sprintf("cluster bench: %d shards over %d time points", n, len(snaps)))
+	}
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	labels := g.Timeline().Labels()
+
+	// Contiguous equal split of the timeline; cuts[i] is shard i's first
+	// global point.
+	cuts := make([]int, n+1)
+	for i := 0; i <= n; i++ {
+		cuts[i] = i * len(snaps) / n
+	}
+
+	var shardURLs []string
+	spec := ""
+	for i := 0; i < n; i++ {
+		srv, err := server.New(server.Config{
+			Series:    stream.New(g.Attrs()...),
+			Logger:    quiet,
+			ShardName: fmt.Sprintf("s%d", i),
+			Role:      server.RolePrimary,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("cluster bench: shard server: %v", err))
+		}
+		hs := httptest.NewServer(srv.Handler())
+		defer hs.Close()
+		for _, snap := range snaps[cuts[i]:cuts[i+1]] {
+			postIngest(hs.URL, snap)
+		}
+		shardURLs = append(shardURLs, hs.URL)
+		if i > 0 {
+			spec += ";"
+		}
+		spec += fmt.Sprintf("s%d=%s", i, hs.URL)
+	}
+
+	m, err := cluster.ParseShardMap(spec)
+	if err != nil {
+		panic(fmt.Sprintf("cluster bench: shard map: %v", err))
+	}
+	bootStart := time.Now()
+	rt, err := cluster.New(cluster.Config{
+		Map:           m,
+		ProbeInterval: 50 * time.Millisecond,
+		Logger:        quiet,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("cluster bench: router: %v", err))
+	}
+	defer rt.Close()
+	bootMs := float64(time.Since(bootStart).Microseconds()) / 1000
+	router := httptest.NewServer(rt.Handler())
+	defer router.Close()
+
+	// The tail shard replays into the mirror asynchronously; wait until the
+	// router has the whole timeline before timing anything.
+	readyURL := fmt.Sprintf("%s/readyz?gen=%d", router.URL, len(snaps))
+	for deadline := time.Now().Add(time.Minute); ; {
+		resp, err := http.Get(readyURL)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if !time.Now().Before(deadline) {
+			panic("cluster bench: router mirror never caught up")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The driven query: a union-ALL over the full timeline, split at the
+	// midpoint so at n >= 2 both operands cross shard boundaries.
+	mid := len(labels) / 2
+	query, _ := json.Marshal(server.AggregateRequest{
+		Op:        "union",
+		Interval:  server.IntervalSpec{From: labels[0], To: labels[mid]},
+		Interval2: server.IntervalSpec{From: labels[mid], To: labels[len(labels)-1]},
+		Attrs:     []string{attr},
+		Kind:      "all",
+	})
+	postAggregate(router.URL, query) // warm the path once, outside timing
+
+	var mu sync.Mutex
+	var lat []float64
+	var wg sync.WaitGroup
+	work := make(chan struct{}, queries)
+	for q := 0; q < queries; q++ {
+		work <- struct{}{}
+	}
+	close(work)
+	runStart := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				start := time.Now()
+				postAggregate(router.URL, query)
+				ms := float64(time.Since(start).Microseconds()) / 1000
+				mu.Lock()
+				lat = append(lat, ms)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(runStart).Seconds()
+	sort.Float64s(lat)
+	qps := float64(queries) / elapsed
+
+	shardP50, mergeMs := clusterBreakdown(labels, cuts, shardURLs, attr)
+	return []float64{bootMs, qps, quantile(lat, 0.50), quantile(lat, 0.99), shardP50, mergeMs}
+}
+
+// clusterBreakdown isolates the two legs of a scattered aggregate: the
+// per-shard partial (each shard computes union over its whole local
+// range) and the router-side merge of the gathered partials.
+func clusterBreakdown(labels []string, cuts []int, shardURLs []string, attr string) (shardP50, mergeMs float64) {
+	var shardLat []float64
+	var parts []*plan.PartialResult
+	for i, base := range shardURLs {
+		lo, hi := labels[cuts[i]], labels[cuts[i+1]-1]
+		body, _ := json.Marshal(server.AggregateRequest{
+			Op:        "union",
+			Interval:  server.IntervalSpec{From: lo, To: hi},
+			Interval2: server.IntervalSpec{From: lo, To: hi},
+			Attrs:     []string{attr},
+			Kind:      "all",
+		})
+		start := time.Now()
+		resp, err := http.Post(base+"/v1/partial/aggregate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			panic(fmt.Sprintf("cluster bench: partial aggregate: %v", err))
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		shardLat = append(shardLat, float64(time.Since(start).Microseconds())/1000)
+		if resp.StatusCode != http.StatusOK {
+			panic(fmt.Sprintf("cluster bench: partial aggregate: %d: %s", resp.StatusCode, data))
+		}
+		var pr server.PartialAggregateResponse
+		if err := json.Unmarshal(data, &pr); err != nil || pr.Partial == nil {
+			panic(fmt.Sprintf("cluster bench: partial aggregate decode: %v", err))
+		}
+		parts = append(parts, pr.Partial)
+	}
+	start := time.Now()
+	if _, err := plan.MergePartials(parts); err != nil {
+		panic(fmt.Sprintf("cluster bench: merge: %v", err))
+	}
+	mergeMs = float64(time.Since(start).Microseconds()) / 1000
+	sort.Float64s(shardLat)
+	return quantile(shardLat, 0.50), mergeMs
+}
+
+func postIngest(base string, snap server.IngestRequest) {
+	body, _ := json.Marshal(snap)
+	resp, err := http.Post(base+"/v1/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		panic(fmt.Sprintf("cluster bench: ingest %s: %v", snap.Label, err))
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		panic(fmt.Sprintf("cluster bench: ingest %s: %d: %s", snap.Label, resp.StatusCode, data))
+	}
+}
+
+func postAggregate(base string, body []byte) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/aggregate", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		panic(fmt.Sprintf("cluster bench: aggregate: %v", err))
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		panic(fmt.Sprintf("cluster bench: aggregate: %d: %s", resp.StatusCode, data))
+	}
+	if route := resp.Header.Get("X-Gt-Route"); route != "scatter" {
+		panic(fmt.Sprintf("cluster bench: query routed %q, want scatter", route))
+	}
+}

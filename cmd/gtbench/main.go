@@ -137,6 +137,10 @@ func experiments() []experiment {
 			return one(bootColdStart("Boot", "DBLP snapshot cold start: LoadFile (decode) vs OpenMapped (zero-copy)",
 				env, []float64{1, 2, 4}))
 		}},
+		{"cluster", "Time-range sharded scatter-gather throughput at 1/2/4/8 shards", func(env *environment) []benchutil.Printable {
+			return one(clusterScaling("Cluster", "DBLP union-ALL via graphtempo-router: scaling with shard count",
+				env.DBLP(), "gender", []int{1, 2, 4, 8}, 8, 64))
+		}},
 		{"compress", "Operator kernels over dense vs run-compressed timestamp vectors", func(env *environment) []benchutil.Printable {
 			return one(compressKernels("Compress", "Stretched timeline (T=1024): kernel time and bytes, dense vs run-compressed",
 				env))

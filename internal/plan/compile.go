@@ -58,6 +58,10 @@ type Result struct {
 	Top         []explore.TupleScore
 	TopSchema   *agg.Schema
 	Timeline    []evolution.TimelineStep
+	// Partial is a shard-local partial aggregate (Partial plans); Merged is
+	// the gathered cross-shard answer (CompileScatter plans). See scatter.go.
+	Partial *PartialResult
+	Merged  *MergedGraph
 }
 
 // Plan is an executable physical plan: the logical node it was compiled
@@ -131,6 +135,9 @@ func Compile(env Env, node Logical) (*Plan, error) {
 	switch q := node.(type) {
 	case *Aggregate:
 		root, maxTime, err = compileAggregate(env, workers, q)
+		bounded = true
+	case *Partial:
+		root, maxTime, err = compilePartial(env, workers, q)
 		bounded = true
 	case *Explore:
 		root, err = compileExplore(env, workers, q)

@@ -21,6 +21,9 @@ var Selections struct {
 	Top          metrics.Counter // top-N attribute-group ranking
 	Evolve       metrics.Counter // evolution aggregate
 	Timeline     metrics.Counter // per-consecutive-pair evolution timeline
+	PartialAgg   metrics.Counter // shard-local partial aggregate (scatter slice execution)
+	ShardScatter metrics.Counter // shard slices fanned out by scattered aggregates
+	GatherMerge  metrics.Counter // cross-shard gather-merge roots
 }
 
 // CacheHits / CacheMisses count plan-cache lookups in Compile. A hit skips

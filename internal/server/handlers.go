@@ -324,6 +324,9 @@ func (s *Server) handleIngest(ctx context.Context, w http.ResponseWriter, r *htt
 	if s.series == nil {
 		return http.StatusConflict, fmt.Errorf("server runs in static mode; ingestion is disabled")
 	}
+	if s.role() == RoleReplica {
+		return http.StatusConflict, fmt.Errorf("shard replica: ingestion is driven by WAL replication; write to the primary")
+	}
 	var req IngestRequest
 	if status, err := s.decodeJSON(w, r, &req); err != nil {
 		return status, err

@@ -76,6 +76,16 @@ type Config struct {
 	// Logger receives structured access and lifecycle logs; nil selects
 	// slog.Default().
 	Logger *slog.Logger
+
+	// ShardName names the time-range shard this process serves in a
+	// cluster deployment ("" for a standalone node). Surfaced in
+	// GET /v1/status for the router's shard-map discovery.
+	ShardName string
+	// Role is the process's cluster role: "single" (default), "primary"
+	// (owns writes for its shard) or "replica" (series is driven by WAL
+	// replication; client ingestion is rejected with 409). An empty Role
+	// with a ShardName set defaults to primary.
+	Role string
 }
 
 // endpointWeight is the admission cost of each API endpoint: exploration
@@ -87,6 +97,7 @@ var endpointWeight = map[string]int64{
 	"tgql":      2,
 	"explain":   1, // compile-only: no engine execution
 	"ingest":    1,
+	"partial":   1, // shard-local slice of a scattered aggregate
 }
 
 // state is one consistent serving snapshot: the graph, its catalog, and
@@ -435,6 +446,9 @@ func (s *Server) registerMetrics() {
 		{"top", &plan.Selections.Top},
 		{"evolve", &plan.Selections.Evolve},
 		{"timeline", &plan.Selections.Timeline},
+		{"partial-agg", &plan.Selections.PartialAgg},
+		{"shard-scatter", &plan.Selections.ShardScatter},
+		{"gather-merge", &plan.Selections.GatherMerge},
 	} {
 		r.RegisterCounter("graphtempod_planner_selections_total", plannerHelp,
 			sel.c, metrics.Label{Key: "op", Value: sel.op})
@@ -584,6 +598,14 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /v1/tgql", s.api("tgql", s.handleTGQL))
 	s.mux.Handle("POST /v1/explain", s.api("explain", s.handleExplain))
 	s.mux.Handle("POST /v1/ingest", s.api("ingest", s.handleIngest))
+	s.mux.Handle("POST /v1/partial/aggregate", s.api("partial", s.handlePartialAggregate))
+	// Cluster control plane: status/labels serve the router's health, lag
+	// and shard-map probes, the WAL stream feeds replicas and the router's
+	// mirror. They bypass admission so probes keep answering under load
+	// and during drain.
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/labels", s.handleLabels)
+	s.mux.HandleFunc("GET /v1/wal/stream", s.handleWALStream)
 }
 
 // statusWriter captures the status code and byte count for logs/metrics.
@@ -685,16 +707,55 @@ func statusForCtx(err error) int {
 	return 499 // client closed request (nginx convention)
 }
 
-// errorBody is the JSON error envelope of every non-2xx API response.
+// errorBody is the unified JSON error envelope of every non-2xx API
+// response — {"error":{"code","message"}} — shared verbatim by the
+// cluster router so clients see one contract whichever tier answers.
 type errorBody struct {
-	Error string `json:"error"`
+	Error ErrorDetail `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
+// ErrorDetail carries the stable machine-readable code (derived from the
+// HTTP status) and the human-readable message.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorCode maps an HTTP status to its envelope code.
+func ErrorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusRequestEntityTooLarge:
+		return "body_too_large"
+	case http.StatusTooManyRequests:
+		return "overloaded"
+	case 499:
+		return "client_closed"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusGatewayTimeout:
+		return "deadline_exceeded"
+	}
+	if status >= 500 {
+		return "internal"
+	}
+	return "bad_request"
+}
+
+// WriteError writes the unified error envelope. Exported for the cluster
+// router, which reuses it for errors it originates itself.
+func WriteError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+	json.NewEncoder(w).Encode(errorBody{Error: ErrorDetail{Code: ErrorCode(status), Message: err.Error()}})
 }
+
+func writeError(w http.ResponseWriter, status int, err error) { WriteError(w, status, err) }
 
 func writeJSON(w http.ResponseWriter, v any) (int, error) {
 	w.Header().Set("Content-Type", "application/json")

@@ -238,7 +238,7 @@ func TestTGQLEndpoint(t *testing.T) {
 		t.Fatalf("parse error status = %d: %s", code, data)
 	}
 	var eb errorBody
-	if err := json.Unmarshal(data, &eb); err != nil || eb.Error == "" {
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Error.Code == "" || eb.Error.Message == "" {
 		t.Fatalf("malformed error envelope: %s", data)
 	}
 }
@@ -267,7 +267,7 @@ func TestBadRequests(t *testing.T) {
 			t.Errorf("%s: status %d, want 400: %s", tc.name, code, data)
 		}
 		var eb errorBody
-		if err := json.Unmarshal(data, &eb); err != nil || eb.Error == "" {
+		if err := json.Unmarshal(data, &eb); err != nil || eb.Error.Code == "" || eb.Error.Message == "" {
 			t.Errorf("%s: malformed error envelope: %s", tc.name, data)
 		}
 	}
@@ -509,7 +509,7 @@ func TestPanicIsolation(t *testing.T) {
 		t.Fatalf("panic status = %d, want 500", rec.Code)
 	}
 	var eb errorBody
-	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Error == "" {
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Error.Code == "" || eb.Error.Message == "" {
 		t.Fatalf("malformed panic envelope: %s", rec.Body.Bytes())
 	}
 	if got := s.panics.Value(); got != 1 {

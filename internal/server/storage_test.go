@@ -228,13 +228,19 @@ func TestBodyTooLarge(t *testing.T) {
 		t.Fatalf("oversized body = %d, want 413: %s", code, data)
 	}
 	var eb struct {
-		Error string `json:"error"`
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
 	}
 	if err := json.Unmarshal(data, &eb); err != nil {
 		t.Fatalf("413 body is not the JSON error envelope: %s", data)
 	}
-	if !strings.Contains(eb.Error, "512-byte limit") {
-		t.Fatalf("413 error %q does not name the limit", eb.Error)
+	if eb.Error.Code != "body_too_large" {
+		t.Fatalf("413 error code %q, want body_too_large", eb.Error.Code)
+	}
+	if !strings.Contains(eb.Error.Message, "512-byte limit") {
+		t.Fatalf("413 error %q does not name the limit", eb.Error.Message)
 	}
 
 	if code, data := postJSON(t, ts.URL+"/v1/tgql", TGQLRequest{Query: "STATS"}); code != 200 {

@@ -86,8 +86,9 @@ type Engine struct {
 	mu         sync.Mutex // serializes appends, rotation, close
 	wal        *walWriter
 	gen        uint64
-	seq        uint64 // records appended since Open (durability watermark domain)
-	segRecords int    // records in the active segment
+	seq        uint64   // records appended since Open (durability watermark domain)
+	raw        [][]byte // every ingest record payload, in append order (replication tail)
+	segRecords int      // records in the active segment
 	closed     bool
 
 	// Group commit (FsyncAlways): concurrent appends coalesce into one
@@ -195,11 +196,13 @@ func (e *Engine) Append(label string, snap stream.Snapshot) error {
 		e.mu.Unlock()
 		return err
 	}
-	n, err := e.wal.append(encodeIngest(label, snap))
+	payload := encodeIngest(label, snap)
+	n, err := e.wal.append(payload)
 	if err != nil {
 		e.mu.Unlock()
 		return fmt.Errorf("%w: %v", ErrWAL, err)
 	}
+	e.raw = append(e.raw, payload)
 	e.seq++
 	seq := e.seq
 	e.ctr.walRecords.Add(1)

@@ -59,6 +59,9 @@ func (e *Engine) recover(attrs []core.AttrSpec) error {
 		if err != nil {
 			return err
 		}
+		for _, p := range loaded.points {
+			e.raw = append(e.raw, p.payload)
+		}
 		e.recovery.SnapshotGeneration = snapGen
 		e.recovery.SnapshotPoints = e.series.Len()
 	} else {
@@ -80,7 +83,11 @@ func (e *Engine) recover(attrs []core.AttrSpec) error {
 			if derr != nil {
 				return derr
 			}
-			return e.series.Append(label, snap)
+			if aerr := e.series.Append(label, snap); aerr != nil {
+				return aerr
+			}
+			e.raw = append(e.raw, append([]byte(nil), payload...))
+			return nil
 		})
 		if rerr != nil {
 			return fmt.Errorf("replay %s: %w", walName(gen), rerr)

@@ -1,0 +1,80 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/stream"
+)
+
+// This file is the storage half of WAL replication: it exports the ingest
+// record codec and the length-prefixed framing so `internal/server` can
+// stream a shard's history over HTTP (`/v1/wal/stream`) and a replica (or
+// the router's mirror) can apply it, plus the engine-side tail API that
+// serves those records without touching the segment files on every poll.
+//
+// The unit of replication is the ingest record: one encoded time point,
+// exactly the payload the WAL frames on disk and checkpoints embed in
+// snapshots. A shard's record log is therefore identified by a single
+// monotone sequence number — the number of time points ever appended
+// (series.Len()) — which survives restarts, unlike Engine.seq which counts
+// records since Open.
+
+// FormatVersion is the on-disk snapshot/WAL format version, exported for
+// the serving tier's /v1/status report.
+const FormatVersion = formatVersion
+
+// EncodeIngestRecord serializes one ingest batch into the WAL record
+// payload format (the replication wire format). The first byte is the
+// record type tag; DecodeIngestRecord validates it.
+func EncodeIngestRecord(label string, snap stream.Snapshot) []byte {
+	return encodeIngest(label, snap)
+}
+
+// DecodeIngestRecord parses a WAL record payload back into the time-point
+// label and ingest batch it carries.
+func DecodeIngestRecord(payload []byte) (string, stream.Snapshot, error) {
+	return decodeIngest(payload)
+}
+
+// WriteFramedRecord frames one payload as [len u32 LE][crc32c u32 LE][payload]
+// — the same framing WAL segments and snapshot sections use — and writes it
+// to w. The replication stream is a plain sequence of such frames.
+func WriteFramedRecord(w io.Writer, payload []byte) error {
+	return writeRecord(w, payload)
+}
+
+// ReadFramedRecord reads and checksum-verifies one framed record from r.
+// io.EOF is returned cleanly at a frame boundary; a partial frame surfaces
+// as ErrTruncated or ErrChecksum.
+func ReadFramedRecord(r io.Reader) ([]byte, error) {
+	return readRecord(r)
+}
+
+// TailRecords returns the raw ingest record payloads with global sequence
+// number >= from, i.e. the records for time points from..Len-1. The engine
+// retains every record in memory (they are compact varint encodings, a
+// small fraction of the decoded in-memory graph) precisely so replication
+// polls never contend with segment files or checkpoints. The returned
+// slices are shared and must not be modified.
+func (e *Engine) TailRecords(from int) ([][]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if from < 0 || from > len(e.raw) {
+		return nil, fmt.Errorf("storage: tail from %d out of range [0,%d]", from, len(e.raw))
+	}
+	if from == len(e.raw) {
+		return nil, nil
+	}
+	out := make([][]byte, len(e.raw)-from)
+	copy(out, e.raw[from:])
+	return out, nil
+}
+
+// RecordCount returns the total number of ingest records (time points) the
+// engine holds — the exclusive upper bound for TailRecords.
+func (e *Engine) RecordCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.raw)
+}
