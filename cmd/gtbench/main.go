@@ -141,6 +141,10 @@ func experiments() []experiment {
 			return one(clusterScaling("Cluster", "DBLP union-ALL via graphtempo-router: scaling with shard count",
 				env.DBLP(), "gender", []int{1, 2, 4, 8}, 8, 64))
 		}},
+		{"timetravel", "AS OF reconstruction paths: full replay vs snapshot resume vs history LRU vs head", func(env *environment) []benchutil.Printable {
+			return one(timeTravel("TimeTravel", "DBLP pinned point-aggregate: reconstruction path latency per as_of transaction",
+				env.DBLP(), "gender"))
+		}},
 		{"compress", "Operator kernels over dense vs run-compressed timestamp vectors", func(env *environment) []benchutil.Printable {
 			return one(compressKernels("Compress", "Stretched timeline (T=1024): kernel time and bytes, dense vs run-compressed",
 				env))

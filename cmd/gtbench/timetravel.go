@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/benchutil"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/storage"
+)
+
+// ttServer is one durable graphtempod with g's history replayed through
+// POST /v1/ingest, checkpointed at the given transaction (0 = never).
+type ttServer struct {
+	eng *storage.Engine
+	ts  *httptest.Server
+	dir string
+}
+
+func (s *ttServer) close() {
+	s.ts.Close()
+	s.eng.Close()
+	os.RemoveAll(s.dir)
+}
+
+func newTTServer(g *core.Graph, snaps []server.IngestRequest, checkpointAt int) *ttServer {
+	dir, err := os.MkdirTemp("", "gtbench-timetravel-*")
+	if err != nil {
+		panic(fmt.Sprintf("timetravel bench: %v", err))
+	}
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	eng, err := storage.Open(dir, g.Attrs(), storage.Options{
+		Fsync:             storage.FsyncNever,
+		CheckpointRecords: -1, // manual: at most one checkpoint, mid-log
+		Logger:            quiet,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("timetravel bench: open engine: %v", err))
+	}
+	srv, err := server.New(server.Config{Storage: eng, Logger: quiet})
+	if err != nil {
+		panic(fmt.Sprintf("timetravel bench: server: %v", err))
+	}
+	ts := httptest.NewServer(srv.Handler())
+	for i, snap := range snaps {
+		body, _ := json.Marshal(snap)
+		resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", bytes.NewReader(body))
+		if err != nil {
+			panic(fmt.Sprintf("timetravel bench: ingest %s: %v", snap.Label, err))
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			panic(fmt.Sprintf("timetravel bench: ingest %s: %d: %s", snap.Label, resp.StatusCode, data))
+		}
+		var ack server.IngestResponse
+		if err := json.Unmarshal(data, &ack); err != nil || ack.Txn != i+1 {
+			panic(fmt.Sprintf("timetravel bench: ingest %s ack txn = %d, want %d", snap.Label, ack.Txn, i+1))
+		}
+		if ack.Txn == checkpointAt {
+			if err := eng.Checkpoint(); err != nil {
+				panic(fmt.Sprintf("timetravel bench: checkpoint: %v", err))
+			}
+		}
+	}
+	return &ttServer{eng: eng, ts: ts, dir: dir}
+}
+
+// query posts one pinned point-aggregate and returns the wall time in ms.
+func (s *ttServer) query(attr, point string, asOf int) float64 {
+	body, _ := json.Marshal(server.AggregateRequest{
+		Op:       "project",
+		Interval: server.IntervalSpec{From: point, To: point},
+		Attrs:    []string{attr},
+		Kind:     "dist",
+		AsOf:     asOf,
+	})
+	start := time.Now()
+	resp, err := http.Post(s.ts.URL+"/v1/aggregate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		panic(fmt.Sprintf("timetravel bench: aggregate as_of %d: %v", asOf, err))
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		panic(fmt.Sprintf("timetravel bench: aggregate as_of %d: %d: %s", asOf, resp.StatusCode, data))
+	}
+	return float64(time.Since(start).Microseconds()) / 1000
+}
+
+// timeTravel benchmarks AS OF serving against a durable graphtempod. Two
+// engines ingest the same history; one checkpoints at the middle
+// transaction, the other never does. Pinning the SAME upper-half
+// transactions cold on both isolates the reconstruction strategy — full
+// record-log replay versus snapshot + delta replay — on identical states
+// (each pin's first touch is the reconstruction; revisits would hit the
+// history LRU). The warm row revisits those pins on the checkpointed
+// engine, and the head row is the unpinned baseline the refactor must not
+// regress. The "replayed recs" column is the engine's own
+// ReplayStats.Replayed for the row's median pin.
+func timeTravel(id, title string, g *core.Graph, attr string) *benchutil.Experiment {
+	exp := &benchutil.Experiment{
+		ID:     id,
+		Title:  title,
+		XLabel: "path",
+		Series: []string{"p50 ms", "p95 ms", "p99 ms", "queries", "replayed recs"},
+	}
+	snaps := decomposeSnapshots(g)
+	n := len(snaps)
+	watermark := n / 2
+	first := g.Timeline().Labels()[0]
+
+	var pins []int
+	for txn := watermark; txn <= n; txn++ {
+		pins = append(pins, txn)
+	}
+
+	replaySrv := newTTServer(g, snaps, 0)
+	defer replaySrv.close()
+	resumeSrv := newTTServer(g, snaps, watermark)
+	defer resumeSrv.close()
+
+	// Cold reconstructions are timed at the engine (ReplayTo is not cached
+	// there, so pins can repeat for stable quantiles); the warm and head
+	// rows below time the full HTTP query — reconstruction dominates the
+	// cold rows by orders of magnitude, so the rows stay comparable.
+	measureCold := func(name string, s *ttServer) {
+		var lat []float64
+		var replayed float64
+		for round := 0; round < 4; round++ {
+			for _, txn := range pins {
+				start := time.Now()
+				_, st, err := s.eng.ReplayTo(txn)
+				if err != nil {
+					panic(fmt.Sprintf("timetravel bench: replay to %d: %v", txn, err))
+				}
+				lat = append(lat, float64(time.Since(start).Microseconds())/1000)
+				if txn == pins[len(pins)/2] {
+					replayed = float64(st.Replayed)
+				}
+			}
+		}
+		sort.Float64s(lat)
+		exp.Add(name,
+			quantile(lat, 0.50), quantile(lat, 0.95), quantile(lat, 0.99),
+			float64(len(lat)), replayed)
+	}
+	measureCold("as-of full-replay", replaySrv)
+	measureCold("as-of snapshot-resume", resumeSrv)
+
+	// Warm: prime the history LRU with one unmeasured pass, then every
+	// revisit answers from the resident state.
+	for _, txn := range pins {
+		resumeSrv.query(attr, first, txn)
+	}
+	var warmLat []float64
+	for round := 0; round < 4; round++ {
+		for _, txn := range pins {
+			warmLat = append(warmLat, resumeSrv.query(attr, first, txn))
+		}
+	}
+	sort.Float64s(warmLat)
+	exp.Add("as-of cached",
+		quantile(warmLat, 0.50), quantile(warmLat, 0.95), quantile(warmLat, 0.99),
+		float64(len(warmLat)), 0)
+
+	// Head baseline: as_of 0 bypasses history serving entirely.
+	var headLat []float64
+	for i := 0; i < 4*len(pins); i++ {
+		headLat = append(headLat, resumeSrv.query(attr, first, 0))
+	}
+	sort.Float64s(headLat)
+	exp.Add("head",
+		quantile(headLat, 0.50), quantile(headLat, 0.95), quantile(headLat, 0.99),
+		float64(len(headLat)), 0)
+
+	return exp
+}

@@ -478,6 +478,14 @@ func OpenStorage(dir string, attrs []AttrSpec, opts StorageOptions) (*StorageEng
 // ParseFsyncPolicy parses "always", "interval" or "never".
 func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return storage.ParseFsyncPolicy(s) }
 
+// WindowGraph restricts g to the valid-time window [from, to] (inclusive
+// timeline indices): the subgraph of nodes and interactions alive inside
+// the window, with the timeline cut down to it. This is the library form of
+// TGQL's VALID DURING clause; combine with StreamSeries.ReplayTo or
+// StorageEngine.ReplayTo for full bi-temporal (AS OF + VALID DURING)
+// reconstruction.
+func WindowGraph(g *Graph, from, to int) (*Graph, error) { return core.Window(g, from, to) }
+
 // WriteAggregateDOT renders an aggregate graph in Graphviz DOT format.
 func WriteAggregateDOT(w io.Writer, ag *AggGraph) error { return dot.WriteAggregate(w, ag) }
 

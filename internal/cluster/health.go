@@ -23,6 +23,7 @@ type MemberHealth struct {
 	Draining bool   `json:"draining,omitempty"`
 	Points   int    `json:"points"`
 	Visible  int    `json:"visible"`
+	Txn      int    `json:"txn"`
 	Lag      int    `json:"lag"`
 	Err      string `json:"err,omitempty"`
 }
@@ -114,6 +115,7 @@ func (h *health) probeMember(ctx context.Context, mem Member) MemberHealth {
 	st.Draining = sr.Draining
 	st.Points = sr.Points
 	st.Visible = sr.Visible
+	st.Txn = sr.Txn
 	return st
 }
 

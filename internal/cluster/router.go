@@ -240,9 +240,13 @@ func (rt *Router) shardFollower(i int) *Follower {
 			cands := rt.health.candidates(sh, rt.cfg.MaxLag)
 			return cands[0].URL, nil
 		},
-		Apply: func(label string, snap stream.Snapshot) error {
+		Apply: func(label, before string, snap stream.Snapshot) error {
 			rt.applyMu.Lock()
 			defer rt.applyMu.Unlock()
+			if before != "" {
+				_, err := rt.mseries.AppendAt(label, snap, before)
+				return err
+			}
 			return rt.mseries.Append(label, snap)
 		},
 		Len: func() int {
@@ -485,6 +489,13 @@ func (rt *Router) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	var req server.AggregateRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		rt.toMirror(w, r, body) // the mirror produces the canonical 400
+		return
+	}
+	if req.AsOf != 0 {
+		// Time travel never scatters: the shards serve their heads only,
+		// while the mirror holds the full global transaction journal and
+		// reconstructs any AS OF position from it.
+		rt.toMirror(w, r, body)
 		return
 	}
 	slices, ok := rt.slicesFor(req)
@@ -805,6 +816,10 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	ir.Points += rt.starts[tail]
 	ir.Visible += rt.starts[tail]
+	// The shard acked its local transaction sequence; the mirror's global
+	// journal has the frozen prefix in front, so the global AS OF handle is
+	// offset by the tail shard's start.
+	ir.Txn += rt.starts[tail]
 	rt.routeCounter("ingest").Inc()
 	writeJSON(w, ir)
 }
@@ -817,6 +832,7 @@ type RouterStatus struct {
 	Role      string `json:"role"` // always "router"
 	Shards    int    `json:"shards"`
 	Points    int    `json:"points"`     // applied to the mirror
+	Txn       int    `json:"txn"`        // mirror transaction watermark (global AS OF bound)
 	HighWater int    `json:"high_water"` // cluster-wide ingested points
 	MirrorLag int    `json:"mirror_lag"`
 	Draining  bool   `json:"draining"`
@@ -828,6 +844,7 @@ func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Role:      "router",
 		Shards:    len(rt.cfg.Map.Shards),
 		Points:    rt.mseries.Len(),
+		Txn:       rt.mseries.Txn(),
 		HighWater: rt.globalHigh(),
 		MirrorLag: rt.mirrorLag(),
 		Draining:  rt.isDraining(),
@@ -850,7 +867,10 @@ type ClusterStatus struct {
 	Shards       []ShardStatus `json:"shards"`
 	GlobalPoints int           `json:"global_points"`
 	MirrorPoints int           `json:"mirror_points"`
-	MirrorLag    int           `json:"mirror_lag"`
+	// MirrorTxn is the mirror's transaction watermark: the highest global
+	// AS OF position the router can currently answer.
+	MirrorTxn int `json:"mirror_txn"`
+	MirrorLag int `json:"mirror_lag"`
 }
 
 func (rt *Router) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
@@ -858,6 +878,7 @@ func (rt *Router) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 	out := ClusterStatus{
 		GlobalPoints: rt.globalHigh(),
 		MirrorPoints: rt.mseries.Len(),
+		MirrorTxn:    rt.mseries.Txn(),
 		MirrorLag:    rt.mirrorLag(),
 	}
 	for i, sh := range rt.cfg.Map.Shards {

@@ -324,10 +324,16 @@ func TestReplicaFailover(t *testing.T) {
 	replA := httptest.NewServer(replSrv.Handler())
 	t.Cleanup(replA.Close)
 	f := &Follower{
-		Pick:  func() (string, error) { return primA.URL, nil },
-		Apply: replSeries.Append,
-		Len:   replSeries.Len,
-		Log:   quietLogger(),
+		Pick: func() (string, error) { return primA.URL, nil },
+		Apply: func(label, before string, snap stream.Snapshot) error {
+			if before != "" {
+				_, err := replSeries.AppendAt(label, snap, before)
+				return err
+			}
+			return replSeries.Append(label, snap)
+		},
+		Len: replSeries.Len,
+		Log: quietLogger(),
 	}
 	for replSeries.Len() < 3 {
 		if _, err := f.Poll(context.Background()); err != nil {

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/dict"
+)
+
+// ResumeAccumulator returns an accumulator whose state is exactly graph
+// g's, so time points recorded after g was snapshotted can be replayed on
+// top of it instead of from scratch — the core of point-in-time
+// reconstruction as "snapshot + partial WAL replay".
+//
+// The resumed accumulator follows the same sharing discipline as a live
+// one: g's timestamp bitsets, static columns and time-major varying rows
+// are adopted copy-on-write (the generation fence forces a clone before
+// the first mutation of any shared structure), dictionaries are cloned,
+// and node/edge identity is rebuilt in g's exact ID order so subsequent
+// appends assign the same IDs and value codes live ingestion did.
+//
+// g must use the time-major varying layout or the node-major one; both
+// are adopted (node-major columns are transposed once, O(V·T)).
+func ResumeAccumulator(g *Graph) *Accumulator {
+	a := &Accumulator{
+		attrs:        append([]AttrSpec(nil), g.attrs...),
+		dicts:        make([]*dict.Dict, len(g.attrs)),
+		index:        &sharedIndex{nodes: make(map[string]NodeID, len(g.nodeLabels)), edges: make(map[Endpoints]EdgeID, len(g.edges))},
+		labels:       append([]string(nil), g.tl.Labels()...),
+		nodeLabels:   append([]string(nil), g.nodeLabels...),
+		nodeTau:      append([]*bitset.Set(nil), g.nodeTau...),
+		nodeTauGen:   make([]uint64, len(g.nodeTau)),
+		edges:        append([]Endpoints(nil), g.edges...),
+		edgeTau:      append([]*bitset.Set(nil), g.edgeTau...),
+		edgeTauGen:   make([]uint64, len(g.edgeTau)),
+		static:       make([][]dict.Code, len(g.attrs)),
+		staticFrozen: make([]int, len(g.attrs)),
+		varyingT:     make([][][]dict.Code, len(g.attrs)),
+		curVarying:   make([]map[NodeID]dict.Code, len(g.attrs)),
+		dictSnap:     make([]*dict.Dict, len(g.attrs)),
+		dictSnapLen:  make([]int, len(g.attrs)),
+		// All tau generations are 0 and the epoch starts at 1, so the first
+		// touch of any adopted bitset clones it instead of mutating g's.
+		gen: 1,
+	}
+	for i, l := range a.nodeLabels {
+		a.index.nodes[l] = NodeID(i)
+	}
+	for i, ep := range a.edges {
+		a.index.edges[ep] = EdgeID(i)
+	}
+	for i, d := range g.dicts {
+		// The clone is the mutable working dictionary; g's own (immutable
+		// from here on) doubles as the first snapshot's share.
+		a.dicts[i] = d.Clone()
+		a.dictSnap[i] = d
+		a.dictSnapLen[i] = d.Len()
+	}
+	T := g.tl.Len()
+	V := len(g.nodeLabels)
+	for ai := range a.attrs {
+		if a.attrs[ai].Kind == Static {
+			col := g.static[ai]
+			a.static[ai] = col[:len(col):len(col)]
+			a.staticFrozen[ai] = len(col)
+			continue
+		}
+		if g.varyingT != nil {
+			rows := g.varyingT[ai]
+			a.varyingT[ai] = rows[:len(rows):len(rows)]
+			continue
+		}
+		col := g.varying[ai]
+		rows := make([][]dict.Code, T)
+		for t := 0; t < T; t++ {
+			row := make([]dict.Code, V)
+			for n := 0; n < V; n++ {
+				row[n] = col[n*T+t]
+			}
+			rows[t] = row
+		}
+		a.varyingT[ai] = rows
+	}
+	return a
+}

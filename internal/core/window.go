@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dict"
+	"repro/internal/timeline"
+)
+
+// Window restricts g to the contiguous valid-time interval [from, to]
+// (inclusive timeline indices): the VALID DURING operator. The result is
+// a self-contained graph over the sub-timeline whose nodes and edges are
+// exactly those existing at some point of the window, with timestamps
+// shifted to the new origin and attribute values clipped to it.
+//
+// Determinism: entities keep g's relative ID order (filtered), and every
+// dictionary is pre-interned in g's code order, so windowing the same
+// graph always yields byte-identical columns — required by the time-travel
+// equivalence oracle.
+func Window(g *Graph, from, to int) (*Graph, error) {
+	n := g.tl.Len()
+	if from < 0 || to >= n || from > to {
+		return nil, fmt.Errorf("core: window [%d,%d] out of range [0,%d]", from, to, n-1)
+	}
+	labels := g.tl.Labels()[from : to+1]
+	tl, err := timeline.New(labels...)
+	if err != nil {
+		return nil, err
+	}
+	b := NewBuilder(tl, g.attrs...)
+	for ai := range g.attrs {
+		b.InternValues(AttrID(ai), g.dicts[ai].Values()...)
+	}
+	for id := range g.nodeLabels {
+		tau := g.nodeTau[id]
+		alive := false
+		for t := from; t <= to; t++ {
+			if tau.Contains(t) {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			continue
+		}
+		nid := b.AddNode(g.nodeLabels[id])
+		for t := from; t <= to; t++ {
+			if !tau.Contains(t) {
+				continue
+			}
+			b.SetNodeTime(nid, timeline.Time(t-from))
+			for ai := range g.attrs {
+				if g.attrs[ai].Kind != TimeVarying {
+					continue
+				}
+				if c := g.VaryingValue(AttrID(ai), NodeID(id), timeline.Time(t)); c != dict.None {
+					b.SetVarying(AttrID(ai), nid, timeline.Time(t-from), g.dicts[ai].Value(c))
+				}
+			}
+		}
+		for ai := range g.attrs {
+			if g.attrs[ai].Kind != Static {
+				continue
+			}
+			if c := g.StaticValue(AttrID(ai), NodeID(id)); c != dict.None {
+				b.SetStatic(AttrID(ai), nid, g.dicts[ai].Value(c))
+			}
+		}
+	}
+	for e, ep := range g.edges {
+		tau := g.edgeTau[e]
+		var eid EdgeID
+		made := false
+		for t := from; t <= to; t++ {
+			if !tau.Contains(t) {
+				continue
+			}
+			if !made {
+				// Edge taus are subsets of both endpoint taus, so both
+				// endpoints are alive somewhere in the window and registered.
+				u, _ := b.NodeID(g.nodeLabels[ep.U])
+				v, _ := b.NodeID(g.nodeLabels[ep.V])
+				eid = b.AddEdge(u, v)
+				made = true
+			}
+			b.SetEdgeTime(eid, timeline.Time(t-from))
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,184 @@
+package materialize
+
+import (
+	"fmt"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/dict"
+	"repro/internal/ops"
+	"repro/internal/timeline"
+)
+
+// This file relaxes the catalog's suffix-only advance rule for retroactive
+// ingest: a new time point inserted into the middle of the valid-time axis.
+// The per-point materialization unit makes this tractable — an insert
+// dirties exactly one slot of every store's per-point vector; the old
+// aggregates keep their positions on either side because they are pure
+// tuple→weight maps with no time index inside them. What CANNOT survive an
+// insert is anything keyed by interval labels (the result cache: an old
+// interval now spans one more point) and any plan bounded past the insert
+// position — AdvanceRetro reports FirstDirty so the plan cache can evict
+// exactly those.
+
+// ErrRetroRebuild reports that a retroactive change reassigned entity
+// identities or back-filled values in a way the incremental path cannot
+// absorb; the caller must rebuild the catalog from scratch.
+var ErrRetroRebuild = fmt.Errorf("materialize: retroactive change is not incrementally absorbable; catalog must be rebuilt")
+
+// InsertAt returns a new store whose per-point vector has the aggregates of
+// the time points listed in inserted (ascending indices into newG's
+// timeline) spliced in, and the old aggregates everywhere else. newG's
+// timeline must interleave the store's covered points with exactly the
+// inserted ones. Fails with ErrCodingChanged when the insert changed the
+// tuple coding (a new attribute value, or existing values re-ordered by the
+// valid-order dictionary rebuild) — the old vectors are then not comparable
+// and the caller rebuilds.
+//
+// The dense composition tables are NOT carried over: positions shift, so
+// the first composed query on the new store pays one lazy rebuild. That is
+// the cost model of retroactive ingest — O(#inserts) aggregation now,
+// O(T·slots) amortized composition later — versus O(T) re-aggregation for
+// a full rebuild.
+func (st *Store) InsertAt(newG *core.Graph, inserted []int) (*Store, error) {
+	s2, err := agg.NewSchema(newG, st.schema.Attrs()...)
+	if err != nil {
+		return nil, err
+	}
+	if !s2.SameCoding(st.schema) {
+		return nil, ErrCodingChanged
+	}
+	n := newG.Timeline().Len()
+	if len(st.perPoint)+len(inserted) != n {
+		return nil, fmt.Errorf("materialize: insert of %d points does not bridge %d covered to %d total",
+			len(inserted), len(st.perPoint), n)
+	}
+	perPoint := make([]*agg.Graph, 0, n)
+	next, old := 0, 0
+	for t := 0; t < n; t++ {
+		if next < len(inserted) && inserted[next] == t {
+			perPoint = append(perPoint, agg.Aggregate(ops.At(newG, timeline.Time(t)), s2, agg.All))
+			next++
+			continue
+		}
+		perPoint = append(perPoint, st.perPoint[old])
+		old++
+	}
+	if next != len(inserted) {
+		return nil, fmt.Errorf("materialize: inserted position %d beyond timeline of %d points", inserted[next], n)
+	}
+	return &Store{schema: s2, perPoint: perPoint}, nil
+}
+
+// RetroStats reports what one Catalog.AdvanceRetro did.
+type RetroStats struct {
+	// Inserted is how many time points were spliced into the timeline
+	// (trailing appends that rode along with the retro batch included).
+	Inserted int
+	// Extended counts stores absorbed incrementally via InsertAt.
+	Extended int
+	// Rebuilt counts stores re-materialized from scratch (coding changed).
+	Rebuilt int
+	// FirstDirty is the lowest new-timeline index whose content changed —
+	// every cached plan or result bounded at or beyond it is stale. Equal
+	// to the old timeline length for a pure tail append.
+	FirstDirty int
+}
+
+// AdvanceRetro folds a retroactive delta into the catalog: newG's timeline
+// must contain the current timeline's labels as a subsequence, with the
+// extra points inserted anywhere (not just at the end, as Advance demands).
+// Stores absorb each insert in O(1) aggregations or rebuild on a coding
+// change; the result cache is PURGED, because its interval keys are
+// label-ranges whose content changed. Returns ErrRetroRebuild when entity
+// identities shifted (the valid-order accumulator rebuild renumbered old
+// nodes) or a static value changed on a pre-existing node — cases where old
+// per-point vectors cannot be trusted and the caller must rebuild.
+func (c *Catalog) AdvanceRetro(newG *core.Graph) (RetroStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if newG == c.g {
+		return RetroStats{FirstDirty: c.g.Timeline().Len()}, nil
+	}
+	oldLabels := c.g.Timeline().Labels()
+	newLabels := newG.Timeline().Labels()
+	var inserted []int
+	i := 0
+	for j, l := range newLabels {
+		if i < len(oldLabels) && oldLabels[i] == l {
+			i++
+		} else {
+			inserted = append(inserted, j)
+		}
+	}
+	if i != len(oldLabels) {
+		return RetroStats{}, fmt.Errorf("materialize: retro advance drops time point %q", oldLabels[i])
+	}
+	if len(inserted) == 0 {
+		return RetroStats{}, fmt.Errorf("%w: graph changed without new time points", ErrRetroRebuild)
+	}
+	if n := c.g.NumAttrs(); n != newG.NumAttrs() {
+		return RetroStats{}, fmt.Errorf("materialize: retro advance changes the attribute schema (%d → %d attributes)", n, newG.NumAttrs())
+	}
+	// The valid-order accumulator rebuild assigns node IDs by first
+	// appearance; a retro batch introducing a new node renumbers every node
+	// first seen after the insert position. Old per-point aggregates are
+	// ID-free, but the static comparison below is ID-indexed — so identity
+	// preservation is checked first, and a shift punts to a full rebuild.
+	oldNodes := c.g.NumNodes()
+	if newG.NumNodes() < oldNodes {
+		return RetroStats{}, fmt.Errorf("%w: node count shrank", ErrRetroRebuild)
+	}
+	for n := 0; n < oldNodes; n++ {
+		if c.g.NodeLabel(core.NodeID(n)) != newG.NodeLabel(core.NodeID(n)) {
+			return RetroStats{}, fmt.Errorf("%w: node %d renumbered (%q → %q)", ErrRetroRebuild,
+				n, c.g.NodeLabel(core.NodeID(n)), newG.NodeLabel(core.NodeID(n)))
+		}
+	}
+	// Static values must agree on pre-existing nodes, compared as decoded
+	// strings: the rebuild may have re-ordered dictionary codes even when
+	// the value sets are identical.
+	for a := 0; a < newG.NumAttrs(); a++ {
+		if newG.Attr(core.AttrID(a)).Kind != core.Static {
+			continue
+		}
+		for n := 0; n < oldNodes; n++ {
+			ov := staticString(c.g, core.AttrID(a), core.NodeID(n))
+			nv := staticString(newG, core.AttrID(a), core.NodeID(n))
+			if ov != nv {
+				return RetroStats{}, fmt.Errorf("%w: node %q attribute %q back-filled (%q → %q)", ErrRetroRebuild,
+					newG.NodeLabel(core.NodeID(n)), newG.Attr(core.AttrID(a)).Name, ov, nv)
+			}
+		}
+	}
+	stats := RetroStats{Inserted: len(inserted), FirstDirty: inserted[0]}
+	for key, st := range c.stores {
+		next, err := st.InsertAt(newG, inserted)
+		if err == nil {
+			c.stores[key] = next
+			stats.Extended++
+			continue
+		}
+		s, serr := agg.NewSchema(newG, st.Schema().Attrs()...)
+		if serr != nil {
+			return stats, serr
+		}
+		c.stores[key] = NewStore(newG, s)
+		stats.Rebuilt++
+	}
+	// Interval cache keys are label ranges; the inserted point changed what
+	// every spanning range contains. Unlike Advance, nothing survives.
+	c.cache.Purge()
+	c.g = newG
+	c.gen++
+	return stats, nil
+}
+
+// staticString decodes a node's static attribute value, "" when unset.
+func staticString(g *core.Graph, a core.AttrID, n core.NodeID) string {
+	c := g.StaticValue(a, n)
+	if c == dict.None {
+		return ""
+	}
+	return g.Dict(a).Value(c)
+}

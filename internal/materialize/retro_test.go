@@ -1,0 +1,208 @@
+package materialize
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/timeline"
+)
+
+// retroSnap builds a one-node ingest batch for the retro tests.
+func retroSnap(node, gender, pubs string, peers ...string) stream.Snapshot {
+	s := stream.Snapshot{Nodes: []stream.NodeRecord{{
+		Label:   node,
+		Static:  map[string]string{"gender": gender},
+		Varying: map[string]string{"publications": pubs},
+	}}}
+	for _, p := range peers {
+		s.Nodes = append(s.Nodes, stream.NodeRecord{
+			Label:   p,
+			Static:  map[string]string{"gender": "f"},
+			Varying: map[string]string{"publications": "1"},
+		})
+		s.Edges = append(s.Edges, stream.EdgeRecord{U: node, V: p})
+	}
+	return s
+}
+
+func retroSeries(t *testing.T) *stream.Series {
+	t.Helper()
+	s := stream.New(
+		core.AttrSpec{Name: "gender", Kind: core.Static},
+		core.AttrSpec{Name: "publications", Kind: core.TimeVarying},
+	)
+	for i, batch := range []struct {
+		label string
+		snap  stream.Snapshot
+	}{
+		{"t0", retroSnap("u1", "m", "3", "u2")},
+		{"t1", retroSnap("u1", "m", "1", "u2", "u3")},
+		{"t2", retroSnap("u2", "f", "2", "u3")},
+	} {
+		if err := s.Append(batch.label, batch.snap); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	return s
+}
+
+func seriesGraph(t *testing.T, s *stream.Series) *core.Graph {
+	t.Helper()
+	g, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestAdvanceRetroExtendsStores splices a retroactive point into a catalog
+// with live stores and requires the extended stores to match a rebuild.
+func TestAdvanceRetroExtendsStores(t *testing.T) {
+	s := retroSeries(t)
+	g := seriesGraph(t, s)
+	cat := NewCatalog(g)
+	attrs := []core.AttrID{g.MustAttr("gender")}
+	if _, err := cat.Materialize(attrs...); err != nil {
+		t.Fatal(err)
+	}
+	both := []core.AttrID{g.MustAttr("gender"), g.MustAttr("publications")}
+	if _, err := cat.Materialize(both...); err != nil {
+		t.Fatal(err)
+	}
+
+	// Retro batch: existing nodes only (u2 appears at t0/t1/t2 already),
+	// so entity identities are stable and stores can splice.
+	if _, err := s.AppendAt("t0b", retroSnap("u2", "f", "4"), "t1"); err != nil {
+		t.Fatal(err)
+	}
+	newG := seriesGraph(t, s)
+	stats, err := cat.AdvanceRetro(newG)
+	if err != nil {
+		t.Fatalf("AdvanceRetro: %v", err)
+	}
+	if stats.Inserted != 1 || stats.FirstDirty != 1 {
+		t.Fatalf("stats = %+v, want Inserted=1 FirstDirty=1", stats)
+	}
+	if stats.Extended+stats.Rebuilt != 2 {
+		t.Fatalf("stats = %+v, want 2 stores touched", stats)
+	}
+	if cat.Graph() != newG {
+		t.Fatal("catalog did not adopt the new graph")
+	}
+
+	r := rand.New(rand.NewSource(11))
+	st, ok := cat.store(attrsKey(attrs))
+	if !ok {
+		t.Fatal("gender store vanished across AdvanceRetro")
+	}
+	checkStoreEquivalence(t, r, newG, st, attrs)
+	st2, ok := cat.store(attrsKey(both))
+	if !ok {
+		t.Fatal("gender+publications store vanished across AdvanceRetro")
+	}
+	checkStoreEquivalence(t, r, newG, st2, both)
+}
+
+// TestAdvanceRetroTailAndMiddle mixes a trailing append into the same
+// retro delta: both points are inserts relative to the old timeline.
+func TestAdvanceRetroTailAndMiddle(t *testing.T) {
+	s := retroSeries(t)
+	g := seriesGraph(t, s)
+	cat := NewCatalog(g)
+	attrs := []core.AttrID{g.MustAttr("gender")}
+	if _, err := cat.Materialize(attrs...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendAt("t1b", retroSnap("u3", "f", "2"), "t2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("t3", retroSnap("u1", "m", "2")); err != nil {
+		t.Fatal(err)
+	}
+	newG := seriesGraph(t, s)
+	stats, err := cat.AdvanceRetro(newG)
+	if err != nil {
+		t.Fatalf("AdvanceRetro: %v", err)
+	}
+	if stats.Inserted != 2 || stats.FirstDirty != 2 {
+		t.Fatalf("stats = %+v, want Inserted=2 FirstDirty=2", stats)
+	}
+	st, _ := cat.store(attrsKey(attrs))
+	checkStoreEquivalence(t, rand.New(rand.NewSource(12)), newG, st, attrs)
+}
+
+// TestAdvanceRetroRebuildOnRenumber: a retro batch that introduces a NEW
+// node renumbers every node first seen after the insert position — the
+// incremental path must refuse and the caller rebuilds.
+func TestAdvanceRetroRebuildOnRenumber(t *testing.T) {
+	s := retroSeries(t)
+	g := seriesGraph(t, s)
+	cat := NewCatalog(g)
+	if _, err := cat.Materialize(g.MustAttr("gender")); err != nil {
+		t.Fatal(err)
+	}
+	// u9 is new and lands before t1: u3 (first seen at t1) shifts by one.
+	if _, err := s.AppendAt("t0b", retroSnap("u9", "m", "7"), "t1"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := cat.AdvanceRetro(seriesGraph(t, s))
+	if !errors.Is(err, ErrRetroRebuild) {
+		t.Fatalf("AdvanceRetro = %v, want ErrRetroRebuild", err)
+	}
+}
+
+// TestAdvanceRetroRejectsDroppedPoint: the new timeline must contain the
+// old one as a subsequence.
+func TestAdvanceRetroRejectsDroppedPoint(t *testing.T) {
+	s := retroSeries(t)
+	g := seriesGraph(t, s)
+	cat := NewCatalog(g)
+
+	s2 := stream.New(s.Attrs()...)
+	if err := s2.Append("t0", retroSnap("u1", "m", "3", "u2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.AdvanceRetro(seriesGraph(t, s2)); err == nil {
+		t.Fatal("AdvanceRetro accepted a timeline that drops points")
+	}
+}
+
+// TestInsertAtSplicesVector checks the store-level splice directly: the
+// inserted point is aggregated fresh, old points keep their objects.
+func TestInsertAtSplicesVector(t *testing.T) {
+	s := retroSeries(t)
+	g := seriesGraph(t, s)
+	attrs := []core.AttrID{g.MustAttr("gender")}
+	st := NewStore(g, agg.MustSchema(g, attrs...))
+	oldPoints := []*agg.Graph{st.Point(0), st.Point(1), st.Point(2)}
+
+	if _, err := s.AppendAt("t0b", retroSnap("u2", "f", "4"), "t1"); err != nil {
+		t.Fatal(err)
+	}
+	newG := seriesGraph(t, s)
+	next, err := st.InsertAt(newG, []int{1})
+	if err != nil {
+		t.Fatalf("InsertAt: %v", err)
+	}
+	// Old per-point aggregates are position-shifted, not recomputed.
+	if next.Point(0) != oldPoints[0] || next.Point(2) != oldPoints[1] || next.Point(3) != oldPoints[2] {
+		t.Fatal("InsertAt recomputed aggregates that should have been carried over")
+	}
+	scratch := NewStore(newG, agg.MustSchema(newG, attrs...))
+	for tp := 0; tp < 4; tp++ {
+		got, want := mustJSON(t, next.Point(timeline.Time(tp))), mustJSON(t, scratch.Point(timeline.Time(tp)))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("point %d diverged after splice:\n%s\nvs\n%s", tp, got, want)
+		}
+	}
+
+	// Shape errors: wrong insert count does not bridge the timelines.
+	if _, err := st.InsertAt(newG, []int{1, 2}); err == nil {
+		t.Fatal("InsertAt with excess positions succeeded")
+	}
+}

@@ -39,6 +39,11 @@ type Env struct {
 	// from executed plans and adapts Compile's selections (serial vs
 	// parallel, dense vs map kernel, catalog vs direct scan) to them.
 	Feedback *Feedback
+	// History, when set, resolves AS OF / VALID DURING clauses into
+	// reconstructed historical states (graph, catalog, plan cache). Nil
+	// still serves VALID DURING by windowing Graph inline, but rejects
+	// AS OF — there is no transaction log to travel on.
+	History HistoryResolver
 }
 
 // Result holds the output of one executed plan; the fields mirror the
@@ -111,6 +116,13 @@ func Compile(env Env, node Logical) (*Plan, error) {
 	if env.Graph == nil {
 		return nil, fmt.Errorf("plan: no graph to compile against")
 	}
+	// Bi-temporal clauses swap the whole environment — graph, catalog AND
+	// plan cache — before the cache lookup below, so a historical compile
+	// can neither hit nor pollute the head's cache.
+	env, err := resolveHistory(env, node)
+	if err != nil {
+		return nil, err
+	}
 	workers := ClampWorkers(env.Workers)
 	var key string
 	if env.Cache != nil {
@@ -128,7 +140,6 @@ func Compile(env Env, node Logical) (*Plan, error) {
 	}
 	var (
 		root    physOp
-		err     error
 		maxTime int
 		bounded bool
 	)

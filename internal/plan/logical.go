@@ -51,6 +51,34 @@ func (r IntervalRef) IsZero() bool {
 	return r.From == "" && r.To == "" && len(r.Points) == 0
 }
 
+// TxnRef selects a transaction-time position: the state the store served
+// right after acknowledging its Txn'th ingest record. Txn 0 (the zero
+// value) means "no AS OF clause" — the live head. Pos carries the byte
+// offset of the literal in the originating query text when known.
+type TxnRef struct {
+	Txn int
+	Pos int
+}
+
+// IsZero reports whether the ref selects the live head (no AS OF given).
+func (r TxnRef) IsZero() bool { return r.Txn == 0 }
+
+// renderTemporal appends the canonical bi-temporal suffix — the VALID
+// DURING window then the AS OF transaction — to a node's Key rendering.
+// Both clauses participate in the cache key, so a plan compiled against a
+// reconstructed historical state can never collide with (or shadow) the
+// same query against the live head.
+func renderTemporal(b *strings.Builder, valid IntervalRef, asOf TxnRef) {
+	if !valid.IsZero() {
+		b.WriteString(" VALID DURING ")
+		valid.render(b)
+	}
+	if !asOf.IsZero() {
+		b.WriteString(" AS OF ")
+		b.WriteString(strconv.Itoa(asOf.Txn))
+	}
+}
+
 func (r IntervalRef) render(b *strings.Builder) {
 	switch {
 	case len(r.Points) > 0:
@@ -179,6 +207,12 @@ type Aggregate struct {
 	Measure     string
 	MeasureAttr string
 
+	// Valid restricts evaluation to a valid-time window; AsOf evaluates
+	// against a reconstructed transaction-time state. Zero values mean the
+	// full timeline of the live head.
+	Valid IntervalRef
+	AsOf  TxnRef
+
 	// AttrsPos and MeasureAttrPos are query byte offsets when known.
 	AttrsPos       []int
 	MeasureAttrPos int
@@ -203,6 +237,7 @@ func (q *Aggregate) Key() string {
 		b.WriteString(q.MeasureAttr)
 		b.WriteByte(')')
 	}
+	renderTemporal(&b, q.Valid, q.AsOf)
 	return b.String()
 }
 
@@ -224,6 +259,9 @@ type Explore struct {
 	// runs the §3.5 tuning loop for at least Tune pairs instead.
 	K    int64
 	Tune int
+
+	Valid IntervalRef
+	AsOf  TxnRef
 
 	AttrsPos []int
 }
@@ -273,6 +311,7 @@ func (q *Explore) Key() string {
 	default:
 		b.WriteString(" K AUTO")
 	}
+	renderTemporal(&b, q.Valid, q.AsOf)
 	return b.String()
 }
 
@@ -282,6 +321,9 @@ type Top struct {
 	N     int
 	Event string // stability, growth, shrinkage
 	Attrs []string
+
+	Valid IntervalRef
+	AsOf  TxnRef
 
 	AttrsPos []int
 }
@@ -297,6 +339,7 @@ func (q *Top) Key() string {
 	b.WriteString(strings.ToUpper(q.Event))
 	b.WriteString(" BY ")
 	renderAttrs(&b, q.Attrs)
+	renderTemporal(&b, q.Valid, q.AsOf)
 	return b.String()
 }
 
@@ -308,6 +351,9 @@ type Evolve struct {
 	From  IntervalRef
 	To    IntervalRef
 	Where []Predicate
+
+	Valid IntervalRef
+	AsOf  TxnRef
 
 	AttrsPos []int
 }
@@ -326,6 +372,7 @@ func (q *Evolve) Key() string {
 	b.WriteString(" TO ")
 	q.To.render(&b)
 	renderWhere(&b, q.Where)
+	renderTemporal(&b, q.Valid, q.AsOf)
 	return b.String()
 }
 
@@ -334,6 +381,9 @@ func (q *Evolve) Key() string {
 type Timeline struct {
 	Attrs []string
 	Where []Predicate
+
+	Valid IntervalRef
+	AsOf  TxnRef
 
 	AttrsPos []int
 }
@@ -346,5 +396,6 @@ func (q *Timeline) Key() string {
 	b.WriteString("TIMELINE BY ")
 	renderAttrs(&b, q.Attrs)
 	renderWhere(&b, q.Where)
+	renderTemporal(&b, q.Valid, q.AsOf)
 	return b.String()
 }

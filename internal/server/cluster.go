@@ -92,6 +92,7 @@ type StatusResponse struct {
 	Shard             string       `json:"shard,omitempty"`
 	Points            int          `json:"points"`
 	Visible           int          `json:"visible"`
+	Txn               int          `json:"txn"`
 	StorageGeneration uint64       `json:"storage_generation,omitempty"`
 	Attrs             []StatusAttr `json:"attrs"`
 	Draining          bool         `json:"draining"`
@@ -124,6 +125,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Shard:         s.cfg.ShardName,
 		Points:        points,
 		Visible:       points, // static mode serves its whole timeline
+		Txn:           s.headTxn(),
 		Draining:      s.draining.Load(),
 	}
 	if s.series != nil {
@@ -185,6 +187,11 @@ func (s *Server) handlePartialAggregate(ctx context.Context, w http.ResponseWrit
 	var req AggregateRequest
 	if status, err := s.decodeJSON(w, r, &req); err != nil {
 		return status, err
+	}
+	if req.AsOf != 0 {
+		// Shards serve the head only; the router answers AS OF from its
+		// mirror rather than scattering it.
+		return http.StatusBadRequest, fmt.Errorf("partial aggregates cannot serve as_of; query the router's mirror")
 	}
 	st, err := s.current()
 	if err != nil {
@@ -270,21 +277,27 @@ func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
 
 // tailRecords returns the encoded ingest records from global sequence
 // `from`. Durable mode serves the engine's retained raw log (the bytes the
-// WAL framed on disk); non-durable stream mode re-encodes from the series,
-// which replays to an identical series on the follower.
+// WAL framed on disk); non-durable stream mode re-encodes from the series
+// journal — transaction order, not valid order, so retroactive inserts
+// replay at the position they arrived and the follower converges on an
+// identical series.
 func (s *Server) tailRecords(from int) [][]byte {
 	if s.storage != nil {
 		if recs, err := s.storage.TailRecords(from); err == nil {
 			return recs
 		}
 	}
-	labels, snaps := s.series.Points()
-	if from >= len(labels) {
+	journal := s.series.Journal()
+	if from >= len(journal) {
 		return nil
 	}
-	out := make([][]byte, 0, len(labels)-from)
-	for i := from; i < len(labels); i++ {
-		out = append(out, storage.EncodeIngestRecord(labels[i], snaps[i]))
+	out := make([][]byte, 0, len(journal)-from)
+	for _, e := range journal[from:] {
+		if e.Before != "" {
+			out = append(out, storage.EncodeIngestAtRecord(e.Label, e.Before, e.Snap))
+		} else {
+			out = append(out, storage.EncodeIngestRecord(e.Label, e.Snap))
+		}
 	}
 	return out
 }

@@ -56,7 +56,19 @@ func (sp IntervalSpec) ref() plan.IntervalRef {
 // stream-mode rebuild flushes it automatically), and the feedback store
 // that adapts selections to observed cardinalities.
 func (s *Server) planEnv(st *state, workers int) plan.Env {
-	return plan.Env{Graph: st.g, Catalog: st.cat, Workers: workers, Cache: s.plans, Feedback: s.fback}
+	return plan.Env{Graph: st.g, Catalog: st.cat, Workers: workers, Cache: s.plans,
+		Feedback: s.fback, History: s}
+}
+
+// asOfQuery appends the wire-level as_of shorthand to a TGQL statement as
+// its AS OF clause, so both spellings share one grammar, one plan-cache
+// keyspace and one error path (a statement that already carries AS OF plus
+// the wire field is a duplicate-clause parse error).
+func asOfQuery(query string, asOf int) string {
+	if asOf <= 0 {
+		return query
+	}
+	return fmt.Sprintf("%s AS OF %d", query, asOf)
 }
 
 // execStatus maps an execution error: context errors keep their transport
@@ -80,6 +92,9 @@ type AggregateRequest struct {
 	Kind string `json:"kind,omitempty"`
 	// Workers bounds the parallel aggregation; 0 selects GOMAXPROCS.
 	Workers int `json:"workers,omitempty"`
+	// AsOf evaluates the query against the graph as of this transaction
+	// (the txn acknowledged by an earlier ingest); 0 is the live head.
+	AsOf int `json:"as_of,omitempty"`
 }
 
 // AggregateResponse carries the aggregate graph and how it was derived.
@@ -104,6 +119,7 @@ func (s *Server) handleAggregate(ctx context.Context, w http.ResponseWriter, r *
 		Op:    plan.TemporalOp{Op: req.Op, A: req.Interval.ref(), B: req.Interval2.ref()},
 		Attrs: req.Attrs,
 		Kind:  req.Kind,
+		AsOf:  plan.TxnRef{Txn: req.AsOf},
 	}
 	p, err := plan.Compile(s.planEnv(st, req.Workers), node)
 	if err != nil {
@@ -147,6 +163,9 @@ type ExploreRequest struct {
 	// Workers bounds the fast path's parallel evaluator; 0 evaluates
 	// serially, negative selects GOMAXPROCS.
 	Workers int `json:"workers,omitempty"`
+	// AsOf evaluates the exploration against the graph as of this
+	// transaction; 0 is the live head.
+	AsOf int `json:"as_of,omitempty"`
 }
 
 // ExplorePair is one reported interval pair.
@@ -190,6 +209,7 @@ func (s *Server) handleExplore(ctx context.Context, w http.ResponseWriter, r *ht
 		EdgeFrom:  req.EdgeFrom,
 		EdgeTo:    req.EdgeTo,
 		K:         req.K,
+		AsOf:      plan.TxnRef{Txn: req.AsOf},
 	}
 	p, err := plan.Compile(s.planEnv(st, req.Workers), node)
 	if err != nil {
@@ -215,6 +235,8 @@ func (s *Server) handleExplore(ctx context.Context, w http.ResponseWriter, r *ht
 // TGQLRequest runs one TGQL statement.
 type TGQLRequest struct {
 	Query string `json:"query"`
+	// AsOf is shorthand for suffixing the statement with AS OF <txn>.
+	AsOf int `json:"as_of,omitempty"`
 }
 
 // TGQLResponse carries the rendered result plus structured payloads when
@@ -238,7 +260,7 @@ func (s *Server) handleTGQL(ctx context.Context, w http.ResponseWriter, r *http.
 	if err != nil {
 		return http.StatusServiceUnavailable, err
 	}
-	res, err := tgql.ExecEnv(ctx, s.planEnv(st, 1), req.Query)
+	res, err := tgql.ExecEnv(ctx, s.planEnv(st, 1), asOfQuery(req.Query, req.AsOf))
 	if err != nil {
 		return execStatus(err), err
 	}
@@ -264,6 +286,8 @@ func (s *Server) handleTGQL(ctx context.Context, w http.ResponseWriter, r *http.
 // executing it. A leading EXPLAIN keyword in the query is accepted.
 type ExplainRequest struct {
 	Query string `json:"query"`
+	// AsOf is shorthand for suffixing the statement with AS OF <txn>.
+	AsOf int `json:"as_of,omitempty"`
 }
 
 // ExplainResponse carries the rendered plan tree: the canonical logical
@@ -284,7 +308,7 @@ func (s *Server) handleExplain(ctx context.Context, w http.ResponseWriter, r *ht
 	if err != nil {
 		return http.StatusServiceUnavailable, err
 	}
-	p, err := tgql.PlanEnv(s.planEnv(st, 1), req.Query)
+	p, err := tgql.PlanEnv(s.planEnv(st, 1), asOfQuery(req.Query, req.AsOf))
 	if err != nil {
 		return http.StatusBadRequest, err
 	}
@@ -304,20 +328,43 @@ type IngestEdge struct {
 	V string `json:"v"`
 }
 
-// IngestRequest appends one time point to a stream-mode server.
+// IngestRequest appends one time point to a stream-mode server. Before,
+// when set, names an existing time-point label the new point is inserted
+// before in valid-time order — a retroactive (late-arriving) batch; the
+// default is a tail append.
 type IngestRequest struct {
-	Label string       `json:"label"`
-	Nodes []IngestNode `json:"nodes"`
-	Edges []IngestEdge `json:"edges"`
+	Label  string       `json:"label"`
+	Before string       `json:"before,omitempty"`
+	Nodes  []IngestNode `json:"nodes"`
+	Edges  []IngestEdge `json:"edges"`
 }
 
-// IngestResponse reports the series length after the append and the
-// serving generation the write is visible at. Visible >= Points means the
-// point is already queryable; clients wanting a later batch can poll
-// GET /readyz?gen=N.
+// IngestResponse reports the series length after the append, the serving
+// generation the write is visible at, and the transaction sequence the
+// write was assigned — the handle AS OF queries replay to. Visible >=
+// Points means the point is already queryable; clients wanting a later
+// batch can poll GET /readyz?gen=N.
 type IngestResponse struct {
 	Points  int `json:"points"`
 	Visible int `json:"visible"`
+	Txn     int `json:"txn"`
+}
+
+// applyIngest routes one batch into the series (durable mode goes through
+// the WAL first), choosing the tail-append or retroactive-insert path.
+func (s *Server) applyIngest(req IngestRequest, snap stream.Snapshot) error {
+	if s.storage != nil {
+		if req.Before != "" {
+			_, err := s.storage.AppendAt(req.Label, snap, req.Before)
+			return err
+		}
+		return s.storage.Append(req.Label, snap)
+	}
+	if req.Before != "" {
+		_, err := s.series.AppendAt(req.Label, snap, req.Before)
+		return err
+	}
+	return s.series.Append(req.Label, snap)
 }
 
 func (s *Server) handleIngest(ctx context.Context, w http.ResponseWriter, r *http.Request) (int, error) {
@@ -344,19 +391,17 @@ func (s *Server) handleIngest(ctx context.Context, w http.ResponseWriter, r *htt
 	for i, e := range req.Edges {
 		snap.Edges[i] = stream.EdgeRecord{U: e.U, V: e.V}
 	}
-	if s.storage != nil {
-		// Durable mode: the WAL append (and, under -fsync=always, the sync)
-		// happens before the acknowledgement. A WAL failure is the server's
-		// fault, not the client's.
-		if err := s.storage.Append(req.Label, snap); err != nil {
-			if errors.Is(err, storage.ErrWAL) {
-				return http.StatusInternalServerError, err
-			}
-			return http.StatusBadRequest, err
+	// Durable mode: the WAL append (and, under -fsync=always, the sync)
+	// happens before the acknowledgement. A WAL failure is the server's
+	// fault, not the client's.
+	if err := s.applyIngest(req, snap); err != nil {
+		if errors.Is(err, storage.ErrWAL) {
+			return http.StatusInternalServerError, err
 		}
-	} else if err := s.series.Append(req.Label, snap); err != nil {
 		return http.StatusBadRequest, err
 	}
+	// Every ingest record creates exactly one time point, so the series
+	// length doubles as the transaction sequence this write landed at.
 	points := s.series.Len()
 	// Fold the delta into the serving state inline so the acknowledgement
 	// already carries the visible generation; the pending entry is recorded
@@ -368,5 +413,5 @@ func (s *Server) handleIngest(ctx context.Context, w http.ResponseWriter, r *htt
 	} else {
 		s.log.Warn("ingest accepted but serving state not advanced", "err", err)
 	}
-	return writeJSON(w, IngestResponse{Points: points, Visible: visible})
+	return writeJSON(w, IngestResponse{Points: points, Visible: visible, Txn: points})
 }

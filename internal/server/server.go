@@ -29,6 +29,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/core"
 	"repro/internal/explore"
+	"repro/internal/lru"
 	"repro/internal/materialize"
 	"repro/internal/metrics"
 	"repro/internal/plan"
@@ -68,6 +69,9 @@ type Config struct {
 	// CacheBytes sizes the materialization catalog's serving cache
 	// (<= 0 selects the catalog default).
 	CacheBytes int64
+	// HistoryCacheBytes sizes the LRU of reconstructed historical states
+	// serving AS OF / VALID DURING queries (<= 0 selects 256 MiB).
+	HistoryCacheBytes int64
 	// FullRebuild disables incremental catalog advancement in stream mode:
 	// every batch of new time points replaces the serving graph and catalog
 	// from scratch. Kept as an escape hatch and as the baseline the delta
@@ -120,6 +124,7 @@ type Server struct {
 	storage *storage.Engine
 	plans   *plan.Cache
 	fback   *plan.Feedback
+	hist    *lru.Cache[plan.HistState]
 
 	cur       atomic.Pointer[state]
 	rebuildMu sync.Mutex
@@ -135,6 +140,7 @@ type Server struct {
 	// metrics
 	panics        metrics.Counter
 	deltaApplies  metrics.Counter
+	retroApplies  metrics.Counter
 	fullRebuilds  metrics.Counter
 	storeRebuilds metrics.Counter
 	visibility    *metrics.Histogram
@@ -183,6 +189,7 @@ func New(cfg Config) (*Server, error) {
 		series:   cfg.Series,
 		plans:    plan.NewCache(0),
 		fback:    plan.NewFeedback(),
+		hist:     newHistCache(cfg.HistoryCacheBytes),
 		reqCount: make(map[string]*metrics.Counter),
 		latency:  make(map[string]*metrics.Histogram),
 		shed:     make(map[string]*metrics.Counter),
@@ -267,8 +274,27 @@ func (s *Server) current() (*state, error) {
 				"new_points", stats.NewPoints, "stores_extended", stats.Extended,
 				"stores_rebuilt", stats.Rebuilt)
 			return st, nil
+		} else if rstats, rerr := old.cat.AdvanceRetro(g); rerr == nil {
+			// A retroactive ingest landed new points inside the existing
+			// timeline: the catalog spliced its stores around the dirty
+			// positions instead of rebuilding the world. Plans that could
+			// observe anything at or past the first dirty position are
+			// evicted; feedback cardinalities are keyed by interval labels
+			// whose positions just shifted, so they restart from scratch.
+			st = &state{g: g, cat: old.cat, gen: gen}
+			s.cur.Store(st)
+			s.plans.Advance(g, old.cat, rstats.FirstDirty)
+			s.fback.Reset()
+			s.retroApplies.Inc()
+			s.storeRebuilds.Add(int64(rstats.Rebuilt))
+			s.observeVisibility(gen)
+			s.log.Info("serving state advanced (retroactive)", "points", gen,
+				"inserted", rstats.Inserted, "first_dirty", rstats.FirstDirty,
+				"stores_extended", rstats.Extended, "stores_rebuilt", rstats.Rebuilt)
+			return st, nil
 		} else {
-			s.log.Warn("catalog delta refused, rebuilding", "points", gen, "err", aerr)
+			s.log.Warn("catalog delta refused, rebuilding", "points", gen,
+				"append_err", aerr, "retro_err", rerr)
 		}
 	}
 	if old != nil {
@@ -470,6 +496,13 @@ func (s *Server) registerMetrics() {
 		r.RegisterCounter("graphtempod_catalog_delta_applies_total",
 			"Serving snapshots advanced in place by incremental delta application.",
 			&s.deltaApplies)
+		r.RegisterCounter("graphtempod_catalog_retro_applies_total",
+			"Serving snapshots advanced in place by retroactive splice (dirty-range invalidation).",
+			&s.retroApplies)
+		r.GaugeFunc("graphtempod_history_cache_entries", "Reconstructed historical states resident.",
+			func() float64 { return float64(s.hist.Stats().Entries) })
+		r.GaugeFunc("graphtempod_history_cache_bytes", "Approximate bytes of reconstructed historical states.",
+			func() float64 { return float64(s.hist.Stats().Bytes) })
 		r.RegisterCounter("graphtempod_catalog_full_rebuilds_total",
 			"Serving snapshots replaced by a from-scratch rebuild after the initial build.",
 			&s.fullRebuilds)
@@ -493,6 +526,9 @@ func (s *Server) registerMetrics() {
 		r.GaugeFunc("graphtempod_storage_snapshot_generation",
 			"Current snapshot generation (also the active WAL segment number).",
 			func() float64 { return float64(eng.Stats().Generation) })
+		r.GaugeFunc("graphtempod_storage_txn_seq",
+			"Transaction-time watermark: ingest records ever applied (the upper bound of AS OF).",
+			func() float64 { return float64(eng.TxnSeq()) })
 		r.CounterFunc("graphtempod_storage_wal_records_total", "WAL records appended since boot.",
 			func() float64 { return float64(eng.Stats().WALRecords) })
 		r.CounterFunc("graphtempod_storage_wal_bytes_total", "WAL bytes appended since boot.",

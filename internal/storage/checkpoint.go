@@ -28,8 +28,11 @@ func (e *Engine) checkpoint() error {
 	// closing the WAL handle, so a checkpoint triggered just before
 	// shutdown still completes its compaction.
 	e.mu.Lock()
-	labels, snaps := e.series.Points()
-	if len(labels) == 0 {
+	// The snapshot embeds the raw record log in transaction order (not the
+	// series' valid order): replaying it reproduces retroactive inserts
+	// exactly, and the covered-txn watermark below equals its length.
+	raw := append([][]byte(nil), e.raw...)
+	if len(raw) == 0 {
 		e.mu.Unlock()
 		return nil
 	}
@@ -57,24 +60,27 @@ func (e *Engine) checkpoint() error {
 	e.mu.Unlock()
 	old.close()
 
-	// Re-materialize from the captured points on a scratch series — the
+	// Re-materialize from the captured records on a scratch series — the
 	// same replay recovery performs — rather than reading e.series, which
 	// may already hold records belonging to the next generation.
 	scratch := stream.New(e.attrs...)
-	points := make([]seriesPoint, len(labels))
-	for i, label := range labels {
-		if err := scratch.Append(label, snaps[i]); err != nil {
+	points := make([]seriesPoint, len(raw))
+	for i, payload := range raw {
+		if err := replayRecord(scratch, payload); err != nil {
 			return fmt.Errorf("storage: checkpoint replay: %v", err)
 		}
-		points[i] = seriesPoint{payload: encodeIngest(label, snaps[i])}
+		points[i] = seriesPoint{payload: payload}
 	}
 	g, err := scratch.Graph()
 	if err != nil {
 		return fmt.Errorf("storage: checkpoint materialize: %v", err)
 	}
-	if err := saveFile(filepath.Join(e.dir, snapName(newGen)), g, nil, points); err != nil {
+	if err := saveFile(filepath.Join(e.dir, snapName(newGen)), g, nil, points, len(points)); err != nil {
 		return err
 	}
+	e.mu.Lock()
+	e.snapGen, e.snapTxn = newGen, len(points)
+	e.mu.Unlock()
 
 	e.gcBefore(newGen, newGen)
 	e.ctr.checkpoints.Add(1)

@@ -20,7 +20,7 @@ func TestV1SnapshotStillLoads(t *testing.T) {
 	g := dataset.DBLPScaled(9, 0.01)
 	st := materialize.NewStore(g, agg.MustSchema(g, g.MustAttr("gender")))
 	var buf bytes.Buffer
-	if err := writeSnapshotV1(&buf, g, []*materialize.Store{st}, nil); err != nil {
+	if err := writeSnapshotV1(&buf, g, []*materialize.Store{st}, nil, 0); err != nil {
 		t.Fatalf("v1 write: %v", err)
 	}
 	if v := binary.LittleEndian.Uint16(buf.Bytes()[8:10]); v != formatVersionV1 {
@@ -86,7 +86,7 @@ func TestEngineRecheckpointsV1ToV2(t *testing.T) {
 		t.Fatalf("load checkpoint: %v", err)
 	}
 	var buf bytes.Buffer
-	if err := writeSnapshotV1(&buf, snap.Graph, nil, snap.points); err != nil {
+	if err := writeSnapshotV1(&buf, snap.Graph, nil, snap.points, 0); err != nil {
 		t.Fatalf("v1 rewrite: %v", err)
 	}
 	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {

@@ -87,9 +87,16 @@ type Engine struct {
 	wal        *walWriter
 	gen        uint64
 	seq        uint64   // records appended since Open (durability watermark domain)
-	raw        [][]byte // every ingest record payload, in append order (replication tail)
+	raw        [][]byte // every ingest record payload, in transaction order (replication tail)
 	segRecords int      // records in the active segment
 	closed     bool
+
+	// Transaction-time watermarks of the newest usable snapshot: its file
+	// generation and the number of leading raw records it covers. ReplayTo
+	// reconstructs txn >= snapTxn as snapshot + partial replay of
+	// raw[snapTxn:txn] instead of a full replay.
+	snapGen uint64
+	snapTxn int
 
 	// Group commit (FsyncAlways): concurrent appends coalesce into one
 	// fsync. A leader syncs the WAL for every record appended so far;
@@ -187,20 +194,37 @@ var testHookSyncDelay func()
 // in ErrWAL (the in-memory state is then ahead of disk, which the caller
 // should surface as a server-side error).
 func (e *Engine) Append(label string, snap stream.Snapshot) error {
+	_, err := e.AppendAt(label, snap, "")
+	return err
+}
+
+// AppendAt is Append with a valid-time position: when before names an
+// existing time point, the new point is inserted immediately before it
+// (retroactive ingest) while still occupying the tail of transaction
+// time — the WAL stays strictly append-only and crash recovery replays
+// the insert deterministically. An empty before is a tail append. The
+// returned index is the point's valid-time position.
+func (e *Engine) AppendAt(label string, snap stream.Snapshot, before string) (int, error) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		return fmt.Errorf("storage: engine closed")
+		return 0, fmt.Errorf("storage: engine closed")
 	}
-	if err := e.series.Append(label, snap); err != nil {
+	at, err := e.series.AppendAt(label, snap, before)
+	if err != nil {
 		e.mu.Unlock()
-		return err
+		return 0, err
 	}
-	payload := encodeIngest(label, snap)
+	var payload []byte
+	if before == "" {
+		payload = encodeIngest(label, snap)
+	} else {
+		payload = encodeIngestAt(label, before, snap)
+	}
 	n, err := e.wal.append(payload)
 	if err != nil {
 		e.mu.Unlock()
-		return fmt.Errorf("%w: %v", ErrWAL, err)
+		return 0, fmt.Errorf("%w: %v", ErrWAL, err)
 	}
 	e.raw = append(e.raw, payload)
 	e.seq++
@@ -215,11 +239,16 @@ func (e *Engine) Append(label string, snap stream.Snapshot) error {
 
 	if e.opts.Fsync == FsyncAlways {
 		if err := e.syncTo(seq); err != nil {
-			return fmt.Errorf("%w: %v", ErrWAL, err)
+			return 0, fmt.Errorf("%w: %v", ErrWAL, err)
 		}
 	}
-	return nil
+	return at, nil
 }
+
+// TxnSeq returns the transaction high-water mark: the number of ingest
+// records ever appended (across restarts). Record n is transaction n+1;
+// an AS OF TxnSeq() query sees every acknowledged write.
+func (e *Engine) TxnSeq() int { return e.RecordCount() }
 
 // syncTo blocks until record seq is durable. The first caller to find no
 // flush in flight becomes the leader and fsyncs the WAL once for every

@@ -196,7 +196,7 @@ func snapshotFromParsed(p *parsedV2) (*Snapshot, error) {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 
-	snap := &Snapshot{Graph: g, points: p.points}
+	snap := &Snapshot{Graph: g, points: p.points, coveredTxn: p.coveredTxn}
 	for _, sp := range p.storeSpecs {
 		st, err := rebuildStore(g, sp)
 		if err != nil {

@@ -150,7 +150,7 @@ func TestOpenMappedAgreesWithLoad(t *testing.T) {
 func TestOpenMappedV1FallsBackToDecode(t *testing.T) {
 	g := dataset.DBLPScaled(21, 0.004)
 	var buf bytes.Buffer
-	if err := writeSnapshotV1(&buf, g, nil, nil); err != nil {
+	if err := writeSnapshotV1(&buf, g, nil, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	m, err := OpenMapped(writeTemp(t, buf.Bytes()))

@@ -27,6 +27,20 @@ type Snapshot struct {
 	// points are the raw ingest records of a stream-mode checkpoint, used
 	// by Engine recovery to reproduce the exact append sequence.
 	points []seriesPoint
+	// coveredTxn is the transaction-time watermark the snapshot covers; 0
+	// for files written before the bi-temporal format extension.
+	coveredTxn int
+}
+
+// CoveredTxn returns the highest transaction sequence number the snapshot
+// covers. Files written before the watermark existed carry none; for them
+// the embedded record count is the watermark, because every record is one
+// transaction.
+func (s *Snapshot) CoveredTxn() int {
+	if s.coveredTxn > 0 {
+		return s.coveredTxn
+	}
+	return len(s.points)
 }
 
 // Load reads a snapshot from r, accepting both format versions (v1 framed
@@ -114,6 +128,7 @@ type snapLoader struct {
 
 	storeSpecs []storeSpec
 	points     []seriesPoint
+	coveredTxn int
 
 	seen map[byte]bool
 }
@@ -209,6 +224,8 @@ func (ld *snapLoader) section(id byte, d *dec) error {
 				d.off += m
 			}
 		}
+	case secTxnMeta:
+		ld.coveredTxn = int(d.uvarint())
 	default:
 		return fmt.Errorf("%w: unknown section %d", ErrCorrupt, id)
 	}
@@ -309,6 +326,14 @@ func (ld *snapLoader) finish() (*Snapshot, error) {
 	}
 	T := tl.Len()
 	b := core.NewBuilder(tl, ld.attrs...)
+	// Seed each dictionary with the saved value order so codes (and
+	// therefore the byte encoding of a re-save) survive the roundtrip;
+	// the column loops below re-intern idempotently.
+	for ai := range ld.attrs {
+		if ai < len(ld.dicts) {
+			b.InternValues(core.AttrID(ai), ld.dicts[ai]...)
+		}
+	}
 	nodeSeen := make(map[string]bool, len(ld.nodes))
 	for _, label := range ld.nodes {
 		if nodeSeen[label] {
@@ -361,7 +386,7 @@ func (ld *snapLoader) finish() (*Snapshot, error) {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 
-	snap := &Snapshot{Graph: g, points: ld.points}
+	snap := &Snapshot{Graph: g, points: ld.points, coveredTxn: ld.coveredTxn}
 	for _, sp := range ld.storeSpecs {
 		st, err := rebuildStore(g, sp)
 		if err != nil {

@@ -24,6 +24,7 @@ type parsedV2 struct {
 
 	storeSpecs []storeSpec
 	points     []seriesPoint
+	coveredTxn int
 
 	wordsPerTau int
 	nEdges      int
@@ -104,6 +105,8 @@ func parseV2(data []byte, verifyBlobs bool) (*parsedV2, error) {
 					d.off += m
 				}
 			}
+		case secTxnMeta:
+			p.coveredTxn = int(d.uvarint())
 		case secBlobDir:
 			cnt := int(d.u32())
 			fileSize = d.u64()
@@ -294,6 +297,7 @@ func loadV2(data []byte) (*Snapshot, error) {
 		nodes:      p.nodes,
 		storeSpecs: p.storeSpecs,
 		points:     p.points,
+		coveredTxn: p.coveredTxn,
 		seen:       map[byte]bool{},
 	}
 	for _, id := range []byte{secTimeline, secSchema, secNodes, secNodeTau, secEdges, secEdgeTau, secStatic, secVarying} {

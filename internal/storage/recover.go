@@ -64,6 +64,8 @@ func (e *Engine) recover(attrs []core.AttrSpec) error {
 		}
 		e.recovery.SnapshotGeneration = snapGen
 		e.recovery.SnapshotPoints = e.series.Len()
+		e.snapGen = snapGen
+		e.snapTxn = loaded.CoveredTxn()
 	} else {
 		e.series = newSeries(attrs)
 	}
@@ -79,11 +81,7 @@ func (e *Engine) recover(attrs []core.AttrSpec) error {
 	for i, gen := range replaySegs {
 		path := filepath.Join(e.dir, walName(gen))
 		records, goodLen, torn, rerr := replayWAL(path, func(payload []byte) error {
-			label, snap, derr := decodeIngest(payload)
-			if derr != nil {
-				return derr
-			}
-			if aerr := e.series.Append(label, snap); aerr != nil {
+			if aerr := replayRecord(e.series, payload); aerr != nil {
 				return aerr
 			}
 			e.raw = append(e.raw, append([]byte(nil), payload...))

@@ -12,9 +12,10 @@ func newSeries(attrs []core.AttrSpec) *stream.Series { return stream.New(attrs..
 
 // seriesFromSnapshot rebuilds the in-memory series of a stream checkpoint
 // by replaying its embedded ingest records — the same encoding the WAL
-// carries — so dictionary codes and append order come out exactly as the
-// original process built them, and recovered query responses are
-// byte-identical to pre-crash ones.
+// carries, in the same transaction order — so dictionary codes and append
+// order come out exactly as the original process built them, and recovered
+// query responses are byte-identical to pre-crash ones. Retroactive
+// records route through AppendAt, reproducing the valid-time insert.
 func seriesFromSnapshot(snap *Snapshot, attrs []core.AttrSpec) (*stream.Series, error) {
 	if err := matchAttrs(snap.Graph.Attrs(), attrs); err != nil {
 		return nil, err
@@ -25,15 +26,23 @@ func seriesFromSnapshot(snap *Snapshot, attrs []core.AttrSpec) (*stream.Series, 
 	}
 	s := stream.New(attrs...)
 	for _, p := range snap.points {
-		label, batch, err := decodeIngest(p.payload)
-		if err != nil {
+		if err := replayRecord(s, p.payload); err != nil {
 			return nil, err
-		}
-		if err := s.Append(label, batch); err != nil {
-			return nil, fmt.Errorf("%w: checkpoint replay of %q: %v", ErrCorrupt, label, err)
 		}
 	}
 	return s, nil
+}
+
+// replayRecord applies one encoded ingest record (either type) to a series.
+func replayRecord(s *stream.Series, payload []byte) error {
+	label, before, batch, err := decodeIngestAny(payload)
+	if err != nil {
+		return err
+	}
+	if _, err := s.AppendAt(label, batch, before); err != nil {
+		return fmt.Errorf("%w: replay of %q: %v", ErrCorrupt, label, err)
+	}
+	return nil
 }
 
 // matchAttrs verifies the on-disk schema equals the configured one: a data

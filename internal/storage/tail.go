@@ -32,9 +32,23 @@ func EncodeIngestRecord(label string, snap stream.Snapshot) []byte {
 }
 
 // DecodeIngestRecord parses a WAL record payload back into the time-point
-// label and ingest batch it carries.
+// label and ingest batch it carries. It rejects retroactive records; use
+// DecodeAnyIngestRecord on streams that may carry them.
 func DecodeIngestRecord(payload []byte) (string, stream.Snapshot, error) {
 	return decodeIngest(payload)
+}
+
+// EncodeIngestAtRecord serializes a retroactive ingest batch: a time point
+// inserted into valid time immediately before the existing point `before`.
+func EncodeIngestAtRecord(label, before string, snap stream.Snapshot) []byte {
+	return encodeIngestAt(label, before, snap)
+}
+
+// DecodeAnyIngestRecord parses either ingest record type. For a tail append
+// `before` is ""; for a retroactive record it names the valid-time point the
+// batch was inserted in front of.
+func DecodeAnyIngestRecord(payload []byte) (label, before string, snap stream.Snapshot, err error) {
+	return decodeIngestAny(payload)
 }
 
 // WriteFramedRecord frames one payload as [len u32 LE][crc32c u32 LE][payload]

@@ -13,8 +13,14 @@ import (
 // walHeaderSize is magic (8) + version (2) + generation (8).
 const walHeaderSize = 18
 
-// WAL record types (first payload byte).
-const recIngest byte = 1
+// WAL record types (first payload byte). recIngest appends a time point at
+// the valid-time tail; recIngestAt inserts one before an existing label
+// (retroactive ingest). Both advance the transaction sequence by exactly
+// one, so txn == records ever appended == time points.
+const (
+	recIngest   byte = 1
+	recIngestAt byte = 2
+)
 
 // walWriter appends framed records to one WAL segment.
 type walWriter struct {
@@ -124,6 +130,23 @@ func encodeIngest(label string, snap stream.Snapshot) []byte {
 	e := &enc{b: make([]byte, 0, 64+32*len(snap.Nodes)+8*len(snap.Edges))}
 	e.byte(recIngest)
 	e.str(label)
+	encodeSnapshotBody(e, snap)
+	return e.b
+}
+
+// encodeIngestAt serializes a retroactive ingest: the new point's label,
+// the existing label it is inserted before, then the same batch body as a
+// tail append.
+func encodeIngestAt(label, before string, snap stream.Snapshot) []byte {
+	e := &enc{b: make([]byte, 0, 64+32*len(snap.Nodes)+8*len(snap.Edges))}
+	e.byte(recIngestAt)
+	e.str(label)
+	e.str(before)
+	encodeSnapshotBody(e, snap)
+	return e.b
+}
+
+func encodeSnapshotBody(e *enc, snap stream.Snapshot) {
 	e.uvarint(uint64(len(snap.Nodes)))
 	for _, n := range snap.Nodes {
 		e.str(n.Label)
@@ -135,17 +158,35 @@ func encodeIngest(label string, snap stream.Snapshot) []byte {
 		e.str(ed.U)
 		e.str(ed.V)
 	}
-	return e.b
 }
 
-// decodeIngest parses a WAL record payload back into an ingest batch.
+// decodeIngest parses a tail-append WAL record payload back into an
+// ingest batch, rejecting every other record type.
 func decodeIngest(payload []byte) (string, stream.Snapshot, error) {
+	if len(payload) > 0 && payload[0] == recIngestAt {
+		return "", stream.Snapshot{}, fmt.Errorf("%w: retroactive record where a tail append was expected", ErrCorrupt)
+	}
+	label, _, snap, err := decodeIngestAny(payload)
+	if err != nil {
+		return "", stream.Snapshot{}, err
+	}
+	return label, snap, nil
+}
+
+// decodeIngestAny parses either ingest record type. before is "" for a
+// tail append and the insertion label for a retroactive record.
+func decodeIngestAny(payload []byte) (string, string, stream.Snapshot, error) {
 	d := &dec{b: payload}
 	var snap stream.Snapshot
-	if t := d.byteVal(); d.err == nil && t != recIngest {
-		return "", snap, fmt.Errorf("%w: unknown wal record type %d", ErrCorrupt, t)
+	t := d.byteVal()
+	if d.err == nil && t != recIngest && t != recIngestAt {
+		return "", "", snap, fmt.Errorf("%w: unknown wal record type %d", ErrCorrupt, t)
 	}
 	label := d.str()
+	var before string
+	if t == recIngestAt {
+		before = d.str()
+	}
 	nn := d.count(1)
 	for i := 0; i < nn && d.err == nil; i++ {
 		snap.Nodes = append(snap.Nodes, stream.NodeRecord{
@@ -159,12 +200,12 @@ func decodeIngest(payload []byte) (string, stream.Snapshot, error) {
 		snap.Edges = append(snap.Edges, stream.EdgeRecord{U: d.str(), V: d.str()})
 	}
 	if d.err != nil {
-		return "", stream.Snapshot{}, fmt.Errorf("ingest record: %w", d.err)
+		return "", "", stream.Snapshot{}, fmt.Errorf("ingest record: %w", d.err)
 	}
 	if d.remaining() != 0 {
-		return "", stream.Snapshot{}, fmt.Errorf("%w: ingest record has %d trailing bytes", ErrCorrupt, d.remaining())
+		return "", "", stream.Snapshot{}, fmt.Errorf("%w: ingest record has %d trailing bytes", ErrCorrupt, d.remaining())
 	}
-	return label, snap, nil
+	return label, before, snap, nil
 }
 
 // writeAttrMap serializes an attribute map in sorted-insensitive pair

@@ -29,6 +29,7 @@ const (
 	secVarying  byte = 8  // time-varying attribute code columns
 	secStores   byte = 9  // materialized per-point aggregate vectors
 	secSeries   byte = 10 // raw stream ingest records (checkpoints only)
+	secTxnMeta  byte = 13 // covered-txn watermark (bi-temporal checkpoints)
 	secEnd      byte = 0xff
 )
 
@@ -41,24 +42,24 @@ type seriesPoint struct {
 // Save writes g, and optionally materialized stores over g, to w in the
 // current (version 2, mmap-servable) binary snapshot format.
 func Save(w io.Writer, g *core.Graph, stores ...*materialize.Store) error {
-	return writeSnapshotV2(w, g, stores, nil)
+	return writeSnapshotV2(w, g, stores, nil, 0)
 }
 
 // SaveFile writes the snapshot atomically: a .tmp file in the target
 // directory is synced and renamed over path, so readers only ever observe
 // a complete snapshot.
 func SaveFile(path string, g *core.Graph, stores ...*materialize.Store) error {
-	return saveFile(path, g, stores, nil)
+	return saveFile(path, g, stores, nil, 0)
 }
 
-func saveFile(path string, g *core.Graph, stores []*materialize.Store, points []seriesPoint) error {
+func saveFile(path string, g *core.Graph, stores []*materialize.Store, points []seriesPoint, coveredTxn int) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
 	bw := bufio.NewWriterSize(f, 1<<20)
-	if err := writeSnapshotV2(bw, g, stores, points); err == nil {
+	if err := writeSnapshotV2(bw, g, stores, points, coveredTxn); err == nil {
 		err = bw.Flush()
 	}
 	if err != nil {
@@ -95,7 +96,7 @@ func syncDir(dir string) error {
 // writeSnapshotV1 emits the legacy all-framed layout. It is kept (and
 // exercised by the compatibility tests) so the reader's version-1 path is
 // tested against a real writer, exactly as files produced by older builds.
-func writeSnapshotV1(w io.Writer, g *core.Graph, stores []*materialize.Store, points []seriesPoint) error {
+func writeSnapshotV1(w io.Writer, g *core.Graph, stores []*materialize.Store, points []seriesPoint, coveredTxn int) error {
 	for _, st := range stores {
 		if st.Schema().Graph() != g {
 			return fmt.Errorf("storage: store schema built on a different graph")
@@ -214,6 +215,14 @@ func writeSnapshotV1(w io.Writer, g *core.Graph, stores []*materialize.Store, po
 				e.uvarint(uint64(len(p.payload)))
 				e.b = append(e.b, p.payload...)
 			}
+		}); err != nil {
+			return err
+		}
+	}
+
+	if coveredTxn > 0 {
+		if err := sec(secTxnMeta, func(e *enc) {
+			e.uvarint(uint64(coveredTxn))
 		}); err != nil {
 			return err
 		}

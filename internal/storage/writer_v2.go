@@ -61,7 +61,7 @@ const blobDirEntryLen = 28
 
 func align8(n int) int { return (n + 7) &^ 7 }
 
-func writeSnapshotV2(w io.Writer, g *core.Graph, stores []*materialize.Store, points []seriesPoint) error {
+func writeSnapshotV2(w io.Writer, g *core.Graph, stores []*materialize.Store, points []seriesPoint, coveredTxn int) error {
 	for _, st := range stores {
 		if st.Schema().Graph() != g {
 			return fmt.Errorf("storage: store schema built on a different graph")
@@ -120,6 +120,9 @@ func writeSnapshotV2(w io.Writer, g *core.Graph, stores []*materialize.Store, po
 				e.b = append(e.b, p.payload...)
 			}
 		})
+	}
+	if coveredTxn > 0 {
+		sec(secTxnMeta, func(e *enc) { e.uvarint(uint64(coveredTxn)) })
 	}
 
 	// Blobs, in a fixed order the reader re-derives from the meta sections.

@@ -1,0 +1,198 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/timeline"
+)
+
+// graphGob canonicalizes a graph for equality checks through its stable
+// textual dump: timeline labels, node labels with attribute histories, and
+// edge endpoint pairs per time point.
+func graphDump(t *testing.T, g *core.Graph) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	tl := g.Timeline()
+	for ti := 0; ti < tl.Len(); ti++ {
+		b.WriteString(tl.Label(timeline.Time(ti)))
+		b.WriteByte('\n')
+	}
+	attrs := g.Attrs()
+	for n := 0; n < g.NumNodes(); n++ {
+		id := core.NodeID(n)
+		b.WriteString(g.NodeLabel(id))
+		for ti := 0; ti < tl.Len(); ti++ {
+			if !g.NodeTau(id).Contains(ti) {
+				continue
+			}
+			b.WriteByte(' ')
+			b.WriteString(tl.Label(timeline.Time(ti)))
+			for a := range attrs {
+				b.WriteByte('=')
+				b.WriteString(g.ValueString(core.AttrID(a), id, timeline.Time(ti)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		id := core.EdgeID(e)
+		ep := g.Edge(id)
+		b.WriteString(g.NodeLabel(ep.U))
+		b.WriteString("->")
+		b.WriteString(g.NodeLabel(ep.V))
+		for ti := 0; ti < tl.Len(); ti++ {
+			if g.EdgeTau(id).Contains(ti) {
+				b.WriteByte(' ')
+				b.WriteString(tl.Label(timeline.Time(ti)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// TestAppendAtInsertsBeforeLabel checks that a retroactive append lands at
+// the requested valid-time position while the journal keeps txn order.
+func TestAppendAtInsertsBeforeLabel(t *testing.T) {
+	attrs, labels, snaps := paperSnapshots()
+	s := New(attrs...)
+	for i, snap := range snaps {
+		if err := s.Append(labels[i], snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	late := Snapshot{Nodes: []NodeRecord{{
+		Label:   "u9",
+		Static:  map[string]string{"gender": "m"},
+		Varying: map[string]string{"publications": "5"},
+	}}}
+	pos, err := s.AppendAt("t0b", late, "t1")
+	if err != nil {
+		t.Fatalf("AppendAt: %v", err)
+	}
+	if pos != 1 {
+		t.Fatalf("AppendAt position = %d, want 1", pos)
+	}
+	if got, want := s.Labels(), []string{"t0", "t0b", "t1", "t2"}; len(got) != len(want) {
+		t.Fatalf("labels = %v, want %v", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("labels = %v, want %v", got, want)
+			}
+		}
+	}
+	if s.Txn() != 4 {
+		t.Fatalf("Txn = %d, want 4", s.Txn())
+	}
+	j := s.Journal()
+	if len(j) != 4 {
+		t.Fatalf("journal has %d entries, want 4", len(j))
+	}
+	// Transaction order is ingest order: the retro record is LAST in the
+	// journal even though its valid-time position is second.
+	if j[3].Label != "t0b" || j[3].Before != "t1" {
+		t.Fatalf("journal tail = %+v, want label t0b before t1", j[3])
+	}
+	for i := 0; i < 3; i++ {
+		if j[i].Before != "" {
+			t.Fatalf("journal[%d].Before = %q, want tail append", i, j[i].Before)
+		}
+	}
+}
+
+// TestAppendAtValidation covers the rejection paths: unknown anchor,
+// duplicate label, and schema violations travel through the same
+// validation as Append.
+func TestAppendAtValidation(t *testing.T) {
+	attrs, labels, snaps := paperSnapshots()
+	s := New(attrs...)
+	for i, snap := range snaps {
+		if err := s.Append(labels[i], snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok := Snapshot{Nodes: []NodeRecord{{Label: "u9", Static: map[string]string{"gender": "m"}}}}
+	if _, err := s.AppendAt("tX", ok, "nope"); err == nil {
+		t.Error("AppendAt before unknown label succeeded")
+	}
+	if _, err := s.AppendAt("t1", ok, "t2"); err == nil {
+		t.Error("AppendAt with duplicate point label succeeded")
+	}
+	// Static conflict with an existing node must be caught retroactively too.
+	bad := Snapshot{Nodes: []NodeRecord{{Label: "u1", Static: map[string]string{"gender": "f"}}}}
+	if _, err := s.AppendAt("tY", bad, "t1"); err == nil {
+		t.Error("AppendAt with conflicting static value succeeded")
+	}
+	if s.Txn() != 3 || len(s.Labels()) != 3 {
+		t.Fatalf("failed appends mutated the series: txn=%d labels=%v", s.Txn(), s.Labels())
+	}
+}
+
+// TestReplayToPrefixesJournal checks ReplayTo(k) equals replaying the
+// first k journal records into a fresh series, for every k, across a
+// history with retroactive inserts.
+func TestReplayToPrefixesJournal(t *testing.T) {
+	attrs, labels, snaps := paperSnapshots()
+	s := New(attrs...)
+	if err := s.Append(labels[0], snaps[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(labels[2], snaps[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendAt(labels[1], snaps[1], labels[2]); err != nil {
+		t.Fatal(err)
+	}
+	journal := s.Journal()
+	for txn := 1; txn <= len(journal); txn++ {
+		got, err := s.ReplayTo(txn)
+		if err != nil {
+			t.Fatalf("ReplayTo(%d): %v", txn, err)
+		}
+		ref := New(attrs...)
+		for _, e := range journal[:txn] {
+			if e.Before != "" {
+				if _, err := ref.AppendAt(e.Label, e.Snap, e.Before); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := ref.Append(e.Label, e.Snap); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := ref.Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(graphDump(t, got), graphDump(t, want)) {
+			t.Fatalf("ReplayTo(%d) diverges from prefix replay:\n%s\nvs\n%s",
+				txn, graphDump(t, got), graphDump(t, want))
+		}
+	}
+	// Bounds: zero and beyond-head are rejected.
+	if _, err := s.ReplayTo(0); err == nil {
+		t.Error("ReplayTo(0) succeeded")
+	}
+	if _, err := s.ReplayTo(len(journal) + 1); err == nil {
+		t.Error("ReplayTo beyond head succeeded")
+	}
+}
+
+// TestReplayToHeadMatchesGraph checks that replaying to the head txn is
+// the same graph the live accumulator serves.
+func TestReplayToHeadMatchesGraph(t *testing.T) {
+	s := buildSeries(t)
+	head, err := s.ReplayTo(s.Txn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(graphDump(t, head), graphDump(t, live)) {
+		t.Fatal("ReplayTo(head) diverges from the live graph")
+	}
+}

@@ -20,6 +20,7 @@ package stream
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"repro/internal/core"
@@ -48,6 +49,17 @@ type Snapshot struct {
 	Edges []EdgeRecord
 }
 
+// JournalEntry is one ingested batch in transaction order: the valid-time
+// label it created, the batch content, and — for retroactive ingests — the
+// pre-existing label it was inserted before ("" for a tail append). The
+// journal is the series' transaction-time axis: replaying entries 0..n in
+// order reconstructs the exact series state after transaction n.
+type JournalEntry struct {
+	Label  string
+	Before string
+	Snap   Snapshot
+}
+
 // aggSpec is one registered aggregation with its per-point results.
 type aggSpec struct {
 	attrs []string
@@ -67,6 +79,10 @@ type Series struct {
 	attrs  []core.AttrSpec
 	labels []string
 	snaps  []Snapshot
+
+	// journal records every ingested batch in transaction (arrival) order,
+	// which differs from valid order once a retroactive batch lands.
+	journal []JournalEntry
 
 	aggs map[string]*aggSpec
 
@@ -191,37 +207,153 @@ func (s *Series) validate(label string, snap Snapshot) error {
 	return nil
 }
 
-// apply folds a validated batch into the series. Called with the write
-// lock held; must not fail.
+// apply folds a validated batch into the series at the valid-time tail.
+// Called with the write lock held; must not fail.
 func (s *Series) apply(label string, snap Snapshot) {
 	s.labels = append(s.labels, label)
 	s.snaps = append(s.snaps, snap)
+	s.journal = append(s.journal, JournalEntry{Label: label, Snap: snap})
 	s.cached = nil
 	for _, spec := range s.aggs {
 		nodes, edges := aggregateSnapshot(snap, spec.attrs)
 		spec.nodes = append(spec.nodes, nodes)
 		spec.edges = append(spec.edges, edges)
 	}
+	applyAcc(s.acc, s.attrs, label, snap)
+}
 
-	s.acc.AddPoint(label)
+// applyAcc feeds one batch into an accumulator — the single definition of
+// how a snapshot becomes graph columns, shared by tail appends and the
+// valid-order replays that retroactive inserts and ReplayTo perform.
+func applyAcc(acc *core.Accumulator, attrs []core.AttrSpec, label string, snap Snapshot) {
+	acc.AddPoint(label)
 	for _, n := range snap.Nodes {
-		id := s.acc.EnsureNode(n.Label)
-		s.acc.SetNodeTime(id)
-		for ai, spec := range s.attrs {
+		id := acc.EnsureNode(n.Label)
+		acc.SetNodeTime(id)
+		for ai, spec := range attrs {
 			if spec.Kind == core.Static {
 				if v, ok := n.Static[spec.Name]; ok {
-					s.acc.SetStatic(core.AttrID(ai), id, v)
+					acc.SetStatic(core.AttrID(ai), id, v)
 				}
 			} else if v, ok := n.Varying[spec.Name]; ok && v != "" {
-				s.acc.SetVarying(core.AttrID(ai), id, v)
+				acc.SetVarying(core.AttrID(ai), id, v)
 			}
 		}
 	}
 	for _, e := range snap.Edges {
-		u, _ := s.acc.NodeID(e.U)
-		v, _ := s.acc.NodeID(e.V)
-		s.acc.SetEdgeTime(s.acc.EnsureEdge(u, v))
+		u, _ := acc.NodeID(e.U)
+		v, _ := acc.NodeID(e.V)
+		acc.SetEdgeTime(acc.EnsureEdge(u, v))
 	}
+}
+
+// AppendAt ingests a time point retroactively: the new point is inserted
+// into valid time immediately before the existing label `before`, while
+// its transaction position is the tail of the journal (the system learned
+// it now). An empty `before` is a plain tail append. The returned index is
+// the new point's valid-time position — everything at or after it must be
+// re-aggregated by the serving layers. Validation is all-or-nothing, as in
+// Append.
+func (s *Series) AppendAt(label string, snap Snapshot, before string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if before == "" {
+		if err := s.validate(label, snap); err != nil {
+			return 0, err
+		}
+		s.apply(label, snap)
+		return len(s.labels) - 1, nil
+	}
+	at := -1
+	for i, l := range s.labels {
+		if l == before {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		return 0, fmt.Errorf("stream: retroactive ingest: no time point labeled %q", before)
+	}
+	if err := s.validate(label, snap); err != nil {
+		return 0, err
+	}
+	s.applyAt(label, snap, before, at)
+	return at, nil
+}
+
+// applyAt splices a validated batch into valid position at. The per-point
+// aggregate columns insert in place; the accumulator's columns are keyed
+// by first-appearance order over valid time, which a mid-timeline insert
+// can shift wholesale, so it is rebuilt by replaying the new valid order.
+// Called with the write lock held; must not fail.
+func (s *Series) applyAt(label string, snap Snapshot, before string, at int) {
+	s.labels = slices.Insert(s.labels, at, label)
+	s.snaps = slices.Insert(s.snaps, at, snap)
+	s.journal = append(s.journal, JournalEntry{Label: label, Before: before, Snap: snap})
+	s.cached = nil
+	for _, spec := range s.aggs {
+		nodes, edges := aggregateSnapshot(snap, spec.attrs)
+		spec.nodes = slices.Insert(spec.nodes, at, nodes)
+		spec.edges = slices.Insert(spec.edges, at, edges)
+	}
+	s.acc = core.NewAccumulator(s.attrs...)
+	for i, l := range s.labels {
+		applyAcc(s.acc, s.attrs, l, s.snaps[i])
+	}
+}
+
+// Txn returns the transaction high-water mark: the number of batches ever
+// ingested. It equals Len() — every batch, tail or retroactive, creates
+// exactly one time point — but is the semantically correct axis for AS OF.
+func (s *Series) Txn() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.journal)
+}
+
+// Journal returns a copy of the transaction journal. Snapshots share
+// record slices with the series; callers must treat them as read-only.
+func (s *Series) Journal() []JournalEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]JournalEntry(nil), s.journal...)
+}
+
+// ReplayTo reconstructs the graph as of transaction txn (1-based,
+// inclusive) by replaying the journal prefix into a scratch series. The
+// result is byte-identical to what Graph() returned when the journal had
+// exactly txn entries: replay is deterministic and follows the same code
+// paths ingestion took.
+func (s *Series) ReplayTo(txn int) (*core.Graph, error) {
+	s.mu.RLock()
+	n := len(s.journal)
+	if txn < 1 || txn > n {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("stream: txn %d out of range [1,%d]", txn, n)
+	}
+	entries := append([]JournalEntry(nil), s.journal[:txn]...)
+	attrs := append([]core.AttrSpec(nil), s.attrs...)
+	s.mu.RUnlock()
+
+	scratch := New(attrs...)
+	for _, e := range entries {
+		if e.Before == "" {
+			scratch.apply(e.Label, e.Snap)
+			continue
+		}
+		at := -1
+		for i, l := range scratch.labels {
+			if l == e.Before {
+				at = i
+				break
+			}
+		}
+		if at < 0 {
+			return nil, fmt.Errorf("stream: journal corrupt: retroactive entry %q references missing label %q", e.Label, e.Before)
+		}
+		scratch.applyAt(e.Label, e.Snap, e.Before, at)
+	}
+	return scratch.acc.Snapshot(), nil
 }
 
 // aggregateSnapshot computes the single-point ALL aggregate of a snapshot
@@ -265,6 +397,35 @@ func tupleOf(n NodeRecord, attrs []string) (string, bool) {
 		tuple += v
 	}
 	return tuple, true
+}
+
+// Resumer replays tail batches on top of a previously snapshotted graph —
+// the "snapshot + partial WAL replay" half of point-in-time
+// reconstruction. It performs no validation: the batches come from a WAL
+// that validated them at ingest. Retroactive batches cannot be resumed
+// (they reshuffle the columns the snapshot froze); callers fall back to a
+// full replay when the delta contains one.
+type Resumer struct {
+	acc   *core.Accumulator
+	attrs []core.AttrSpec
+}
+
+// NewResumer returns a resumer whose state is exactly g's.
+func NewResumer(g *core.Graph) *Resumer {
+	return &Resumer{acc: core.ResumeAccumulator(g), attrs: g.Attrs()}
+}
+
+// Append applies one tail batch.
+func (r *Resumer) Append(label string, snap Snapshot) {
+	applyAcc(r.acc, r.attrs, label, snap)
+}
+
+// Graph snapshots the resumed state. Byte-identical to the graph a live
+// series held after ingesting the same history, because the snapshot
+// reader pins dictionary codes and entity IDs in their original order and
+// Append assigns new ones exactly as live ingestion does.
+func (r *Resumer) Graph() *core.Graph {
+	return r.acc.Snapshot()
 }
 
 // WindowUnionAll returns the union-ALL aggregate of the time points

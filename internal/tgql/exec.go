@@ -255,6 +255,8 @@ func toLogical(stmt interface{}) (plan.Logical, error) {
 			Measure:        q.Measure,
 			MeasureAttr:    q.MAttr,
 			MeasureAttrPos: q.MAttrPos,
+			Valid:          toValidRef(q.temporalClause),
+			AsOf:           toTxnRef(q.temporalClause),
 		}, nil
 	case evolveQuery:
 		return &plan.Evolve{
@@ -264,6 +266,8 @@ func toLogical(stmt interface{}) (plan.Logical, error) {
 			From:     toIntervalRef(q.From),
 			To:       toIntervalRef(q.To),
 			Where:    toPredicates(q.Where),
+			Valid:    toValidRef(q.temporalClause),
+			AsOf:     toTxnRef(q.temporalClause),
 		}, nil
 	case exploreQuery:
 		return &plan.Explore{
@@ -277,6 +281,8 @@ func toLogical(stmt interface{}) (plan.Logical, error) {
 			EdgeTo:    q.EdgeTo,
 			K:         q.K,
 			Tune:      q.Tune,
+			Valid:     toValidRef(q.temporalClause),
+			AsOf:      toTxnRef(q.temporalClause),
 		}, nil
 	case topQuery:
 		return &plan.Top{
@@ -284,12 +290,16 @@ func toLogical(stmt interface{}) (plan.Logical, error) {
 			Event:    strings.ToLower(q.Event),
 			Attrs:    q.Attrs,
 			AttrsPos: q.AttrsPos,
+			Valid:    toValidRef(q.temporalClause),
+			AsOf:     toTxnRef(q.temporalClause),
 		}, nil
 	case timelineQuery:
 		return &plan.Timeline{
 			Attrs:    q.Attrs,
 			AttrsPos: q.AttrsPos,
 			Where:    toPredicates(q.Where),
+			Valid:    toValidRef(q.temporalClause),
+			AsOf:     toTxnRef(q.temporalClause),
 		}, nil
 	default:
 		return nil, fmt.Errorf("tgql: statement %T has no query plan (EXPLAIN supports AGG, EVOLVE, EXPLORE, TOP and TIMELINE)", stmt)
@@ -319,6 +329,19 @@ func toTemporalOp(op opExpr) plan.TemporalOp {
 
 func toIntervalRef(iv intervalExpr) plan.IntervalRef {
 	return plan.IntervalRef{From: iv.From, To: iv.To, FromPos: iv.FromPos, ToPos: iv.ToPos}
+}
+
+// toValidRef lowers a statement's VALID DURING window (zero when absent).
+func toValidRef(tc temporalClause) plan.IntervalRef {
+	if !tc.HasValid {
+		return plan.IntervalRef{}
+	}
+	return toIntervalRef(tc.Valid)
+}
+
+// toTxnRef lowers a statement's AS OF transaction (zero when absent).
+func toTxnRef(tc temporalClause) plan.TxnRef {
+	return plan.TxnRef{Txn: tc.AsOf, Pos: tc.AsOfPos}
 }
 
 func toPredicates(cmps []comparison) []plan.Predicate {

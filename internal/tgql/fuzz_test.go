@@ -31,6 +31,20 @@ func FuzzExec(f *testing.F) {
 	f.Add("TIMELINE BY gender WHERE publications >= bogus")
 	f.Add("COARSEN 0")
 	f.Add("\n\n  STATS  \n")
+	// Bi-temporal clauses: well-formed, reordered, duplicated, truncated,
+	// and unservable (plain Exec has no transaction log to travel on).
+	f.Add("AGG DIST gender ON POINT t0 AS OF 2")
+	f.Add("AGG DIST gender ON POINT t0 VALID DURING t0..t1")
+	f.Add("AGG DIST gender ON POINT t0 VALID DURING t0..t1 AS OF 3")
+	f.Add("EVOLVE DIST gender FROM t0 TO t1 AS OF 1 VALID DURING t0..t2")
+	f.Add("EXPLORE GROWTH BY gender TUNE 2 AS OF 9999999")
+	f.Add("TOP 3 SHRINKAGE BY gender VALID DURING t2..t0")
+	f.Add("TIMELINE BY gender AS OF -1")
+	f.Add("AGG DIST gender ON POINT t0 AS OF 1 AS OF 2")
+	f.Add("AGG DIST gender ON POINT t0 VALID DURING")
+	f.Add("AGG DIST gender ON POINT t0 AS OF")
+	f.Add("AGG DIST gender ON POINT t0 AS OF t0")
+	f.Add("AGG DIST gender ON POINT t0 VALID DURING t0 VALID DURING t1")
 
 	g := core.PaperExample()
 	f.Fuzz(func(t *testing.T, query string) {

@@ -29,6 +29,17 @@ type comparison struct {
 	AttrPos, ValuePos int
 }
 
+// temporalClause carries the optional trailing bi-temporal clauses every
+// query statement accepts: VALID DURING restricts evaluation to a
+// valid-time window, AS OF evaluates against the transaction-time state
+// right after ingest record AsOf was acknowledged.
+type temporalClause struct {
+	Valid    intervalExpr
+	HasValid bool
+	AsOf     int
+	AsOfPos  int
+}
+
 type aggQuery struct {
 	Kind     string // DIST | ALL
 	Attrs    []string
@@ -38,6 +49,7 @@ type aggQuery struct {
 	Measure  string // "" or SUM/AVG/MIN/MAX
 	MAttr    string // measured attribute
 	MAttrPos int
+	temporalClause
 }
 
 type evolveQuery struct {
@@ -47,6 +59,7 @@ type evolveQuery struct {
 	From     intervalExpr
 	To       intervalExpr
 	Where    []comparison
+	temporalClause
 }
 
 type exploreQuery struct {
@@ -60,6 +73,7 @@ type exploreQuery struct {
 	Extend    string   // OLD | NEW (default NEW)
 	K         int64    // -1 when TUNE is used
 	Tune      int      // 0 when K is used
+	temporalClause
 }
 
 type statsQuery struct{}
@@ -69,12 +83,14 @@ type topQuery struct {
 	Event    string
 	Attrs    []string
 	AttrsPos []int
+	temporalClause
 }
 
 type timelineQuery struct {
 	Attrs    []string
 	AttrsPos []int
 	Where    []comparison
+	temporalClause
 }
 
 type coarsenQuery struct {
@@ -277,6 +293,59 @@ func (p *parser) atEOF() error {
 	return nil
 }
 
+// temporalOne parses one of the optional trailing bi-temporal clauses —
+// VALID DURING <interval> or AS OF <txn> — reporting whether it consumed
+// one. Each clause may appear at most once per statement.
+func (p *parser) temporalOne(tc *temporalClause) (bool, error) {
+	t := p.peek()
+	switch {
+	case p.keyword("VALID"):
+		if err := p.expectKeyword("DURING"); err != nil {
+			return false, err
+		}
+		if tc.HasValid {
+			return false, p.errorf(t, "duplicate VALID DURING clause")
+		}
+		iv, err := p.interval()
+		if err != nil {
+			return false, err
+		}
+		tc.Valid, tc.HasValid = iv, true
+		return true, nil
+	case p.keyword("AS"):
+		if err := p.expectKeyword("OF"); err != nil {
+			return false, err
+		}
+		if tc.AsOf > 0 {
+			return false, p.errorf(t, "duplicate AS OF clause")
+		}
+		v, pos, err := p.valuePos()
+		if err != nil {
+			return false, err
+		}
+		var txn int
+		if _, err := fmt.Sscanf(v, "%d", &txn); err != nil || txn < 1 {
+			return false, p.errorf(p.peek(), "AS OF wants a positive transaction number, got %q", v)
+		}
+		tc.AsOf, tc.AsOfPos = txn, pos
+		return true, nil
+	}
+	return false, nil
+}
+
+// temporal parses [VALID DURING <interval>] [AS OF <txn>] in either order.
+func (p *parser) temporal(tc *temporalClause) error {
+	for {
+		ok, err := p.temporalOne(tc)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
 // parse parses one statement, optionally prefixed with EXPLAIN.
 func parse(in string) (interface{}, error) {
 	toks, err := lexAll(in)
@@ -320,6 +389,9 @@ func (p *parser) statement() (interface{}, error) {
 			return nil, err
 		}
 		if q.Where, err = p.where(); err != nil {
+			return nil, err
+		}
+		if err := p.temporal(&q.temporalClause); err != nil {
 			return nil, err
 		}
 		if err := p.atEOF(); err != nil {
@@ -372,6 +444,9 @@ func (p *parser) parseTop() (interface{}, error) {
 	if q.Attrs, q.AttrsPos, err = p.valueListPos(); err != nil {
 		return nil, err
 	}
+	if err := p.temporal(&q.temporalClause); err != nil {
+		return nil, err
+	}
 	if err := p.atEOF(); err != nil {
 		return nil, err
 	}
@@ -416,6 +491,9 @@ func (p *parser) parseAgg() (interface{}, error) {
 		}
 		p.take()
 	}
+	if err := p.temporal(&q.temporalClause); err != nil {
+		return nil, err
+	}
 	if err := p.atEOF(); err != nil {
 		return nil, err
 	}
@@ -444,6 +522,9 @@ func (p *parser) parseEvolve() (interface{}, error) {
 		return nil, err
 	}
 	if q.Where, err = p.where(); err != nil {
+		return nil, err
+	}
+	if err := p.temporal(&q.temporalClause); err != nil {
 		return nil, err
 	}
 	if err := p.atEOF(); err != nil {
@@ -523,6 +604,11 @@ func (p *parser) parseExplore() (interface{}, error) {
 				return nil, p.errorf(p.peek(), "TUNE wants a positive integer, got %q", v)
 			}
 		default:
+			if ok, err := p.temporalOne(&q.temporalClause); err != nil {
+				return nil, err
+			} else if ok {
+				continue
+			}
 			if err := p.atEOF(); err != nil {
 				return nil, err
 			}
