@@ -201,6 +201,9 @@ func newServer(o *options, log *slog.Logger) (*server.Server, *storage.Engine, *
 		CacheBytes:     o.cacheBytes,
 		Logger:         log,
 		ShardName:      o.shard,
+		// A -shard daemon holds one time-range slice: whole-timeline
+		// analytics must come from the router's mirror, not from here.
+		Partial: o.shard != "",
 	}
 	if o.follow != "" {
 		cfg.Role = server.RoleReplica

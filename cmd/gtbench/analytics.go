@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/analytics"
+	"repro/internal/benchutil"
+	"repro/internal/core"
+	"repro/internal/materialize"
+)
+
+// analyticsBench races every analytics engine against its reference
+// oracle on the same DBLP history: EVENTS entity-sweep vs per-step scan
+// vs the naive re-aggregation oracle, PATHS time-bucket frontier vs the
+// time-expanded sweep vs the naive per-departure BFS, and TREND
+// prefix-sum catalog composition vs the sliding scan vs the naive
+// per-window oracle. Each engine's answer is byte-compared against the
+// family's oracle before its speedup is reported — a diverging engine
+// panics rather than producing a meaningless number. The reproduction
+// target is the ordering (engines beat oracles, catalog beats scan at
+// ALL), not absolute milliseconds.
+func analyticsBench(id, title string, g *core.Graph, attr string) *benchutil.Experiment {
+	exp := &benchutil.Experiment{
+		ID:     id,
+		Title:  title,
+		XLabel: "engine",
+		Series: []string{"p50 ms", "p95 ms", "speedup×", "rows"},
+	}
+
+	const rounds = 5
+	measure := func(run func() any) ([]float64, string) {
+		var out any
+		lat := make([]float64, 0, rounds)
+		for i := 0; i < rounds; i++ {
+			start := time.Now()
+			out = run()
+			lat = append(lat, float64(time.Since(start).Microseconds())/1000)
+		}
+		sort.Float64s(lat)
+		data, err := json.Marshal(out)
+		if err != nil {
+			panic(fmt.Sprintf("analytics bench: marshal: %v", err))
+		}
+		return lat, string(data)
+	}
+	rowCount := func(payload string) float64 {
+		var counted struct {
+			Rows []json.RawMessage `json:"rows"`
+		}
+		if err := json.Unmarshal([]byte(payload), &counted); err != nil {
+			panic(fmt.Sprintf("analytics bench: payload: %v", err))
+		}
+		return float64(len(counted.Rows))
+	}
+	// family benchmarks one oracle and its engines; every engine payload
+	// must equal the oracle's.
+	family := func(oracleName string, oracleRun func() any, engines []struct {
+		name string
+		run  func() any
+	}) {
+		oracleLat, oracleJSON := measure(oracleRun)
+		rows := rowCount(oracleJSON)
+		exp.Add(oracleName, quantile(oracleLat, 0.50), quantile(oracleLat, 0.95), 1, rows)
+		for _, e := range engines {
+			lat, got := measure(e.run)
+			if got != oracleJSON {
+				panic(fmt.Sprintf("analytics bench: %s diverges from %s:\n got %s\nwant %s",
+					e.name, oracleName, got, oracleJSON))
+			}
+			exp.Add(e.name, quantile(lat, 0.50), quantile(lat, 0.95),
+				quantile(oracleLat, 0.50)/quantile(lat, 0.50), rows)
+		}
+	}
+	type engine = struct {
+		name string
+		run  func() any
+	}
+
+	schema := agg.MustSchema(g, g.MustAttr(attr))
+
+	// EVENTS: classify every (step, group) transition across the history.
+	evSpec := analytics.EventsSpec{Schema: schema, Kind: agg.Distinct}
+	family("events naive", func() any { return analytics.NaiveEvents(g, evSpec) }, []engine{
+		{"events entity-sweep", func() any { return analytics.EventsSweep(g, evSpec) }},
+		{"events per-step scan", func() any { return analytics.EventsScan(g, evSpec) }},
+	})
+
+	// PATHS: earliest arrival from the first few nodes to a spread of
+	// targets alive at the final point, over the whole timeline.
+	paSpec := analytics.PathsSpec{
+		Mode:   analytics.ModeEarliest,
+		Src:    pathSources(g, 4),
+		Dst:    pathTargets(g, 64),
+		Window: g.Timeline().All(),
+	}
+	family("paths naive bfs", func() any { return analytics.NaivePaths(g, paSpec) }, []engine{
+		{"paths frontier", func() any { return analytics.NewPathsEngine(g, paSpec).Run() }},
+		{"paths time-expanded", func() any { return analytics.PathsTimeExpanded(g, paSpec) }},
+	})
+
+	// TREND: width-3 sliding ALL series — the T-distributive case where
+	// the catalog's prefix sums apply.
+	trSpec := analytics.TrendSpec{Schema: schema, Kind: agg.All, Width: 3}
+	cat := materialize.NewCatalog(g)
+	if _, err := cat.Materialize(schema.Attrs()...); err != nil {
+		panic(fmt.Sprintf("analytics bench: materialize: %v", err))
+	}
+	family("trend naive", func() any { return analytics.NaiveTrend(g, trSpec) }, []engine{
+		{"trend scan", func() any { return analytics.TrendScan(g, trSpec) }},
+		{"trend catalog", func() any {
+			out, err := analytics.TrendCatalog(cat, g, trSpec)
+			if err != nil {
+				panic(fmt.Sprintf("analytics bench: trend catalog: %v", err))
+			}
+			return out
+		}},
+	})
+
+	return exp
+}
+
+// pathSources picks the first n node ids as the departure set.
+func pathSources(g *core.Graph, n int) []core.NodeID {
+	if g.NumNodes() < n {
+		n = g.NumNodes()
+	}
+	src := make([]core.NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		src = append(src, core.NodeID(i))
+	}
+	return src
+}
+
+// pathTargets picks up to n nodes active at the final time point, spread
+// across the id space.
+func pathTargets(g *core.Graph, n int) []core.NodeID {
+	last := g.Timeline().Len() - 1
+	stride := g.NumNodes() / n
+	if stride < 1 {
+		stride = 1
+	}
+	dst := make([]core.NodeID, 0, n)
+	for v := 0; v < g.NumNodes() && len(dst) < n; v += stride {
+		if g.NodeTau(core.NodeID(v)).Contains(last) {
+			dst = append(dst, core.NodeID(v))
+		}
+	}
+	return dst
+}

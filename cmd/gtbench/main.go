@@ -145,6 +145,10 @@ func experiments() []experiment {
 			return one(timeTravel("TimeTravel", "DBLP pinned point-aggregate: reconstruction path latency per as_of transaction",
 				env.DBLP(), "gender"))
 		}},
+		{"analytics", "EVENTS/PATHS/TREND engines vs reference oracles: latency and speedup", func(env *environment) []benchutil.Printable {
+			return one(analyticsBench("Analytics", "DBLP evolution analytics: engine vs oracle latency (gender)",
+				env.DBLP(), "gender"))
+		}},
 		{"compress", "Operator kernels over dense vs run-compressed timestamp vectors", func(env *environment) []benchutil.Printable {
 			return one(compressKernels("Compress", "Stretched timeline (T=1024): kernel time and bytes, dense vs run-compressed",
 				env))

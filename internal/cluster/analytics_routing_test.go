@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/stream"
+)
+
+// The analytics family (EVENTS/PATHS/TREND) is never scattered: the
+// router answers every analytics request from its full-timeline mirror,
+// byte-identical to a single node holding the whole series, and a shard
+// daemon (Partial) refuses analytics outright with the typed 400.
+
+func TestAnalyticsMirrorByteIdentity(t *testing.T) {
+	routerURL, refURL, _ := startCluster(t, 3)
+
+	check := func(path string, req any) {
+		t.Helper()
+		code, refData, _ := postJSON(t, refURL+path, req)
+		if code != 200 {
+			t.Fatalf("single %s = %d: %s", path, code, refData)
+		}
+		code, gotData, hdr := postJSON(t, routerURL+path, req)
+		if code != 200 {
+			t.Fatalf("router %s = %d: %s", path, code, gotData)
+		}
+		if route := hdr.Get("X-Gt-Route"); route != "mirror" {
+			t.Errorf("%s route = %q, want mirror", path, route)
+		}
+		if b, a := stripElapsed(t, refData), stripElapsed(t, gotData); !bytes.Equal(b, a) {
+			t.Errorf("%s diverged:\n single %s\n router %s", path, b, a)
+		}
+	}
+
+	check("/v1/events", server.EventsRequest{Attrs: []string{"gender"}, Width: 2})
+	check("/v1/paths", server.PathsRequest{
+		Mode: "fastest", From: []string{"u1"}, To: []string{"u5"},
+	})
+	check("/v1/trend", server.TrendRequest{Attrs: []string{"gender"}, Kind: "all", Width: 3})
+
+	// The statement forms ride /v1/tgql — same mirror, same bytes. The
+	// window splits across the shard cut at t3, which only the mirror's
+	// full timeline can answer.
+	for _, q := range []string{
+		"EVENTS DIST BY gender WIDTH 2",
+		"PATHS EARLIEST FROM u1 TO u5 DURING t1..t4",
+		"TREND ALL BY gender WIDTH 3",
+	} {
+		req := server.TGQLRequest{Query: q}
+		code, refData, _ := postJSON(t, refURL+"/v1/tgql", req)
+		if code != 200 {
+			t.Fatalf("single tgql %q = %d: %s", q, code, refData)
+		}
+		code, gotData, _ := postJSON(t, routerURL+"/v1/tgql", req)
+		if code != 200 {
+			t.Fatalf("router tgql %q = %d: %s", q, code, gotData)
+		}
+		if !bytes.Equal(refData, gotData) {
+			t.Errorf("tgql %q diverged:\n single %s\n router %s", q, refData, gotData)
+		}
+	}
+
+	// Compile errors keep their exact single-node envelopes too.
+	bad := server.PathsRequest{From: []string{"u1"}, To: []string{"nobody"}}
+	refCode, refErr, _ := postJSON(t, refURL+"/v1/paths", bad)
+	gotCode, gotErr, _ := postJSON(t, routerURL+"/v1/paths", bad)
+	if refCode != gotCode || !bytes.Equal(refErr, gotErr) {
+		t.Errorf("error envelope diverged: single %d %s vs router %d %s", refCode, refErr, gotCode, gotErr)
+	}
+}
+
+// TestShardDaemonRejectsAnalytics builds a shard the way graphtempod
+// -shard does (Partial set) and checks analytics never produce a
+// shard-local — and therefore wrong — answer.
+func TestShardDaemonRejectsAnalytics(t *testing.T) {
+	s, err := server.New(server.Config{
+		Series: stream.New(attrsFor()...), Logger: quietLogger(),
+		ShardName: "s0", Partial: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	for _, p := range testPoints()[:3] {
+		if code, data, _ := postJSON(t, ts.URL+"/v1/ingest", p); code != 200 {
+			t.Fatalf("ingest %s: %d: %s", p.Label, code, data)
+		}
+	}
+
+	for _, c := range []struct {
+		path string
+		req  any
+	}{
+		{"/v1/events", server.EventsRequest{Attrs: []string{"gender"}}},
+		{"/v1/paths", server.PathsRequest{From: []string{"u1"}, To: []string{"u2"}}},
+		{"/v1/trend", server.TrendRequest{Attrs: []string{"gender"}}},
+		{"/v1/tgql", server.TGQLRequest{Query: "EVENTS DIST BY gender"}},
+		{"/v1/explain", server.TGQLRequest{Query: "TREND ALL BY gender WIDTH 2"}},
+	} {
+		code, data, _ := postJSON(t, ts.URL+c.path, c.req)
+		if code != 400 {
+			t.Fatalf("%s on shard daemon = %d, want 400: %s", c.path, code, data)
+		}
+		if !strings.Contains(string(data), `"code":"bad_request"`) ||
+			!strings.Contains(string(data), "time-range shard") {
+			t.Fatalf("%s: rejection is not the typed envelope: %s", c.path, data)
+		}
+	}
+
+	// Shard-local statements keep working.
+	code, data, _ := postJSON(t, ts.URL+"/v1/tgql",
+		server.TGQLRequest{Query: "AGG DIST gender ON UNION(t0, t1)"})
+	if code != 200 {
+		t.Fatalf("non-analytics tgql on shard daemon = %d: %s", code, data)
+	}
+}

@@ -1,0 +1,143 @@
+package evolution
+
+import (
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/timeline"
+)
+
+// Degenerate evolution windows must classify cleanly, never panic: every
+// entity alive only on one side is pure growth/shrinkage, an empty window
+// on both sides yields an empty evolution graph, and a filter that
+// excludes every appearance produces zero weights.
+
+func TestEvolutionEdgeCases(t *testing.T) {
+	g := core.PaperExample()
+	tl := g.Timeline()
+	schema, err := agg.ByName(g, "gender")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sum := func(a *Agg) (w Weights) {
+		for _, tu := range a.SortedNodes() {
+			nw := a.NodeWeights(tu)
+			w.St += nw.St
+			w.Gr += nw.Gr
+			w.Shr += nw.Shr
+		}
+		return w
+	}
+
+	cases := []struct {
+		name     string
+		old, new timeline.Interval
+		filter   Filter
+		// wantOnly constrains which weight components may be non-zero.
+		wantSt, wantGr, wantShr bool
+		wantEmpty               bool
+	}{
+		{name: "empty old: everything is growth",
+			old: tl.Empty(), new: tl.Point(1), wantGr: true},
+		{name: "empty new: everything is shrinkage",
+			old: tl.Point(1), new: tl.Empty(), wantShr: true},
+		{name: "empty both: empty evolution graph",
+			old: tl.Empty(), new: tl.Empty(), wantEmpty: true},
+		{name: "identical single point: pure stability",
+			old: tl.Point(0), new: tl.Point(0), wantSt: true},
+		{name: "disjoint multi-point windows classify all three",
+			old: tl.Range(0, 1), new: tl.Point(2),
+			wantSt: true, wantGr: true, wantShr: true},
+		{name: "filter excludes all: zero weights",
+			old: tl.Point(0), new: tl.Point(1),
+			filter:    func(core.NodeID, timeline.Time) bool { return false },
+			wantEmpty: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := Aggregate(g, tc.old, tc.new, schema, agg.Distinct, tc.filter)
+			w := sum(a)
+			if tc.wantEmpty {
+				if w != (Weights{}) {
+					t.Fatalf("weights = %+v, want all zero", w)
+				}
+				return
+			}
+			if w.Total() == 0 {
+				t.Fatal("expected a non-empty evolution aggregate")
+			}
+			if (w.St > 0) != tc.wantSt || (w.Gr > 0) != tc.wantGr || (w.Shr > 0) != tc.wantShr {
+				t.Fatalf("weights = %+v, want st>0=%v gr>0=%v shr>0=%v",
+					w, tc.wantSt, tc.wantGr, tc.wantShr)
+			}
+		})
+	}
+}
+
+// TestEvolutionViewEmptyWindows: classification against empty windows is
+// total — nothing is "in" an empty interval, so NodeClass/EdgeClass report
+// not-part-of-graph for both-empty and a one-sided class otherwise.
+func TestEvolutionViewEmptyWindows(t *testing.T) {
+	g := core.PaperExample()
+	tl := g.Timeline()
+	u1, _ := g.NodeByLabel("u1")
+
+	ev := NewView(g, tl.Empty(), tl.Empty())
+	if _, ok := ev.NodeClass(u1); ok {
+		t.Error("both-empty view classified a node")
+	}
+
+	ev = NewView(g, tl.Empty(), tl.Point(0))
+	if c, ok := ev.NodeClass(u1); !ok || c != Growth {
+		t.Errorf("empty-old class = %v,%v, want Growth", c, ok)
+	}
+	ev = NewView(g, tl.Point(0), tl.Empty())
+	if c, ok := ev.NodeClass(u1); !ok || c != Shrinkage {
+		t.Errorf("empty-new class = %v,%v, want Shrinkage", c, ok)
+	}
+}
+
+// TestEvolutionSinglePointTimeline: a one-point graph can only express
+// stability (both windows the same point); the timeline sweep has no
+// consecutive pair, so Timeline() is empty.
+func TestEvolutionSinglePointTimeline(t *testing.T) {
+	g := singlePointGraph(t)
+	tl := g.Timeline()
+	schema, err := agg.ByName(g, "gender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Aggregate(g, tl.Point(0), tl.Point(0), schema, agg.Distinct, nil)
+	for _, tu := range a.SortedNodes() {
+		w := a.NodeWeights(tu)
+		if w.Gr != 0 || w.Shr != 0 || w.St == 0 {
+			t.Fatalf("single-point weights for %v = %+v, want pure stability", tu, w)
+		}
+	}
+	if steps := Timeline(g, schema, agg.Distinct, nil); len(steps) != 0 {
+		t.Fatalf("timeline sweep over one point = %d steps, want 0", len(steps))
+	}
+}
+
+// singlePointGraph is a minimal one-point, two-node graph.
+func singlePointGraph(t *testing.T) *core.Graph {
+	t.Helper()
+	b := core.NewBuilder(
+		timeline.MustNew("t0"),
+		core.AttrSpec{Name: "gender", Kind: core.Static},
+	)
+	a := b.AddNode("a")
+	n2 := b.AddNode("b")
+	b.SetNodeTime(a, 0)
+	b.SetNodeTime(n2, 0)
+	b.SetStatic(0, a, "m")
+	b.SetStatic(0, n2, "f")
+	b.SetEdgeTime(b.AddEdge(a, n2), 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,314 @@
+package plan
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/analytics"
+	"repro/internal/core"
+	"repro/internal/materialize"
+)
+
+func eventsNode(width int) *Events {
+	return &Events{Kind: "dist", Attrs: []string{"gender"}, Width: width}
+}
+
+func trendNode(kind string, width int) *Trend {
+	return &Trend{Kind: kind, Attrs: []string{"gender"}, Width: width}
+}
+
+func pathsNode(mode string, from, to []string) *Paths {
+	return &Paths{Mode: mode, From: from, To: to}
+}
+
+func rootName(t *testing.T, env Env, node Logical) string {
+	t.Helper()
+	p, err := Compile(env, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.root.name()
+}
+
+// TestAnalyticsEngineSelection pins the cost rules: which engine each
+// analytics statement compiles to, as a function of window width, catalog
+// availability, filters, and DURING length.
+func TestAnalyticsEngineSelection(t *testing.T) {
+	g := core.PaperExample() // 3 time points
+	env := Env{Graph: g}
+	cat := materialize.NewCatalogWith(g, materialize.CatalogConfig{})
+
+	// EVENTS: width 1 → 2 steps → sweep; width 2 → 1 step → per-step scan.
+	if got := rootName(t, env, eventsNode(1)); got != "EventsSweep" {
+		t.Errorf("EVENTS width=1 compiled to %s, want EventsSweep", got)
+	}
+	if got := rootName(t, env, eventsNode(2)); got != "EventsScan" {
+		t.Errorf("EVENTS width=2 compiled to %s, want EventsScan", got)
+	}
+	if got := rootName(t, env, eventsNode(3)); got != "EventsScan" {
+		t.Errorf("EVENTS width=3 (0 steps) compiled to %s, want EventsScan", got)
+	}
+
+	// TREND: catalog only for unfiltered ALL.
+	if got := rootName(t, Env{Graph: g, Catalog: cat}, trendNode("all", 2)); got != "TrendCatalog" {
+		t.Errorf("TREND ALL with catalog compiled to %s, want TrendCatalog", got)
+	}
+	if got := rootName(t, Env{Graph: g, Catalog: cat}, trendNode("dist", 2)); got != "TrendScan" {
+		t.Errorf("TREND DIST with catalog compiled to %s, want TrendScan", got)
+	}
+	filtered := trendNode("all", 2)
+	filtered.Where = []Predicate{{Attr: "publications", Op: ">", Value: "1"}}
+	if got := rootName(t, Env{Graph: g, Catalog: cat}, filtered); got != "TrendScan" {
+		t.Errorf("TREND ALL filtered compiled to %s, want TrendScan", got)
+	}
+	if got := rootName(t, env, trendNode("all", 2)); got != "TrendScan" {
+		t.Errorf("TREND ALL without catalog compiled to %s, want TrendScan", got)
+	}
+
+	// PATHS: full 3-point window → frontier; 2-point DURING → time-expanded.
+	if got := rootName(t, env, pathsNode("earliest", []string{"u1"}, []string{"u4"})); got != "PathsFrontier" {
+		t.Errorf("PATHS over full window compiled to %s, want PathsFrontier", got)
+	}
+	short := pathsNode("fastest", []string{"u1"}, []string{"u4"})
+	short.During = IntervalRef{From: "t0", To: "t1"}
+	if got := rootName(t, env, short); got != "PathsNaive" {
+		t.Errorf("PATHS over 2-point window compiled to %s, want PathsNaive", got)
+	}
+}
+
+// TestAnalyticsBounded pins cache-invalidation reach: PATHS with a DURING
+// window is bounded at the window's max point; everything else traverses
+// the whole timeline and must stay unbounded.
+func TestAnalyticsBounded(t *testing.T) {
+	g := core.PaperExample()
+	env := Env{Graph: g}
+
+	p, err := Compile(env, eventsNode(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.bounded {
+		t.Error("EVENTS plan must be unbounded (traverses the whole timeline)")
+	}
+	p, err = Compile(env, trendNode("dist", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.bounded {
+		t.Error("TREND plan must be unbounded")
+	}
+	p, err = Compile(env, pathsNode("earliest", []string{"u1"}, []string{"u2"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.bounded {
+		t.Error("PATHS without DURING must be unbounded")
+	}
+	bounded := pathsNode("earliest", []string{"u1"}, []string{"u2"})
+	bounded.During = IntervalRef{From: "t0", To: "t1"}
+	p, err = Compile(env, bounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.bounded || p.maxTime != 1 {
+		t.Errorf("PATHS DURING t0..t1: bounded=%v maxTime=%d, want true/1", p.bounded, p.maxTime)
+	}
+}
+
+// TestAnalyticsCompileEquivalence routes each statement through
+// Compile+Execute and requires byte-identical JSON against the direct
+// engine invocation the planner is supposed to have chosen.
+func TestAnalyticsCompileEquivalence(t *testing.T) {
+	g := core.PaperExample()
+	cat := materialize.NewCatalogWith(g, materialize.CatalogConfig{})
+	schema, err := agg.ByName(g, "gender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	toJSON := func(v interface{}) string {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	p, err := Compile(Env{Graph: g}, eventsNode(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := analytics.EventsSweep(g, analytics.EventsSpec{Schema: schema, Kind: agg.Distinct, Width: 1})
+	if toJSON(res.Events) != toJSON(want) {
+		t.Errorf("EVENTS through planner diverges from engine:\n got %s\nwant %s", toJSON(res.Events), toJSON(want))
+	}
+
+	p, err = Compile(Env{Graph: g, Catalog: cat}, trendNode("all", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = p.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTrend := analytics.TrendScan(g, analytics.TrendSpec{Schema: schema, Kind: agg.All, Width: 2})
+	if toJSON(res.Trend) != toJSON(wantTrend) {
+		t.Errorf("TREND through planner (catalog) diverges from scan engine:\n got %s\nwant %s", toJSON(res.Trend), toJSON(wantTrend))
+	}
+
+	node := pathsNode("fastest", []string{"u1"}, []string{"u2", "u4"})
+	p, err = Compile(Env{Graph: g}, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = p.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, _ := g.NodeByLabel("u1")
+	u2, _ := g.NodeByLabel("u2")
+	u4, _ := g.NodeByLabel("u4")
+	spec := analytics.PathsSpec{
+		Mode: analytics.ModeFastest,
+		Src:  []core.NodeID{u1}, Dst: []core.NodeID{u2, u4},
+		Window: g.Timeline().All(),
+	}
+	wantPaths := analytics.NewPathsEngine(g, spec).Run()
+	if toJSON(res.Paths) != toJSON(wantPaths) {
+		t.Errorf("PATHS through planner diverges from engine:\n got %s\nwant %s", toJSON(res.Paths), toJSON(wantPaths))
+	}
+}
+
+// TestAnalyticsExplain checks that EXPLAIN names the chosen engine and the
+// cost estimate for every analytics operator.
+func TestAnalyticsExplain(t *testing.T) {
+	g := core.PaperExample()
+	cat := materialize.NewCatalogWith(g, materialize.CatalogConfig{})
+
+	cases := []struct {
+		node Logical
+		env  Env
+		want []string
+	}{
+		{eventsNode(1), Env{Graph: g}, []string{"EventsSweep", "engine=entity-sweep", "est_cost=", "steps=2"}},
+		{eventsNode(2), Env{Graph: g}, []string{"EventsScan", "engine=per-step-scan"}},
+		{trendNode("all", 2), Env{Graph: g, Catalog: cat}, []string{"TrendCatalog", "composition=prefix-sum", "windows=2"}},
+		{trendNode("dist", 1), Env{Graph: g}, []string{"TrendScan", "windows=3"}},
+		{pathsNode("earliest", []string{"u1"}, []string{"u4"}), Env{Graph: g}, []string{"PathsFrontier", "engine=time-bucket-frontier", "mode=earliest"}},
+	}
+	for _, c := range cases {
+		p, err := Compile(c.env, c.node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := p.Explain()
+		for _, w := range c.want {
+			if !strings.Contains(s, w) {
+				t.Errorf("EXPLAIN of %s misses %q:\n%s", c.node.Key(), w, s)
+			}
+		}
+	}
+}
+
+// TestAnalyticsSelectionsAndFeedback checks that executions bump the
+// operator-selection counters and record cardinality feedback under the
+// logical key.
+func TestAnalyticsSelectionsAndFeedback(t *testing.T) {
+	g := core.PaperExample()
+	fb := NewFeedback()
+	env := Env{Graph: g, Feedback: fb}
+	ctx := context.Background()
+
+	before := Selections.EventsSweep.Value()
+	node := eventsNode(1)
+	p, err := Compile(env, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := Selections.EventsSweep.Value(); got != before+1 {
+		t.Errorf("EventsSweep counter %d, want %d", got, before+1)
+	}
+	if o, ok := fb.Lookup(node.Key()); !ok || o.Executions != 1 {
+		t.Errorf("no feedback observation recorded for %q (ok=%v, %+v)", node.Key(), ok, o)
+	}
+
+	before = Selections.PathsNaive.Value()
+	short := pathsNode("earliest", []string{"u1"}, []string{"u2"})
+	short.During = IntervalRef{From: "t0", To: "t1"}
+	p, err = Compile(env, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := Selections.PathsNaive.Value(); got != before+1 {
+		t.Errorf("PathsNaive counter %d, want %d", got, before+1)
+	}
+}
+
+// TestAnalyticsCached checks that analytics plans participate in the plan
+// cache keyed on the canonical logical text.
+func TestAnalyticsCached(t *testing.T) {
+	g := core.PaperExample()
+	cache := NewCache(0)
+	env := Env{Graph: g, Cache: cache}
+
+	p1, err := Compile(env, eventsNode(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Compile(env, eventsNode(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("identical EVENTS query recompiled instead of served from cache")
+	}
+	if _, err := Compile(env, eventsNode(2)); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 2 {
+		t.Errorf("cache has %d plans, want 2 (widths key separately)", cache.Len())
+	}
+}
+
+// TestAnalyticsCompileErrors pins operand validation: every malformed
+// statement fails at compile time with a descriptive error.
+func TestAnalyticsCompileErrors(t *testing.T) {
+	g := core.PaperExample()
+	env := Env{Graph: g}
+
+	cases := []struct {
+		name string
+		node Logical
+		want string
+	}{
+		{"events bad attr", &Events{Kind: "dist", Attrs: []string{"nope"}}, "unknown attribute"},
+		{"events bad kind", &Events{Kind: "sum", Attrs: []string{"gender"}}, "unknown kind"},
+		{"events negative min", &Events{Kind: "dist", Attrs: []string{"gender"}, Min: -1}, "MIN must be >= 0"},
+		{"trend bad attr", &Trend{Kind: "all", Attrs: []string{"nope"}}, "unknown attribute"},
+		{"paths bad mode", &Paths{Mode: "scenic", From: []string{"u1"}, To: []string{"u2"}}, "unknown paths mode"},
+		{"paths no sources", &Paths{Mode: "earliest", To: []string{"u2"}}, "FROM and TO"},
+		{"paths unknown node", &Paths{Mode: "earliest", From: []string{"u9"}, To: []string{"u2"}}, `unknown node "u9"`},
+		{"paths scattered during", &Paths{
+			Mode: "earliest", From: []string{"u1"}, To: []string{"u2"},
+			During: IntervalRef{Points: []string{"t0", "t2"}},
+		}, "contiguous"},
+	}
+	for _, c := range cases {
+		if _, err := Compile(env, c.node); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}

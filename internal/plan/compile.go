@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/agg"
+	"repro/internal/analytics"
 	"repro/internal/core"
 	"repro/internal/evolution"
 	"repro/internal/explore"
@@ -63,6 +64,11 @@ type Result struct {
 	Top         []explore.TupleScore
 	TopSchema   *agg.Schema
 	Timeline    []evolution.TimelineStep
+	// Events, Paths and Trend are the evolution-analytics payloads
+	// (internal/analytics statement families).
+	Events *analytics.EventsResult
+	Paths  *analytics.PathsResult
+	Trend  *analytics.TrendResult
 	// Partial is a shard-local partial aggregate (Partial plans); Merged is
 	// the gathered cross-shard answer (CompileScatter plans). See scatter.go.
 	Partial *PartialResult
@@ -159,6 +165,12 @@ func Compile(env Env, node Logical) (*Plan, error) {
 		bounded = true
 	case *Timeline:
 		root, err = compileTimeline(env, q)
+	case *Events:
+		root, err = compileEvents(env, q)
+	case *Paths:
+		root, maxTime, bounded, err = compilePaths(env, q)
+	case *Trend:
+		root, err = compileTrend(env, q)
 	default:
 		return nil, fmt.Errorf("plan: unhandled logical node %T", node)
 	}

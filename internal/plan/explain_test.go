@@ -51,6 +51,12 @@ func TestExplainGolden(t *testing.T) {
 		{name: "top", query: "TOP 3 SHRINKAGE BY gender"},
 		{name: "evolve", query: "EXPLAIN EVOLVE DIST gender FROM t0 TO t1"},
 		{name: "timeline", query: "TIMELINE BY gender WHERE gender = 'f'"},
+		{name: "events_sweep", query: "EVENTS DIST BY gender WIDTH 1 MIN 1"},
+		{name: "events_scan", query: "EVENTS ALL BY gender WIDTH 2"},
+		{name: "paths_frontier", query: "PATHS EARLIEST FROM u1 TO u2, u4"},
+		{name: "paths_naive", query: "PATHS FASTEST FROM u1 TO u4 DURING t0..t1"},
+		{name: "trend_catalog", query: "TREND ALL BY gender WIDTH 2", catalog: true},
+		{name: "trend_scan", query: "TREND DIST BY gender WHERE publications > 1"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

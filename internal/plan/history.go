@@ -44,6 +44,12 @@ func temporalOf(node Logical) (IntervalRef, TxnRef) {
 		return q.Valid, q.AsOf
 	case *Timeline:
 		return q.Valid, q.AsOf
+	case *Events:
+		return q.Valid, q.AsOf
+	case *Paths:
+		return q.Valid, q.AsOf
+	case *Trend:
+		return q.Valid, q.AsOf
 	}
 	return IntervalRef{}, TxnRef{}
 }

@@ -1,7 +1,8 @@
 // Package plan is GraphTempo's query planning layer: a logical-plan IR for
-// the five statement families (aggregate, explore, top, evolve, timeline),
-// a physical planner that selects concrete operators through an explicit
-// cost model, and an executable PhysicalPlan with an Explain rendering.
+// the statement families (aggregate, explore, top, evolve, timeline, and
+// the evolution-analytics family events/paths/trend), a physical planner
+// that selects concrete operators through an explicit cost model, and an
+// executable PhysicalPlan with an Explain rendering.
 //
 // The paper's partial-materialization strategies (§4.3) are decisions about
 // which physical operator answers a logical query: a union-ALL aggregate
@@ -371,6 +372,126 @@ func (q *Evolve) Key() string {
 	q.From.render(&b)
 	b.WriteString(" TO ")
 	q.To.render(&b)
+	renderWhere(&b, q.Where)
+	renderTemporal(&b, q.Valid, q.AsOf)
+	return b.String()
+}
+
+// Events classifies attribute groups into stability/growth/shrinkage
+// events between consecutive width-Width windows of the timeline
+// (internal/analytics EVENTS).
+type Events struct {
+	Kind  string // dist (default) or all
+	Attrs []string
+	// Width is the tiling window width; values < 1 normalize to 1.
+	Width int
+	// Min drops rows whose change magnitude Gr+Shr falls below it.
+	Min   int64
+	Where []Predicate
+
+	Valid IntervalRef
+	AsOf  TxnRef
+
+	AttrsPos []int
+}
+
+func (q *Events) logicalNode() {}
+
+// normWidth renders and compiles window widths uniformly: anything below 1
+// means 1 (per-point windows).
+func normWidth(w int) int {
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// Key renders "EVENTS KIND attrs WIDTH w[ MIN m][ WHERE ...]".
+func (q *Events) Key() string {
+	var b strings.Builder
+	b.WriteString("EVENTS ")
+	b.WriteString(kindKeyword(q.Kind))
+	b.WriteByte(' ')
+	renderAttrs(&b, q.Attrs)
+	b.WriteString(" WIDTH ")
+	b.WriteString(strconv.Itoa(normWidth(q.Width)))
+	if q.Min > 0 {
+		b.WriteString(" MIN ")
+		b.WriteString(strconv.FormatInt(q.Min, 10))
+	}
+	renderWhere(&b, q.Where)
+	renderTemporal(&b, q.Valid, q.AsOf)
+	return b.String()
+}
+
+// Paths answers time-respecting path queries between two node sets within
+// a window (internal/analytics PATHS).
+type Paths struct {
+	Mode string // earliest (default) or fastest
+	From []string
+	To   []string
+	// During restricts the window; the zero ref means the whole timeline.
+	During IntervalRef
+
+	Valid IntervalRef
+	AsOf  TxnRef
+
+	FromPos []int
+	ToPos   []int
+}
+
+func (q *Paths) logicalNode() {}
+
+// modeKeyword renders a paths mode canonically.
+func modeKeyword(mode string) string {
+	if strings.ToLower(mode) == "fastest" {
+		return "FASTEST"
+	}
+	return "EARLIEST"
+}
+
+// Key renders "PATHS MODE FROM labels TO labels[ DURING iv]".
+func (q *Paths) Key() string {
+	var b strings.Builder
+	b.WriteString("PATHS ")
+	b.WriteString(modeKeyword(q.Mode))
+	b.WriteString(" FROM ")
+	renderAttrs(&b, q.From)
+	b.WriteString(" TO ")
+	renderAttrs(&b, q.To)
+	if !q.During.IsZero() {
+		b.WriteString(" DURING ")
+		q.During.render(&b)
+	}
+	renderTemporal(&b, q.Valid, q.AsOf)
+	return b.String()
+}
+
+// Trend computes per-group weight series over a sliding width-Width window
+// with slope/direction classification (internal/analytics TREND).
+type Trend struct {
+	Kind  string // dist (default) or all
+	Attrs []string
+	Width int
+	Where []Predicate
+
+	Valid IntervalRef
+	AsOf  TxnRef
+
+	AttrsPos []int
+}
+
+func (q *Trend) logicalNode() {}
+
+// Key renders "TREND KIND attrs WIDTH w[ WHERE ...]".
+func (q *Trend) Key() string {
+	var b strings.Builder
+	b.WriteString("TREND ")
+	b.WriteString(kindKeyword(q.Kind))
+	b.WriteByte(' ')
+	renderAttrs(&b, q.Attrs)
+	b.WriteString(" WIDTH ")
+	b.WriteString(strconv.Itoa(normWidth(q.Width)))
 	renderWhere(&b, q.Where)
 	renderTemporal(&b, q.Valid, q.AsOf)
 	return b.String()

@@ -24,6 +24,12 @@ var Selections struct {
 	PartialAgg   metrics.Counter // shard-local partial aggregate (scatter slice execution)
 	ShardScatter metrics.Counter // shard slices fanned out by scattered aggregates
 	GatherMerge  metrics.Counter // cross-shard gather-merge roots
+	EventsScan   metrics.Counter // EVENTS on the per-step evolution-aggregate engine
+	EventsSweep  metrics.Counter // EVENTS on the single-pass entity-sweep engine
+	PathsFront   metrics.Counter // PATHS on the time-bucketed frontier engine
+	PathsNaive   metrics.Counter // PATHS on the time-expanded fallback engine
+	TrendCatalog metrics.Counter // TREND composed from the catalog's prefix sums
+	TrendScan    metrics.Counter // TREND on the direct sliding-scan engine
 }
 
 // CacheHits / CacheMisses count plan-cache lookups in Compile. A hit skips

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/plan"
+)
+
+// This file serves the evolution-analytics statement family (EVENTS,
+// PATHS, TREND) over dedicated JSON endpoints. The statements traverse the
+// whole timeline by construction, so a daemon serving one time-range shard
+// of a cluster (Config.Partial) rejects them up front with a typed 400 —
+// a shard-local answer would be silently wrong; the router answers them
+// from its mirror instead.
+
+// errPartialAnalytics is the typed rejection every analytics entry point
+// returns on a partial (time-range shard) daemon, mirroring the partial
+// aggregate's as_of contract.
+var errPartialAnalytics = fmt.Errorf(
+	"analytics statements traverse the whole timeline and cannot be served by a time-range shard; query the router's mirror")
+
+// rejectPartialAnalytics guards an analytics entry point on shard daemons.
+func (s *Server) rejectPartialAnalytics() (int, error) {
+	if s.cfg.Partial {
+		return http.StatusBadRequest, errPartialAnalytics
+	}
+	return 0, nil
+}
+
+// EventsRequest asks for evolution-event classification of every attribute
+// group between consecutive width-w windows (POST /v1/events).
+type EventsRequest struct {
+	Attrs []string `json:"attrs"`
+	// Kind is dist (default) or all.
+	Kind string `json:"kind,omitempty"`
+	// Width is the tiling window width in time points; 0 selects 1.
+	Width int `json:"width,omitempty"`
+	// Min drops rows whose change magnitude (Gr+Shr) is below it.
+	Min int64 `json:"min,omitempty"`
+	// Workers is accepted for parity with the other endpoints (the events
+	// engines are single-pass; the value only keys the plan cache).
+	Workers int `json:"workers,omitempty"`
+	// AsOf evaluates against the graph as of this transaction; 0 is head.
+	AsOf int `json:"as_of,omitempty"`
+}
+
+// EventsResponse carries the classified rows.
+type EventsResponse struct {
+	ElapsedMs float64                 `json:"elapsed_ms"`
+	Events    *analytics.EventsResult `json:"events"`
+}
+
+func (s *Server) handleEvents(ctx context.Context, w http.ResponseWriter, r *http.Request) (int, error) {
+	if status, err := s.rejectPartialAnalytics(); err != nil {
+		return status, err
+	}
+	var req EventsRequest
+	if status, err := s.decodeJSON(w, r, &req); err != nil {
+		return status, err
+	}
+	st, err := s.current()
+	if err != nil {
+		return http.StatusServiceUnavailable, err
+	}
+	node := &plan.Events{
+		Kind:  req.Kind,
+		Attrs: req.Attrs,
+		Width: req.Width,
+		Min:   req.Min,
+		AsOf:  plan.TxnRef{Txn: req.AsOf},
+	}
+	p, err := plan.Compile(s.planEnv(st, req.Workers), node)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	start := time.Now()
+	res, err := p.Execute(ctx)
+	if err != nil {
+		return execStatus(err), err
+	}
+	return writeJSON(w, EventsResponse{
+		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+		Events:    res.Events,
+	})
+}
+
+// PathsRequest asks for time-respecting reachability (POST /v1/paths).
+type PathsRequest struct {
+	// Mode is earliest (default) or fastest.
+	Mode string   `json:"mode,omitempty"`
+	From []string `json:"from"`
+	To   []string `json:"to"`
+	// During restricts departures and traversal to a contiguous window;
+	// absent means the whole timeline.
+	During  IntervalSpec `json:"during,omitempty"`
+	Workers int          `json:"workers,omitempty"`
+	AsOf    int          `json:"as_of,omitempty"`
+}
+
+// PathsResponse carries per-target arrivals.
+type PathsResponse struct {
+	ElapsedMs float64                `json:"elapsed_ms"`
+	Paths     *analytics.PathsResult `json:"paths"`
+}
+
+func (s *Server) handlePaths(ctx context.Context, w http.ResponseWriter, r *http.Request) (int, error) {
+	if status, err := s.rejectPartialAnalytics(); err != nil {
+		return status, err
+	}
+	var req PathsRequest
+	if status, err := s.decodeJSON(w, r, &req); err != nil {
+		return status, err
+	}
+	st, err := s.current()
+	if err != nil {
+		return http.StatusServiceUnavailable, err
+	}
+	node := &plan.Paths{
+		Mode:   req.Mode,
+		From:   req.From,
+		To:     req.To,
+		During: req.During.ref(),
+		AsOf:   plan.TxnRef{Txn: req.AsOf},
+	}
+	p, err := plan.Compile(s.planEnv(st, req.Workers), node)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	start := time.Now()
+	res, err := p.Execute(ctx)
+	if err != nil {
+		return execStatus(err), err
+	}
+	return writeJSON(w, PathsResponse{
+		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+		Paths:     res.Paths,
+	})
+}
+
+// TrendRequest asks for per-group sliding-window appearance series
+// (POST /v1/trend).
+type TrendRequest struct {
+	Attrs []string `json:"attrs"`
+	// Kind is dist (default) or all.
+	Kind string `json:"kind,omitempty"`
+	// Width is the sliding window width in time points; 0 selects 1.
+	Width   int `json:"width,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	AsOf    int `json:"as_of,omitempty"`
+}
+
+// TrendResponse carries the per-group series.
+type TrendResponse struct {
+	ElapsedMs float64                `json:"elapsed_ms"`
+	Trend     *analytics.TrendResult `json:"trend"`
+}
+
+func (s *Server) handleTrend(ctx context.Context, w http.ResponseWriter, r *http.Request) (int, error) {
+	if status, err := s.rejectPartialAnalytics(); err != nil {
+		return status, err
+	}
+	var req TrendRequest
+	if status, err := s.decodeJSON(w, r, &req); err != nil {
+		return status, err
+	}
+	st, err := s.current()
+	if err != nil {
+		return http.StatusServiceUnavailable, err
+	}
+	node := &plan.Trend{
+		Kind:  req.Kind,
+		Attrs: req.Attrs,
+		Width: req.Width,
+		AsOf:  plan.TxnRef{Txn: req.AsOf},
+	}
+	p, err := plan.Compile(s.planEnv(st, req.Workers), node)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	start := time.Now()
+	res, err := p.Execute(ctx)
+	if err != nil {
+		return execStatus(err), err
+	}
+	return writeJSON(w, TrendResponse{
+		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+		Trend:     res.Trend,
+	})
+}

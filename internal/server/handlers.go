@@ -256,6 +256,9 @@ func (s *Server) handleTGQL(ctx context.Context, w http.ResponseWriter, r *http.
 	if req.Query == "" {
 		return http.StatusBadRequest, fmt.Errorf("query required")
 	}
+	if s.cfg.Partial && tgql.IsAnalytics(req.Query) {
+		return http.StatusBadRequest, errPartialAnalytics
+	}
 	st, err := s.current()
 	if err != nil {
 		return http.StatusServiceUnavailable, err
@@ -303,6 +306,9 @@ func (s *Server) handleExplain(ctx context.Context, w http.ResponseWriter, r *ht
 	}
 	if req.Query == "" {
 		return http.StatusBadRequest, fmt.Errorf("query required")
+	}
+	if s.cfg.Partial && tgql.IsAnalytics(req.Query) {
+		return http.StatusBadRequest, errPartialAnalytics
 	}
 	st, err := s.current()
 	if err != nil {

@@ -90,6 +90,13 @@ type Config struct {
 	// replication; client ingestion is rejected with 409). An empty Role
 	// with a ShardName set defaults to primary.
 	Role string
+	// Partial marks a daemon that serves one time-range slice of a larger
+	// cluster timeline (graphtempod -shard). Statements whose answer spans
+	// the whole timeline — the EVENTS/PATHS/TREND analytics family — are
+	// rejected with a typed 400 instead of returning a silently shard-local
+	// result; the router serves them from its full mirror. The mirror
+	// itself has a ShardName but is NOT partial: it holds every point.
+	Partial bool
 }
 
 // endpointWeight is the admission cost of each API endpoint: exploration
@@ -102,6 +109,9 @@ var endpointWeight = map[string]int64{
 	"explain":   1, // compile-only: no engine execution
 	"ingest":    1,
 	"partial":   1, // shard-local slice of a scattered aggregate
+	"events":    2, // whole-timeline entity sweep
+	"paths":     2, // per-departure time sweeps in fastest mode
+	"trend":     1, // O(windows) from the catalog, single scan otherwise
 }
 
 // state is one consistent serving snapshot: the graph, its catalog, and
@@ -475,6 +485,12 @@ func (s *Server) registerMetrics() {
 		{"partial-agg", &plan.Selections.PartialAgg},
 		{"shard-scatter", &plan.Selections.ShardScatter},
 		{"gather-merge", &plan.Selections.GatherMerge},
+		{"events-scan", &plan.Selections.EventsScan},
+		{"events-sweep", &plan.Selections.EventsSweep},
+		{"paths-frontier", &plan.Selections.PathsFront},
+		{"paths-naive", &plan.Selections.PathsNaive},
+		{"trend-catalog", &plan.Selections.TrendCatalog},
+		{"trend-scan", &plan.Selections.TrendScan},
 	} {
 		r.RegisterCounter("graphtempod_planner_selections_total", plannerHelp,
 			sel.c, metrics.Label{Key: "op", Value: sel.op})
@@ -635,6 +651,9 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /v1/explain", s.api("explain", s.handleExplain))
 	s.mux.Handle("POST /v1/ingest", s.api("ingest", s.handleIngest))
 	s.mux.Handle("POST /v1/partial/aggregate", s.api("partial", s.handlePartialAggregate))
+	s.mux.Handle("POST /v1/events", s.api("events", s.handleEvents))
+	s.mux.Handle("POST /v1/paths", s.api("paths", s.handlePaths))
+	s.mux.Handle("POST /v1/trend", s.api("trend", s.handleTrend))
 	// Cluster control plane: status/labels serve the router's health, lag
 	// and shard-map probes, the WAL stream feeds replicas and the router's
 	// mirror. They bypass admission so probes keep answering under load

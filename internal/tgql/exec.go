@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/agg"
+	"repro/internal/analytics"
 	"repro/internal/benchutil"
 	"repro/internal/core"
 	"repro/internal/evolution"
@@ -28,6 +29,10 @@ type Result struct {
 	// Coarse is the zoomed-out graph of a COARSEN statement; the REPL
 	// reports its statistics.
 	Coarse *core.Graph
+	// Events/Paths/Trend carry the evolution-analytics statement results.
+	Events *analytics.EventsResult
+	Paths  *analytics.PathsResult
+	Trend  *analytics.TrendResult
 	// Explain is the physical-plan rendering of an EXPLAIN statement.
 	Explain string
 
@@ -82,6 +87,42 @@ func (r *Result) String() string {
 			Header: []string{"#TP", "#Nodes", "#Edges"}}
 		for i, label := range stats.Labels {
 			tb.Add(label, fmt.Sprintf("%d", stats.Nodes[i]), fmt.Sprintf("%d", stats.Edges[i]))
+		}
+		tb.Print(&b)
+		return b.String()
+	case r.Events != nil:
+		var b strings.Builder
+		tb := &benchutil.Table{ID: "events",
+			Title:  fmt.Sprintf("evolution events, window width %d (%d steps)", r.Events.Width, r.Events.Steps),
+			Header: []string{"step", "window", "group", "St", "Gr", "Shr", "class"}}
+		for _, row := range r.Events.Rows {
+			tb.Add(fmt.Sprintf("%d", row.Step), row.Old+"→"+row.New, row.Group,
+				fmt.Sprintf("%d", row.St), fmt.Sprintf("%d", row.Gr), fmt.Sprintf("%d", row.Shr), row.Class)
+		}
+		tb.Print(&b)
+		return b.String()
+	case r.Paths != nil:
+		var b strings.Builder
+		tb := &benchutil.Table{ID: "paths",
+			Title: fmt.Sprintf("%s time-respecting paths during %s (%d reached)",
+				r.Paths.Mode, r.Paths.Window, r.Paths.Reached),
+			Header: []string{"node", "depart", "arrive", "duration"}}
+		for _, row := range r.Paths.Rows {
+			tb.Add(row.Node, row.Depart, row.Arrive, fmt.Sprintf("%d", row.Duration))
+		}
+		tb.Print(&b)
+		return b.String()
+	case r.Trend != nil:
+		var b strings.Builder
+		tb := &benchutil.Table{ID: "trend",
+			Title:  fmt.Sprintf("sliding-window trend, width %d (%d windows)", r.Trend.Width, r.Trend.Windows),
+			Header: []string{"group", "series", "slope", "direction"}}
+		for _, row := range r.Trend.Rows {
+			parts := make([]string, len(row.Series))
+			for i, v := range row.Series {
+				parts[i] = fmt.Sprintf("%d", v)
+			}
+			tb.Add(row.Group, strings.Join(parts, " "), row.Slope, row.Direction)
 		}
 		tb.Print(&b)
 		return b.String()
@@ -212,8 +253,32 @@ func ExecEnv(ctx context.Context, env plan.Env, query string) (*Result, error) {
 		Top:       pr.Top,
 		TopSchema: pr.TopSchema,
 		Timeline:  pr.Timeline,
+		Events:    pr.Events,
+		Paths:     pr.Paths,
+		Trend:     pr.Trend,
 		g:         env.Graph,
 	}, nil
+}
+
+// IsAnalytics reports whether the query parses to one of the evolution
+// analytics statements (EVENTS, PATHS, TREND), bare or under EXPLAIN.
+// Serving layers that cannot answer analytics (scatter partials hold one
+// time-range shard, but the statements traverse the whole timeline) use it
+// to reject up front. Unparseable queries report false — the parser's own
+// error surfaces on the execution path.
+func IsAnalytics(query string) bool {
+	stmt, err := parse(query)
+	if err != nil {
+		return false
+	}
+	if ex, ok := stmt.(explainQuery); ok {
+		stmt = ex.stmt
+	}
+	switch stmt.(type) {
+	case eventsQuery, pathsQuery, trendQuery:
+		return true
+	}
+	return false
 }
 
 // PlanEnv parses one statement and compiles it into a physical plan
@@ -301,8 +366,43 @@ func toLogical(stmt interface{}) (plan.Logical, error) {
 			Valid:    toValidRef(q.temporalClause),
 			AsOf:     toTxnRef(q.temporalClause),
 		}, nil
+	case eventsQuery:
+		return &plan.Events{
+			Kind:     strings.ToLower(q.Kind),
+			Attrs:    q.Attrs,
+			AttrsPos: q.AttrsPos,
+			Width:    q.Width,
+			Min:      q.Min,
+			Where:    toPredicates(q.Where),
+			Valid:    toValidRef(q.temporalClause),
+			AsOf:     toTxnRef(q.temporalClause),
+		}, nil
+	case pathsQuery:
+		node := &plan.Paths{
+			Mode:    strings.ToLower(q.Mode),
+			From:    q.From,
+			FromPos: q.FromPos,
+			To:      q.To,
+			ToPos:   q.ToPos,
+			Valid:   toValidRef(q.temporalClause),
+			AsOf:    toTxnRef(q.temporalClause),
+		}
+		if q.HasDur {
+			node.During = toIntervalRef(q.During)
+		}
+		return node, nil
+	case trendQuery:
+		return &plan.Trend{
+			Kind:     strings.ToLower(q.Kind),
+			Attrs:    q.Attrs,
+			AttrsPos: q.AttrsPos,
+			Width:    q.Width,
+			Where:    toPredicates(q.Where),
+			Valid:    toValidRef(q.temporalClause),
+			AsOf:     toTxnRef(q.temporalClause),
+		}, nil
 	default:
-		return nil, fmt.Errorf("tgql: statement %T has no query plan (EXPLAIN supports AGG, EVOLVE, EXPLORE, TOP and TIMELINE)", stmt)
+		return nil, fmt.Errorf("tgql: statement %T has no query plan (EXPLAIN supports AGG, EVOLVE, EXPLORE, TOP, TIMELINE, EVENTS, PATHS and TREND)", stmt)
 	}
 }
 

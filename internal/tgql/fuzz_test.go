@@ -45,6 +45,28 @@ func FuzzExec(f *testing.F) {
 	f.Add("AGG DIST gender ON POINT t0 AS OF")
 	f.Add("AGG DIST gender ON POINT t0 AS OF t0")
 	f.Add("AGG DIST gender ON POINT t0 VALID DURING t0 VALID DURING t1")
+	// Evolution-analytics statements: well-formed, clause-reordered,
+	// truncated, and with unresolvable operands.
+	f.Add("EVENTS DIST BY gender WIDTH 1")
+	f.Add("EVENTS ALL BY gender, publications WIDTH 2 MIN 1 WHERE publications > 1")
+	f.Add("EVENTS DIST BY gender MIN 1 WIDTH 2 AS OF 2 VALID DURING t0..t1")
+	f.Add("EVENTS DIST BY gender WIDTH")
+	f.Add("EVENTS DIST BY gender WIDTH -1")
+	f.Add("EVENTS DIST BY nope")
+	f.Add("PATHS EARLIEST FROM u1 TO u2, u4")
+	f.Add("PATHS FASTEST FROM u1, u3 TO u5 DURING t0..t2")
+	f.Add("PATHS FASTEST FROM u1 TO u2 DURING t0..t1 VALID DURING t0..t1 AS OF 1")
+	f.Add("PATHS SCENIC FROM u1 TO u2")
+	f.Add("PATHS EARLIEST FROM u9 TO u2")
+	f.Add("PATHS EARLIEST FROM u1 TO")
+	f.Add("PATHS EARLIEST FROM u1 TO u2 DURING t9")
+	f.Add("TREND ALL BY gender WIDTH 2")
+	f.Add("TREND DIST BY gender WHERE publications >= 1 WIDTH 3")
+	f.Add("TREND DIST BY gender WIDTH 99")
+	f.Add("TREND SUM BY gender")
+	f.Add("EXPLAIN EVENTS DIST BY gender WIDTH 1")
+	f.Add("EXPLAIN PATHS FASTEST FROM u1 TO u2")
+	f.Add("EXPLAIN TREND ALL BY gender")
 
 	g := core.PaperExample()
 	f.Fuzz(func(t *testing.T, query string) {

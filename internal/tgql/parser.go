@@ -97,6 +97,42 @@ type coarsenQuery struct {
 	Width int
 }
 
+// eventsQuery classifies every attribute group's change between
+// consecutive width-w windows into growth/shrinkage/stability events.
+type eventsQuery struct {
+	Kind     string // DIST | ALL
+	Attrs    []string
+	AttrsPos []int
+	Width    int   // tiling window width, 1 when absent
+	Min      int64 // minimum change magnitude (Gr+Shr) per row
+	Where    []comparison
+	temporalClause
+}
+
+// pathsQuery asks for time-respecting reachability from a source set to a
+// target set, earliest-arrival or shortest-duration.
+type pathsQuery struct {
+	Mode    string // EARLIEST | FASTEST
+	From    []string
+	FromPos []int
+	To      []string
+	ToPos   []int
+	During  intervalExpr
+	HasDur  bool
+	temporalClause
+}
+
+// trendQuery computes per-group sliding-window appearance series with a
+// least-squares direction.
+type trendQuery struct {
+	Kind     string // DIST | ALL
+	Attrs    []string
+	AttrsPos []int
+	Width    int // sliding window width, 1 when absent
+	Where    []comparison
+	temporalClause
+}
+
 // explainQuery wraps a statement prefixed with EXPLAIN: compile it and
 // render the physical plan instead of executing.
 type explainQuery struct {
@@ -411,9 +447,155 @@ func (p *parser) statement() (interface{}, error) {
 			return nil, err
 		}
 		return q, nil
+	case p.keyword("EVENTS"):
+		return p.parseEvents()
+	case p.keyword("PATHS"):
+		return p.parsePaths()
+	case p.keyword("TREND"):
+		return p.parseTrend()
 	default:
 		return nil, p.errorf(p.peek(),
-			"expected STATS, AGG, EVOLVE, EXPLORE, TOP, TIMELINE or COARSEN, found %q", p.peek().text)
+			"expected STATS, AGG, EVOLVE, EXPLORE, TOP, TIMELINE, COARSEN, EVENTS, PATHS or TREND, found %q", p.peek().text)
+	}
+}
+
+// width parses the argument of a WIDTH clause.
+func (p *parser) width() (int, error) {
+	v, err := p.value()
+	if err != nil {
+		return 0, err
+	}
+	var w int
+	if _, err := fmt.Sscanf(v, "%d", &w); err != nil || w < 1 {
+		return 0, p.errorf(p.peek(), "WIDTH wants a positive integer, got %q", v)
+	}
+	return w, nil
+}
+
+// parseEvents parses
+//
+//	EVENTS DIST|ALL BY attrs [WIDTH n] [MIN n] [WHERE …] [temporal]
+func (p *parser) parseEvents() (interface{}, error) {
+	q := eventsQuery{Width: 1}
+	var err error
+	if q.Kind, err = p.kind(); err != nil {
+		return nil, err
+	}
+	if err = p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	if q.Attrs, q.AttrsPos, err = p.valueListPos(); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.keyword("WIDTH"):
+			if q.Width, err = p.width(); err != nil {
+				return nil, err
+			}
+		case p.keyword("MIN"):
+			v, err := p.value()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := fmt.Sscanf(v, "%d", &q.Min); err != nil || q.Min < 0 {
+				return nil, p.errorf(p.peek(), "MIN wants a non-negative integer, got %q", v)
+			}
+		case p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "WHERE"):
+			if q.Where, err = p.where(); err != nil {
+				return nil, err
+			}
+		default:
+			if ok, err := p.temporalOne(&q.temporalClause); err != nil {
+				return nil, err
+			} else if ok {
+				continue
+			}
+			if err := p.atEOF(); err != nil {
+				return nil, err
+			}
+			return q, nil
+		}
+	}
+}
+
+// parsePaths parses
+//
+//	PATHS EARLIEST|FASTEST FROM v(,v)* TO v(,v)* [DURING interval] [temporal]
+func (p *parser) parsePaths() (interface{}, error) {
+	var q pathsQuery
+	switch {
+	case p.keyword("EARLIEST"):
+		q.Mode = "EARLIEST"
+	case p.keyword("FASTEST"):
+		q.Mode = "FASTEST"
+	default:
+		return nil, p.errorf(p.peek(), "expected EARLIEST or FASTEST, found %q", p.peek().text)
+	}
+	var err error
+	if err = p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if q.From, q.FromPos, err = p.valueListPos(); err != nil {
+		return nil, err
+	}
+	if err = p.expectKeyword("TO"); err != nil {
+		return nil, err
+	}
+	if q.To, q.ToPos, err = p.valueListPos(); err != nil {
+		return nil, err
+	}
+	if p.keyword("DURING") {
+		if q.During, err = p.interval(); err != nil {
+			return nil, err
+		}
+		q.HasDur = true
+	}
+	if err := p.temporal(&q.temporalClause); err != nil {
+		return nil, err
+	}
+	if err := p.atEOF(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// parseTrend parses
+//
+//	TREND DIST|ALL BY attrs [WIDTH n] [WHERE …] [temporal]
+func (p *parser) parseTrend() (interface{}, error) {
+	q := trendQuery{Width: 1}
+	var err error
+	if q.Kind, err = p.kind(); err != nil {
+		return nil, err
+	}
+	if err = p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	if q.Attrs, q.AttrsPos, err = p.valueListPos(); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.keyword("WIDTH"):
+			if q.Width, err = p.width(); err != nil {
+				return nil, err
+			}
+		case p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "WHERE"):
+			if q.Where, err = p.where(); err != nil {
+				return nil, err
+			}
+		default:
+			if ok, err := p.temporalOne(&q.temporalClause); err != nil {
+				return nil, err
+			} else if ok {
+				continue
+			}
+			if err := p.atEOF(); err != nil {
+				return nil, err
+			}
+			return q, nil
+		}
 	}
 }
 
